@@ -1,0 +1,51 @@
+//===- bench/DotproductDensity.cpp ------------------------------------------------===//
+//
+// Section 4.2 of the paper: "dotproduct's static input vector was 90%
+// zeroes and therefore most of the calculations were eliminated; our
+// experiments on more dense vectors produced speedups similar to those of
+// the other kernels, and with no zeroes the dynamically compiled version
+// experiences a slowdown due to poor instruction scheduling." This bench
+// sweeps the zero density of the static vector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+int main() {
+  printf("dotproduct zero-density sweep (section 4.2)\n\n");
+  printf("%8s %12s %12s %10s\n", "%% zeroes", "static cyc", "dyn cyc",
+         "speedup");
+  printf("%s\n", std::string(48, '-').c_str());
+
+  for (int PctZero : {90, 75, 50, 25, 0}) {
+    workloads::Workload W = workloads::workloadByName("dotproduct");
+    auto BaseSetup = W.Setup;
+    W.Setup = [BaseSetup, PctZero](vm::VM &M) {
+      workloads::WorkloadSetup S = BaseSetup(M);
+      int64_t A = S.RegionArgs[0].asInt();
+      int64_t N = S.RegionArgs[2].asInt();
+      DeterministicRNG RNG(0xdd + PctZero);
+      for (int64_t I = 0; I != N; ++I) {
+        bool Zero = static_cast<int>(RNG.nextBelow(100)) < PctZero;
+        // Non-zero values: odd constants (no 0/1/power-of-two shortcuts).
+        int64_t V = Zero ? 0 : 3 + 2 * static_cast<int64_t>(RNG.nextBelow(40));
+        M.memory()[A + I] = Word::fromInt(V);
+      }
+      return S;
+    };
+    core::RegionPerf P = core::measureRegion(W, OptFlags());
+    printf("%7d%% %12.0f %12.0f %10.2f%s%s\n", PctZero,
+           P.StaticCyclesPerInvoke, P.DynCyclesPerInvoke,
+           P.AsymptoticSpeedup,
+           P.AsymptoticSpeedup < 1.0 ? "   <- slowdown" : "",
+           P.OutputsMatch ? "" : "  [MISMATCH]");
+  }
+  printf("\nPaper: 90%% zeroes -> 5.7x; dense vectors -> kernel-typical "
+         "speedups; no zeroes -> slowdown\n(unscheduled dynamic code loses "
+         "to the static compiler's schedule when nothing is eliminated).\n");
+  return 0;
+}

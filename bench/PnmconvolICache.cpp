@@ -1,0 +1,44 @@
+//===- bench/PnmconvolICache.cpp --------------------------------------------------===//
+//
+// Section 4.4.4 of the paper: pnmconvol's speedup comes mainly from
+// dynamic dead-assignment elimination — "Without it, the amount of
+// generated code exceeded the size of the L1 cache by a factor of 2.7,
+// causing slowdowns relative to the static code." This bench measures
+// generated-code size and speedup with DAE on/off across I-cache sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+int main() {
+  printf("pnmconvol generated-code footprint vs. L1 I-cache "
+         "(section 4.4.4)\n\n");
+  const workloads::Workload &W = workloads::workloadByName("pnmconvol");
+
+  for (bool DAE : {true, false}) {
+    OptFlags Fl;
+    Fl.DeadAssignmentElimination = DAE;
+    printf("dead-assignment elimination %s:\n", DAE ? "ON " : "OFF");
+    printf("  %-10s %12s %12s %10s\n", "I-cache", "code bytes", "ratio",
+           "speedup");
+    for (uint32_t KB : {4u, 8u, 16u, 32u}) {
+      vm::ICacheConfig IC;
+      IC.SizeBytes = KB * 1024;
+      core::RegionPerf P = core::measureRegion(W, Fl, vm::CostModel(), IC);
+      uint64_t CodeBytes = P.InstructionsGenerated * 4;
+      printf("  %6uKB   %12llu %11.2fx %10.2f%s\n", KB,
+             (unsigned long long)CodeBytes,
+             static_cast<double>(CodeBytes) / (KB * 1024.0),
+             P.AsymptoticSpeedup,
+             P.AsymptoticSpeedup < 1.0 ? "   <- slowdown" : "");
+    }
+  }
+  printf("\nPaper: with DAE the region runs 3.1x faster; without it the "
+         "generated code is 2.7x the\n8KB L1 I-cache and the dynamic code "
+         "is slower than static code (0.8x).\n");
+  return 0;
+}

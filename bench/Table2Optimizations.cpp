@@ -1,0 +1,61 @@
+//===- bench/Table2Optimizations.cpp ---------------------------------------------===//
+//
+// Regenerates Table 2 of the paper: "Optimizations Used by Each Program".
+// Applicability is determined the honest way: from the binding-time
+// analysis (divisions, promotions, unrolling classification) plus the
+// run-time specializer's counters (which emit-time optimizations actually
+// fired on the paper's inputs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+int main() {
+  printf("Table 2: Optimizations Used by Each Program\n");
+  printf("(SW/MW = single-/multi-way complete loop unrolling)\n\n");
+  printf("%-22s %6s %4s %4s %6s %6s %6s %4s %6s %5s\n", "Dynamic Region",
+         "Unroll", "DAE", "ZCP", "SLoad", "UDisp", "SCall", "SR", "IProm",
+         "PDiv");
+  printf("%s\n", std::string(86, '-').c_str());
+
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    core::DycContext Ctx;
+    core::compileWorkload(W, Ctx);
+    std::vector<bta::RegionInfo> Regions = Ctx.analyze(OptFlags());
+    const bta::RegionInfo *R = nullptr;
+    for (const bta::RegionInfo &Candidate : Regions)
+      if (!Candidate.Contexts.empty() &&
+          Ctx.module().function(Candidate.FuncIdx).Name == W.RegionFunc)
+        R = &Candidate;
+    if (!R) {
+      printf("%-22s (no region)\n", W.Name.c_str());
+      continue;
+    }
+
+    bool UsesUnchecked = false;
+    for (const bta::PromoPoint &P : R->Promos)
+      if (P.Policy == ir::CachePolicy::CacheOneUnchecked)
+        UsesUnchecked = true;
+
+    core::RegionPerf Perf = core::measureRegion(W, OptFlags());
+    const runtime::RegionStats &St = Perf.Stats;
+
+    auto Mark = [](bool B) { return B ? "x" : "."; };
+    printf("%-22s %6s %4s %4s %6s %6s %6s %4s %6s %5s\n", W.Name.c_str(),
+           R->UnrollsLoop ? (R->MultiWayUnroll ? "MW" : "SW") : ".",
+           Mark(St.DeadAssignsEliminated > 0), Mark(St.ZcpApplied > 0),
+           Mark(St.StaticLoadsExecuted > 0), Mark(UsesUnchecked),
+           Mark(St.StaticCallsExecuted > 0), Mark(St.StrengthReduced > 0),
+           Mark(R->HasInternalPromotions && St.DispatchSitesCreated > 0),
+           Mark(R->HasPolyvariantDivision));
+  }
+
+  printf("\nPaper's Table 2 for reference (✓ grid): all optimizations are "
+         "needed by at least one\napplication; kernels use mostly "
+         "unrolling + static loads + unchecked dispatching.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- bench/Table3RegionPerformance.cpp ---------------------------------------===//
+//
+// Regenerates Table 3 of the paper: "Dynamic Region Performance with All
+// Optimizations" — asymptotic speedup, break-even point, dynamic-
+// compilation overhead (cycles per generated instruction), and the number
+// of instructions generated, for every workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+int main() {
+  printf("Table 3: Dynamic Region Performance with All Optimizations\n");
+  printf("(cf. Grant et al., PLDI 1999, Table 3 — shapes, not absolute "
+         "numbers, are expected to match)\n\n");
+  printf("%-22s %10s  %-34s %12s %12s\n", "Dynamic Region", "Asymptotic",
+         "Break-Even Point", "DC Overhead", "Instructions");
+  printf("%-22s %10s  %-34s %12s %12s\n", "", "Speedup", "",
+         "(cyc/instr)", "Generated");
+  printf("%s\n", std::string(96, '-').c_str());
+
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    core::RegionPerf P = core::measureRegion(W, OptFlags());
+    std::string BreakEven;
+    if (P.BreakEvenInvocations < 0) {
+      BreakEven = "never (no speedup)";
+    } else if (P.BreakEvenInvocations <= 1.0) {
+      BreakEven = formatString("1 invocation (%.0f %s)",
+                               P.BreakEvenUnits < 1 ? 1 : P.BreakEvenUnits,
+                               P.UnitName.c_str());
+    } else {
+      BreakEven = formatString("%.0f %s", P.BreakEvenUnits,
+                               P.UnitName.c_str());
+    }
+    printf("%-22s %10.1f  %-34s %12.0f %12llu%s\n", W.Name.c_str(),
+           P.AsymptoticSpeedup, BreakEven.c_str(), P.OverheadPerInstr,
+           (unsigned long long)P.InstructionsGenerated,
+           P.OutputsMatch ? "" : "  [OUTPUT MISMATCH!]");
+  }
+
+  printf("\nPaper's Table 3 for reference:\n");
+  printf("  dinero 1.7 | m88ksim 3.7 | mipsi 5.0 | pnmconvol 3.1 | "
+         "viewperf p&c 1.3 | shade 1.2\n");
+  printf("  binary 1.8 | chebyshev 6.3 | dotproduct 5.7 | query 1.4 | "
+         "romberg 1.3\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- bench/Table5Ablation.cpp ---------------------------------------------------===//
+//
+// Regenerates Table 5 of the paper: "Dynamic Region Asymptotic Speedups
+// without a Particular Feature" — the ablation study. Each column
+// disables exactly one staged optimization; entries are printed only
+// where the optimization is applicable to the region (as in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+int main() {
+  // Column order mirrors the paper's Table 5.
+  const unsigned Cols[] = {0, 1, 3, 2, 4, 5, 6, 7, 8};
+  const char *Heads[] = {"-Unrol", "-SLoad", "-UDisp", "-SCall", "-ZCP",
+                         "-DAE",   "-SR",    "-IProm", "-PDiv"};
+
+  printf("Table 5: Dynamic Region Asymptotic Speedups without a "
+         "Particular Feature\n");
+  printf("('.' = optimization not applicable to this region; values < 1 "
+         "are slowdowns vs static code)\n\n");
+  printf("%-22s %6s", "Dynamic Region", "All");
+  for (const char *H : Heads)
+    printf(" %6s", H);
+  printf("\n%s\n", std::string(92, '-').c_str());
+
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    core::RegionPerf Base = core::measureRegion(W, OptFlags());
+    const runtime::RegionStats &St = Base.Stats;
+
+    core::DycContext Ctx;
+    core::compileWorkload(W, Ctx);
+    std::vector<bta::RegionInfo> Regions = Ctx.analyze(OptFlags());
+    const bta::RegionInfo *R = nullptr;
+    for (const bta::RegionInfo &Candidate : Regions)
+      if (!Candidate.Contexts.empty() &&
+          Ctx.module().function(Candidate.FuncIdx).Name == W.RegionFunc)
+        R = &Candidate;
+    bool UsesUnchecked = false;
+    if (R)
+      for (const bta::PromoPoint &P : R->Promos)
+        if (P.Policy == ir::CachePolicy::CacheOneUnchecked)
+          UsesUnchecked = true;
+
+    // Applicability per toggle index (0..8, OptFlags order).
+    bool Applicable[9] = {
+        R && R->UnrollsLoop,            // complete loop unrolling
+        St.StaticLoadsExecuted > 0,     // static loads
+        St.StaticCallsExecuted > 0,     // static calls
+        UsesUnchecked,                  // unchecked dispatching
+        St.ZcpApplied > 0,              // zero & copy propagation
+        St.DeadAssignsEliminated > 0,   // dead-assignment elimination
+        St.StrengthReduced > 0,         // strength reduction
+        R && R->HasInternalPromotions,  // internal promotions
+        R && R->HasPolyvariantDivision, // polyvariant division
+    };
+
+    printf("%-22s %6.1f", W.Name.c_str(), Base.AsymptoticSpeedup);
+    for (unsigned C : Cols) {
+      if (!Applicable[C]) {
+        printf(" %6s", ".");
+        continue;
+      }
+      OptFlags Fl;
+      Fl.toggle(C) = false;
+      core::RegionPerf P = core::measureRegion(W, Fl);
+      printf(" %5.1f%s", P.AsymptoticSpeedup, P.OutputsMatch ? "" : "!");
+    }
+    printf("\n");
+  }
+
+  printf("\nPaper's headline ablation results for reference:\n");
+  printf("  - complete loop unrolling is the single most important "
+         "optimization (most programs slow down without it);\n");
+  printf("  - pnmconvol drops from 3.1 to 0.8 without DAE (I-cache "
+         "overflow);\n");
+  printf("  - chebyshev drops from 6.3 to 1.2 without static calls;\n");
+  printf("  - m88ksim needs unchecked dispatching (3.7 -> 1.6 with "
+         "cache-all);\n");
+  printf("  - kernels binary and query slow down under cache-all.\n");
+  return 0;
+}

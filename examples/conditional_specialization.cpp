@@ -1,0 +1,93 @@
+//===- examples/conditional_specialization.cpp - Polyvariant division -------------===//
+//
+// Section 2.2.5 of the paper: polyvariant division lets the same program
+// point be analyzed under several sets of static variables, enabling
+// *conditional specialization* — guard an annotation with a test, and the
+// code after the merge is analyzed both with and without the extra static
+// variable. viewperf's shader needs exactly this (section 4.4.4). This
+// example specializes a saxpy-like routine on its scale table only when a
+// mode flag says the table is frozen.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+static const char *Source = R"(
+int apply(int mode, double* scale, double* xs, double* out, int n) {
+  int k;
+  make_static(mode, k);
+  if (mode == 1) {
+    /* Specialize on the table only on this path: the code below is
+       analyzed under two divisions. */
+    make_static(scale);
+  }
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    for (k = 0; k < 4; k = k + 1) {
+      if (mode == 1) {
+        out[i * 4 + k] = xs[i] * scale@[k];
+      } else {
+        out[i * 4 + k] = xs[i] * scale[k];
+      }
+    }
+  }
+  return n;
+}
+)";
+
+int main() {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(Source, Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  // Show the analysis: the loop body owns several contexts (divisions).
+  std::vector<bta::RegionInfo> Regions = Ctx.analyze(OptFlags());
+  printf("polyvariant division: %s\n\n",
+         Regions[0].HasPolyvariantDivision
+             ? "yes — the merge point is analyzed under two divisions"
+             : "no");
+
+  auto Dyn = Ctx.buildDynamic();
+  vm::VM &M = *Dyn->Machine;
+  const int N = 6;
+  int64_t Scale = M.allocMemory(4);
+  int64_t Xs = M.allocMemory(N);
+  int64_t Out = M.allocMemory(N * 4);
+  const double Sc[4] = {0.0, 1.0, 2.0, 0.5};
+  for (int I = 0; I != 4; ++I)
+    M.memory()[Scale + I] = Word::fromFloat(Sc[I]);
+  for (int I = 0; I != N; ++I)
+    M.memory()[Xs + I] = Word::fromFloat(1.0 + I);
+
+  // mode == 1: the scale table is promoted and its zeroes/ones fold.
+  M.run(Dyn->findFunction("apply"),
+        {Word::fromInt(1), Word::fromInt(Scale), Word::fromInt(Xs),
+         Word::fromInt(Out), Word::fromInt(N)});
+  const runtime::RegionStats &St1 = Dyn->RT->stats(0);
+  printf("mode=1 (specialized path): %llu instructions generated, "
+         "zcp=%llu, static loads=%llu\n",
+         (unsigned long long)St1.InstructionsGenerated,
+         (unsigned long long)St1.ZcpApplied,
+         (unsigned long long)St1.StaticLoadsExecuted);
+
+  // mode == 0: the other division — the table stays dynamic.
+  M.run(Dyn->findFunction("apply"),
+        {Word::fromInt(0), Word::fromInt(Scale), Word::fromInt(Xs),
+         Word::fromInt(Out), Word::fromInt(N)});
+  const runtime::RegionStats &St0 = Dyn->RT->stats(0);
+  printf("mode=0 (generic path):     %llu instructions generated in "
+         "total (second specialization reuses nothing)\n",
+         (unsigned long long)St0.InstructionsGenerated);
+
+  printf("\nresidual code (both specializations share the region "
+         "buffer):\n\n%s", Dyn->RT->disassembleRegion(0).c_str());
+  return 0;
+}

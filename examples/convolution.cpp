@@ -1,0 +1,105 @@
+//===- examples/convolution.cpp - The paper's Figures 2-4, reproduced ------------===//
+//
+// Figure 2 of the paper annotates an image-convolution routine; Figure 3
+// shows the partially optimized dynamic region (loops unrolled, constants
+// instantiated); Figure 4 shows the fully optimized region after dynamic
+// zero/copy propagation and dead-assignment elimination removed the
+// multiplies by 0.0 and 1.0 and the loads feeding them. This example
+// reproduces all three views for the paper's 3x3 alternating-0/1 kernel
+// ("zeroes in the corners").
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+static const char *Source = R"(
+void do_convol(double* image, int irows, int icols,
+               double* cmatrix, int crows, int ccols,
+               double* outbuf) {
+  int crow;
+  int ccol;
+  make_static(cmatrix, crows, ccols, crow, ccol : cache_one_unchecked);
+  int crowso2 = crows / 2;
+  int ccolso2 = ccols / 2;
+  int irow;
+  int icol;
+  for (irow = crowso2; irow < irows - crowso2; irow = irow + 1) {
+    int rowbase = irow - crowso2;
+    for (icol = ccolso2; icol < icols - ccolso2; icol = icol + 1) {
+      int colbase = icol - ccolso2;
+      double sum = 0.0;
+      for (crow = 0; crow < crows; crow = crow + 1) {
+        for (ccol = 0; ccol < ccols; ccol = ccol + 1) {
+          double weight = cmatrix@[crow * ccols + ccol];
+          double x = image[(rowbase + crow) * icols + (colbase + ccol)];
+          double weighted_x = x * weight;
+          sum = sum + weighted_x;
+        }
+      }
+      outbuf[irow * icols + icol] = sum;
+    }
+  }
+}
+)";
+
+static void runConfig(const char *Title, const OptFlags &Flags) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(Source, Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "error: %s\n", E.c_str());
+    return;
+  }
+  auto Dyn = Ctx.buildDynamic(Flags);
+  vm::VM &M = *Dyn->Machine;
+  const int R = 8, C = 8;
+  int64_t Image = M.allocMemory(R * C);
+  int64_t CMat = M.allocMemory(9);
+  int64_t Out = M.allocMemory(R * C);
+  // Figure 3's kernel: alternating zeroes and ones, zeroes in the corners.
+  const double K[9] = {0, 1, 0, 1, 0, 1, 0, 1, 0};
+  for (int I = 0; I != 9; ++I)
+    M.memory()[CMat + I] = Word::fromFloat(K[I]);
+  DeterministicRNG RNG(7);
+  for (int I = 0; I != R * C; ++I)
+    M.memory()[Image + I] = Word::fromFloat(RNG.nextDouble());
+
+  int F = Dyn->findFunction("do_convol");
+  M.run(F, {Word::fromInt(Image), Word::fromInt(R), Word::fromInt(C),
+            Word::fromInt(CMat), Word::fromInt(3), Word::fromInt(3),
+            Word::fromInt(Out)});
+
+  const runtime::RegionStats &St = Dyn->RT->stats(0);
+  printf("==== %s ====\n", Title);
+  printf("instructions generated: %llu  (zcp: %llu, dead assignments "
+         "eliminated: %llu)\n\n",
+         (unsigned long long)St.InstructionsGenerated,
+         (unsigned long long)St.ZcpApplied,
+         (unsigned long long)St.DeadAssignsEliminated);
+  printf("%s\n", Dyn->RT->disassembleRegion(0).c_str());
+}
+
+int main() {
+  printf("The paper's running example: 3x3 convolution kernel with "
+         "alternating 0/1 weights.\n\n");
+
+  OptFlags Fig3; // "Partially Dynamically Optimized Region" (Figure 3)
+  Fig3.ZeroCopyPropagation = false;
+  Fig3.DeadAssignmentElimination = false;
+  runConfig("Figure 3: unrolled, constants instantiated (no ZCP/DAE)",
+            Fig3);
+
+  OptFlags Fig4; // "Fully Dynamically Optimized Region" (Figure 4)
+  runConfig("Figure 4: with dynamic zero/copy propagation + "
+            "dead-assignment elimination",
+            Fig4);
+
+  printf("Note how every multiply by 0.0 disappeared together with its "
+         "image load, and each\nmultiply by 1.0 turned into a direct "
+         "accumulation of the loaded pixel (copy propagated).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/interpreter.cpp - Compiling an interpreter away ------------------===//
+//
+// The mipsi idiom (paper sections 2.2.4 and 4.4.1): specializing an
+// interpreter for its (static) input program multi-way-unrolls the
+// fetch-decode-execute loop over the program counter, turning the
+// interpreter into compiled code for the interpreted program. Backward
+// jumps in the interpreted program become real backward branches in the
+// generated code — the "directed graph of unrolled loop bodies".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+static const char *Source = R"(
+/* A tiny accumulator machine. ops: 0 = load imm, 1 = add mem[c],
+   2 = store mem[c], 3 = loop (decrement mem[c]; branch to a if > 0),
+   4 = halt. Encoded as (op, a, c) triples. */
+int run(int* prog, int nprog, int* mem) {
+  int pc = 0;
+  make_static(prog, nprog, pc);
+  int acc = 0;
+  while (pc < nprog) {
+    int op = prog@[pc * 3];
+    int a  = prog@[pc * 3 + 1];
+    int c  = prog@[pc * 3 + 2];
+    if (op == 0) { acc = c; pc = pc + 1; }
+    else { if (op == 1) { acc = acc + mem[c]; pc = pc + 1; }
+    else { if (op == 2) { mem[c] = acc; pc = pc + 1; }
+    else { if (op == 3) {
+      mem[c] = mem[c] - 1;
+      if (mem[c] > 0) { pc = a; } else { pc = pc + 1; }
+    }
+    else { pc = nprog; } } } }
+  }
+  return acc;
+}
+)";
+
+int main() {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(Source, Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  auto Static = Ctx.buildStatic();
+  auto Dyn = Ctx.buildDynamic();
+
+  // The interpreted program:  acc = 5; loop 3 times { acc += mem[1];
+  // store acc to mem[2] }; halt.
+  const int64_t Prog[][3] = {
+      {0, 0, 5}, // 0: acc = 5
+      {1, 0, 1}, // 1: acc += mem[1]
+      {2, 0, 2}, // 2: mem[2] = acc
+      {3, 1, 0}, // 3: if (--mem[0] > 0) goto 1
+      {4, 0, 0}, // 4: halt
+  };
+  const int N = 5;
+
+  auto Setup = [&](vm::VM &M, int64_t &P, int64_t &Mem0) {
+    P = M.allocMemory(N * 3);
+    Mem0 = M.allocMemory(8);
+    for (int I = 0; I != N; ++I)
+      for (int J = 0; J != 3; ++J)
+        M.memory()[P + I * 3 + J] = Word::fromInt(Prog[I][J]);
+    M.memory()[Mem0 + 0] = Word::fromInt(3);  // loop counter
+    M.memory()[Mem0 + 1] = Word::fromInt(10); // addend
+  };
+
+  int64_t PS, MS, PD, MD;
+  Setup(*Static->Machine, PS, MS);
+  Setup(*Dyn->Machine, PD, MD);
+
+  int F = Static->findFunction("run");
+  Word S = Static->Machine->run(
+      F, {Word::fromInt(PS), Word::fromInt(N), Word::fromInt(MS)});
+  Word D = Dyn->Machine->run(
+      F, {Word::fromInt(PD), Word::fromInt(N), Word::fromInt(MD)});
+  printf("interpreted result: static = %lld, dynamic = %lld\n\n",
+         (long long)S.asInt(), (long long)D.asInt());
+
+  printf("The interpreter, specialized for this program (note the real "
+         "backward branch\nwhere the interpreted loop jumps back — "
+         "multi-way unrolling):\n\n%s\n",
+         Dyn->RT->disassembleRegion(0).c_str());
+
+  const runtime::RegionStats &St = Dyn->RT->stats(0);
+  printf("static loads (instruction fetches done at compile time): %llu\n",
+         (unsigned long long)St.StaticLoadsExecuted);
+  printf("folded decode branches: %llu, emitted run-time branches: %llu\n",
+         (unsigned long long)St.BranchesFolded,
+         (unsigned long long)St.DynamicBranchesEmitted);
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- examples/quickstart.cpp - Five-minute tour of the DyC API ----------------===//
+//
+// Compiles an annotated MiniC function, builds the statically compiled
+// baseline and the dynamically compiled configuration, runs both, and
+// shows the specialized code and the cycle counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+
+#include <cstdio>
+
+using namespace dyc;
+
+// A power routine specialized on the (run-time constant) exponent: the
+// classic selective-specialization example. make_static(n, i) asks DyC to
+// specialize on n and to completely unroll the loop over i; the cache_one
+// policy keeps a single checked entry (use cache_all to memoize many
+// exponents, or cache_one_unchecked when the exponent can never change).
+static const char *Source = R"(
+int power(int base, int n) {
+  int i;
+  make_static(n, i : cache_one);
+  int result = 1;
+  for (i = 0; i < n; i = i + 1) {
+    result = result * base;
+  }
+  return result;
+}
+)";
+
+int main() {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(Source, Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
+  auto Static = Ctx.buildStatic();
+  auto Dynamic = Ctx.buildDynamic();
+
+  int F = Static->findFunction("power");
+  std::vector<Word> Args = {Word::fromInt(3), Word::fromInt(12)};
+
+  Word S = Static->Machine->run(F, Args);
+  Word D = Dynamic->Machine->run(F, Args); // specializes for n == 12
+  printf("power(3, 12): static = %lld, dynamic = %lld\n",
+         (long long)S.asInt(), (long long)D.asInt());
+
+  printf("\nSpecialized code for n == 12 (the loop has been completely "
+         "unrolled;\nmultiplies by the static induction variable folded "
+         "away):\n\n%s\n",
+         Dynamic->RT->disassembleRegion(0).c_str());
+
+  // Time both per invocation on the deterministic machine.
+  auto Time = [&](core::Executable &E) {
+    uint64_t C0 = E.Machine->execCycles();
+    for (int I = 0; I != 100; ++I)
+      E.Machine->run(F, Args);
+    return (E.Machine->execCycles() - C0) / 100;
+  };
+  uint64_t SC = Time(*Static), DC = Time(*Dynamic);
+  printf("cycles per invocation: static %llu, dynamic %llu  (%.2fx)\n",
+         (unsigned long long)SC, (unsigned long long)DC,
+         (double)SC / (double)DC);
+  printf("dynamic-compilation overhead: %llu cycles\n",
+         (unsigned long long)Dynamic->Machine->dynCompCycles());
+
+  // A second exponent triggers a fresh specialization; the cache keeps
+  // both (cache_all policy).
+  std::vector<Word> Args2 = {Word::fromInt(3), Word::fromInt(5)};
+  printf("\npower(3, 5) = %lld (cache_one evicts and respecializes)\n",
+         (long long)Dynamic->Machine->run(F, Args2).asInt());
+  const runtime::RegionStats &St = Dynamic->RT->stats(0);
+  printf("specializations: %llu, cache hits: %llu\n",
+         (unsigned long long)St.SpecializationRuns,
+         (unsigned long long)St.CacheHits);
+  return 0;
+}

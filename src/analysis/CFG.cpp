@@ -1,0 +1,49 @@
+//===- analysis/CFG.cpp --------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+namespace dyc {
+namespace analysis {
+
+using ir::BlockId;
+
+CFG::CFG(const ir::Function &F) {
+  size_t N = F.numBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  RPOIndex.assign(N, -1);
+
+  for (BlockId B = 0; B != N; ++B)
+    F.block(B).appendSuccessors(Succs[B]);
+  for (BlockId B = 0; B != N; ++B)
+    for (BlockId S : Succs[B])
+      Preds[S].push_back(B);
+
+  // Iterative postorder DFS from the entry.
+  std::vector<ir::BlockId> Post;
+  std::vector<uint8_t> State(N, 0); // 0 unseen, 1 on stack, 2 done
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Succs[B].size()) {
+      BlockId S = Succs[B][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[B] = 2;
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+
+  RPO.assign(Post.rbegin(), Post.rend());
+  for (size_t I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = static_cast<int>(I);
+}
+
+} // namespace analysis
+} // namespace dyc

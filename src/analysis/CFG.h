@@ -1,0 +1,56 @@
+//===- analysis/CFG.h - Control-flow-graph utilities --------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived CFG structure for a function: successor/predecessor lists,
+/// reverse postorder, and reachability. All analyses start here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_ANALYSIS_CFG_H
+#define DYC_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dyc {
+namespace analysis {
+
+/// Successors, predecessors, and orderings for a function's CFG.
+class CFG {
+public:
+  explicit CFG(const ir::Function &F);
+
+  const std::vector<ir::BlockId> &succs(ir::BlockId B) const {
+    return Succs[B];
+  }
+  const std::vector<ir::BlockId> &preds(ir::BlockId B) const {
+    return Preds[B];
+  }
+
+  /// Blocks in reverse postorder from the entry; unreachable blocks are
+  /// absent.
+  const std::vector<ir::BlockId> &rpo() const { return RPO; }
+
+  /// Position of \p B in the RPO sequence, or -1 if unreachable.
+  int rpoIndex(ir::BlockId B) const { return RPOIndex[B]; }
+
+  bool isReachable(ir::BlockId B) const { return RPOIndex[B] >= 0; }
+
+  size_t numBlocks() const { return Succs.size(); }
+
+private:
+  std::vector<std::vector<ir::BlockId>> Succs;
+  std::vector<std::vector<ir::BlockId>> Preds;
+  std::vector<ir::BlockId> RPO;
+  std::vector<int> RPOIndex;
+};
+
+} // namespace analysis
+} // namespace dyc
+
+#endif // DYC_ANALYSIS_CFG_H

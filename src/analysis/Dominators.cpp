@@ -1,0 +1,63 @@
+//===- analysis/Dominators.cpp -------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+namespace dyc {
+namespace analysis {
+
+using ir::BlockId;
+using ir::NoBlock;
+
+Dominators::Dominators(const ir::Function &F, const CFG &G) : G(G) {
+  size_t N = F.numBlocks();
+  IDom.assign(N, NoBlock);
+  if (G.rpo().empty())
+    return;
+  BlockId Entry = G.rpo().front();
+  IDom[Entry] = Entry;
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (G.rpoIndex(A) > G.rpoIndex(B))
+        A = IDom[A];
+      while (G.rpoIndex(B) > G.rpoIndex(A))
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : G.rpo()) {
+      if (B == Entry)
+        continue;
+      BlockId NewIDom = NoBlock;
+      for (BlockId P : G.preds(B)) {
+        if (IDom[P] == NoBlock)
+          continue; // not yet processed / unreachable
+        NewIDom = NewIDom == NoBlock ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != NoBlock && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(BlockId A, BlockId B) const {
+  if (IDom[B] == NoBlock)
+    return false; // unreachable
+  BlockId Entry = G.rpo().front();
+  while (true) {
+    if (B == A)
+      return true;
+    if (B == Entry)
+      return false;
+    B = IDom[B];
+  }
+}
+
+} // namespace analysis
+} // namespace dyc

@@ -1,0 +1,42 @@
+//===- analysis/Dominators.h - Dominator tree ---------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm
+/// over reverse postorder. Natural-loop detection (LoopInfo) builds on the
+/// dominance query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_ANALYSIS_DOMINATORS_H
+#define DYC_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace dyc {
+namespace analysis {
+
+/// Dominator tree of a function's CFG.
+class Dominators {
+public:
+  Dominators(const ir::Function &F, const CFG &G);
+
+  /// Immediate dominator of \p B; the entry's idom is itself. NoBlock for
+  /// unreachable blocks.
+  ir::BlockId idom(ir::BlockId B) const { return IDom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(ir::BlockId A, ir::BlockId B) const;
+
+private:
+  const CFG &G;
+  std::vector<ir::BlockId> IDom;
+};
+
+} // namespace analysis
+} // namespace dyc
+
+#endif // DYC_ANALYSIS_DOMINATORS_H

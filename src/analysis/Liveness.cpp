@@ -1,0 +1,77 @@
+//===- analysis/Liveness.cpp -----------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+namespace dyc {
+namespace analysis {
+
+using ir::BlockId;
+using ir::Reg;
+
+Liveness::Liveness(const ir::Function &F, const CFG &G) : G(G) {
+  size_t N = F.numBlocks();
+  size_t R = F.numRegs();
+  LiveIn.assign(N, BitVector(R));
+  LiveOut.assign(N, BitVector(R));
+
+  // Per-block use (upward-exposed) and def sets.
+  std::vector<BitVector> Use(N, BitVector(R));
+  std::vector<BitVector> Def(N, BitVector(R));
+  std::vector<Reg> Uses;
+  for (BlockId B = 0; B != N; ++B) {
+    for (const ir::Instruction &I : F.block(B).Instrs) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg U : Uses)
+        if (!Def[B].test(U))
+          Use[B].set(U);
+      if (I.definesReg())
+        Def[B].set(I.Dst);
+    }
+  }
+
+  // Iterate to fixpoint, visiting blocks in reverse RPO (approximate
+  // postorder) for fast convergence.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = G.rpo().rbegin(); It != G.rpo().rend(); ++It) {
+      BlockId B = *It;
+      BitVector Out(R);
+      for (BlockId S : G.succs(B))
+        Out.unionWith(LiveIn[S]);
+      BitVector In = Out;
+      In.subtract(Def[B]);
+      In.unionWith(Use[B]);
+      if (!(Out == LiveOut[B])) {
+        LiveOut[B] = std::move(Out);
+        Changed = true;
+      }
+      if (!(In == LiveIn[B])) {
+        LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+BitVector Liveness::liveBefore(const ir::Function &F, BlockId B,
+                               size_t Idx) const {
+  BitVector Live = LiveOut[B];
+  const ir::BasicBlock &BB = F.block(B);
+  assert(Idx <= BB.Instrs.size() && "instruction index out of range");
+  std::vector<Reg> Uses;
+  for (size_t I = BB.Instrs.size(); I-- > Idx;) {
+    const ir::Instruction &In = BB.Instrs[I];
+    if (In.definesReg())
+      Live.reset(In.Dst);
+    Uses.clear();
+    In.appendUses(Uses);
+    for (Reg U : Uses)
+      Live.set(U);
+  }
+  return Live;
+}
+
+} // namespace analysis
+} // namespace dyc

@@ -1,0 +1,84 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+
+namespace dyc {
+namespace analysis {
+
+using ir::BlockId;
+
+LoopInfo::LoopInfo(const ir::Function &F, const CFG &G, const Dominators &D) {
+  // Find back edges (S -> H where H dominates S); grow each loop body by
+  // walking predecessors from the latch up to the header.
+  for (BlockId B : G.rpo()) {
+    for (BlockId S : G.succs(B)) {
+      if (!D.dominates(S, B))
+        continue;
+      BlockId Header = S;
+      Loop *L = nullptr;
+      for (Loop &Existing : Loops)
+        if (Existing.Header == Header)
+          L = &Existing;
+      if (!L) {
+        Loops.emplace_back();
+        L = &Loops.back();
+        L->Header = Header;
+        L->Blocks.push_back(Header);
+      }
+      L->Latches.push_back(B);
+
+      std::vector<BlockId> Work;
+      if (!L->contains(B)) {
+        L->Blocks.push_back(B);
+        Work.push_back(B);
+      }
+      while (!Work.empty()) {
+        BlockId X = Work.back();
+        Work.pop_back();
+        for (BlockId P : G.preds(X)) {
+          if (!G.isReachable(P) || L->contains(P))
+            continue;
+          L->Blocks.push_back(P);
+          Work.push_back(P);
+        }
+      }
+    }
+  }
+  for (Loop &L : Loops) {
+    std::sort(L.Blocks.begin(), L.Blocks.end());
+    std::sort(L.Latches.begin(), L.Latches.end());
+  }
+}
+
+const Loop *LoopInfo::loopAtHeader(BlockId B) const {
+  for (const Loop &L : Loops)
+    if (L.Header == B)
+      return &L;
+  return nullptr;
+}
+
+bool LoopInfo::inAnyLoop(BlockId B) const {
+  for (const Loop &L : Loops)
+    if (L.contains(B))
+      return true;
+  return false;
+}
+
+std::vector<ir::Reg> LoopInfo::loopVariantRegs(const ir::Function &F,
+                                               BlockId Header) const {
+  std::vector<ir::Reg> Out;
+  const Loop *L = loopAtHeader(Header);
+  if (!L)
+    return Out;
+  for (BlockId B : L->Blocks)
+    for (const ir::Instruction &I : F.block(B).Instrs)
+      if (I.definesReg() &&
+          std::find(Out.begin(), Out.end(), I.Dst) == Out.end())
+        Out.push_back(I.Dst);
+  return Out;
+}
+
+} // namespace analysis
+} // namespace dyc

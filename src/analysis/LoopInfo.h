@@ -1,0 +1,67 @@
+//===- analysis/LoopInfo.h - Natural-loop detection ----------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from dominator-based back-edge detection. The BTA uses
+/// loop membership in two ways: to decide which registers are loop-variant
+/// (so that disabling complete loop unrolling demotes them at the loop
+/// head — Table 5's "without complete loop unrolling" column), and to
+/// classify a region's unrolling as single-way vs. multi-way (Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_ANALYSIS_LOOPINFO_H
+#define DYC_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace dyc {
+namespace analysis {
+
+/// One natural loop.
+struct Loop {
+  ir::BlockId Header = ir::NoBlock;
+  /// Blocks in the loop, header included.
+  std::vector<ir::BlockId> Blocks;
+  /// Back-edge sources (latches).
+  std::vector<ir::BlockId> Latches;
+
+  bool contains(ir::BlockId B) const {
+    for (ir::BlockId X : Blocks)
+      if (X == B)
+        return true;
+    return false;
+  }
+};
+
+/// All natural loops of a function. Loops sharing a header are merged.
+class LoopInfo {
+public:
+  LoopInfo(const ir::Function &F, const CFG &G, const Dominators &D);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Returns the loop headed at \p B, or null.
+  const Loop *loopAtHeader(ir::BlockId B) const;
+
+  /// True if \p B is inside any loop.
+  bool inAnyLoop(ir::BlockId B) const;
+
+  /// Registers assigned anywhere inside the loop headed at \p Header
+  /// (the loop-variant set used for unrolling decisions).
+  std::vector<ir::Reg> loopVariantRegs(const ir::Function &F,
+                                       ir::BlockId Header) const;
+
+private:
+  std::vector<Loop> Loops;
+};
+
+} // namespace analysis
+} // namespace dyc
+
+#endif // DYC_ANALYSIS_LOOPINFO_H

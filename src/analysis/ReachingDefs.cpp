@@ -1,0 +1,115 @@
+//===- analysis/ReachingDefs.cpp ---------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+namespace dyc {
+namespace analysis {
+
+using ir::BlockId;
+using ir::Reg;
+
+ReachingDefs::ReachingDefs(const ir::Function &F, const CFG &G) {
+  size_t N = F.numBlocks();
+  SitesOfReg.resize(F.numRegs());
+
+  for (BlockId B = 0; B != N; ++B) {
+    const ir::BasicBlock &BB = F.block(B);
+    for (uint32_t I = 0; I != BB.Instrs.size(); ++I) {
+      const ir::Instruction &In = BB.Instrs[I];
+      if (!In.definesReg())
+        continue;
+      SitesOfReg[In.Dst].push_back(static_cast<uint32_t>(Sites.size()));
+      Sites.push_back({B, I, In.Dst});
+    }
+  }
+  // Function parameters act as implicit definitions at entry; model them
+  // as virtual def sites attached to the entry block, index -1 (position
+  // before instruction 0).
+  for (Reg P = 0; P != F.NumParams; ++P) {
+    SitesOfReg[P].push_back(static_cast<uint32_t>(Sites.size()));
+    Sites.push_back({0, 0xffffffffu, P});
+  }
+
+  size_t S = Sites.size();
+  In.assign(N, BitVector(S));
+  Out.assign(N, BitVector(S));
+
+  std::vector<BitVector> Gen(N, BitVector(S));
+  std::vector<BitVector> Kill(N, BitVector(S));
+  for (uint32_t SiteIdx = 0; SiteIdx != S; ++SiteIdx) {
+    const DefSite &D = Sites[SiteIdx];
+    // Within a block, later defs of the same reg supersede earlier ones.
+    bool Killed = false;
+    const ir::BasicBlock &BB = F.block(D.Block);
+    uint32_t From = D.InstrIdx == 0xffffffffu ? 0 : D.InstrIdx + 1;
+    for (uint32_t I = From; I != BB.Instrs.size(); ++I)
+      if (BB.Instrs[I].definesReg() && BB.Instrs[I].Dst == D.Defined) {
+        Killed = true;
+        break;
+      }
+    if (!Killed)
+      Gen[D.Block].set(SiteIdx);
+    for (uint32_t Other : SitesOfReg[D.Defined])
+      if (Other != SiteIdx)
+        Kill[D.Block].set(Other);
+  }
+
+  // Parameter pseudo-defs reach the entry block's In set.
+  BitVector ParamBits(S);
+  for (uint32_t SiteIdx = 0; SiteIdx != S; ++SiteIdx)
+    if (Sites[SiteIdx].InstrIdx == 0xffffffffu)
+      ParamBits.set(SiteIdx);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : G.rpo()) {
+      BitVector NewIn(S);
+      if (B == 0)
+        NewIn.unionWith(ParamBits);
+      for (BlockId P : G.preds(B))
+        NewIn.unionWith(Out[P]);
+      BitVector NewOut = NewIn;
+      NewOut.subtract(Kill[B]);
+      NewOut.unionWith(Gen[B]);
+      if (!(NewIn == In[B])) {
+        In[B] = std::move(NewIn);
+        Changed = true;
+      }
+      if (!(NewOut == Out[B])) {
+        Out[B] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}
+
+int ReachingDefs::uniqueReachingDef(const ir::Function &F, BlockId B,
+                                    size_t Idx, Reg R) const {
+  // A local def earlier in the block wins.
+  const ir::BasicBlock &BB = F.block(B);
+  for (size_t I = Idx; I-- > 0;) {
+    const ir::Instruction &In = BB.Instrs[I];
+    if (In.definesReg() && In.Dst == R) {
+      for (uint32_t SiteIdx : SitesOfReg[R]) {
+        const DefSite &D = Sites[SiteIdx];
+        if (D.Block == B && D.InstrIdx == I)
+          return static_cast<int>(SiteIdx);
+      }
+      return -1;
+    }
+  }
+  // Otherwise all defs reaching block entry.
+  int Found = -1;
+  for (uint32_t SiteIdx : SitesOfReg[R]) {
+    if (!In[B].test(SiteIdx))
+      continue;
+    if (Found >= 0)
+      return -1; // more than one
+    Found = static_cast<int>(SiteIdx);
+  }
+  return Found;
+}
+
+} // namespace analysis
+} // namespace dyc

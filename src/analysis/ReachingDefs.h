@@ -1,0 +1,58 @@
+//===- analysis/ReachingDefs.h - Reaching-definitions analysis ------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward reaching-definitions dataflow over definition sites. The global
+/// constant- and copy-propagation passes (the "traditional optimizations"
+/// DyC applies before binding-time analysis) query it to prove that a use
+/// sees exactly one definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_ANALYSIS_REACHINGDEFS_H
+#define DYC_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/CFG.h"
+#include "support/BitVector.h"
+
+namespace dyc {
+namespace analysis {
+
+/// One definition site.
+struct DefSite {
+  ir::BlockId Block = ir::NoBlock;
+  uint32_t InstrIdx = 0;
+  ir::Reg Defined = ir::NoReg;
+};
+
+/// Reaching definitions, numbering every instruction that defines a
+/// register.
+class ReachingDefs {
+public:
+  ReachingDefs(const ir::Function &F, const CFG &G);
+
+  const std::vector<DefSite> &defSites() const { return Sites; }
+
+  /// Definitions reaching the entry of \p B.
+  const BitVector &reachIn(ir::BlockId B) const { return In[B]; }
+
+  /// If exactly one definition of \p R reaches the use at (\p B, \p Idx),
+  /// returns its def-site index; otherwise -1. Local definitions earlier in
+  /// the block take precedence.
+  int uniqueReachingDef(const ir::Function &F, ir::BlockId B, size_t Idx,
+                        ir::Reg R) const;
+
+private:
+  std::vector<DefSite> Sites;
+  std::vector<std::vector<uint32_t>> SitesOfReg; // reg -> site indices
+  std::vector<BitVector> In;
+  std::vector<BitVector> Out;
+};
+
+} // namespace analysis
+} // namespace dyc
+
+#endif // DYC_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,123 @@
+//===- bta/BindingTime.h - BTA result structures ---------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Results of the binding-time analysis for one annotated function.
+///
+/// The unit of analysis is the *context*: a (block, static-variable-set)
+/// pair. Program-point-specific polyvariant division (paper section 2.2.5)
+/// falls out of letting one block own several contexts with different
+/// static sets. The run-time specializer later instantiates each context
+/// once per distinct tuple of static-variable *values* — that is
+/// polyvariant specialization, and iterated over loop back edges it is
+/// exactly complete loop unrolling (section 2.2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_BTA_BINDINGTIME_H
+#define DYC_BTA_BINDINGTIME_H
+
+#include "ir/Module.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dyc {
+namespace bta {
+
+constexpr uint32_t NoCtx = 0xffffffffu;
+
+/// How control leaves a context along one CFG edge.
+struct Edge {
+  enum Kind : uint8_t {
+    None, ///< edge absent (e.g. Ret terminator)
+    Ctx,  ///< continues specialization in another context
+    Exit, ///< leaves the dynamic region; resume native code at Block
+    Promo ///< dynamic-to-static promotion: dispatch through PromoIdx
+  } K = None;
+  uint32_t Target = NoCtx;      ///< context id (Ctx) or promo target (Promo)
+  ir::BlockId Block = ir::NoBlock; ///< exit resume block (Exit)
+  uint32_t PromoIdx = 0;        ///< index into RegionInfo::Promos (Promo)
+  /// Static registers demoted across this edge while still live at the
+  /// target: the specializer materializes their values into the run-time
+  /// registers before transferring control (the static-to-dynamic
+  /// boundary handling the paper calls out under linearization costs).
+  std::vector<ir::Reg> Materialize;
+};
+
+/// One (block, static set) analysis context.
+struct Context {
+  uint32_t Id = 0;
+  ir::BlockId Block = ir::NoBlock;
+  /// Static registers at block entry (annotation vars of a leading
+  /// make_static included).
+  BitVector StaticIn;
+  /// Per-instruction: true if the instruction is a static computation
+  /// (executed at specialize time); annotations count as static.
+  std::vector<uint8_t> InstIsStatic;
+  /// Per-instruction static set *before* that instruction executes.
+  std::vector<BitVector> PreSets;
+  /// Static set after the last instruction.
+  BitVector StaticOut;
+  /// For CondBr terminators: condition is static (branch folds away).
+  bool TermCondStatic = false;
+  Edge TrueEdge, FalseEdge; ///< Br uses TrueEdge only.
+};
+
+/// A promotion point: where specialization (re)starts on run-time values.
+struct PromoPoint {
+  uint32_t Id = 0;
+  /// The promotion block (starts with make_static).
+  ir::BlockId Block = ir::NoBlock;
+  /// Context specialization continues in.
+  uint32_t TargetCtx = NoCtx;
+  /// Registers whose values are read from the run-time frame at dispatch
+  /// (the variables being promoted), ascending.
+  std::vector<ir::Reg> KeyRegs;
+  /// Already-static registers whose specialize-time values are baked into
+  /// the cache key (empty for native entries).
+  std::vector<ir::Reg> BakedRegs;
+  ir::CachePolicy Policy = ir::CachePolicy::CacheAll;
+  /// For CacheIndexed: position within the composed cache key
+  /// (BakedRegs then KeyRegs) of the index variable — the *last* variable
+  /// of the make_static annotation, which must range over small
+  /// non-negative integers.
+  uint32_t IndexKeyPos = 0;
+  /// True if this promo is a native-code entry into the region (lowered as
+  /// an EnterRegion instruction); false for promo edges reached from
+  /// specialized code.
+  bool IsNativeEntry = false;
+};
+
+/// BTA result for one function's dynamic region system.
+struct RegionInfo {
+  int FuncIdx = -1;
+  std::vector<Context> Contexts;
+  std::vector<PromoPoint> Promos;
+  /// Promo ids of native entries, in RPO order of their blocks; the first
+  /// is "the" region entry for reporting.
+  std::vector<uint32_t> NativeEntries;
+
+  // --- Applicability facts for Table 2 --------------------------------------
+  bool HasStaticLoads = false;     ///< some context classifies a load static
+  bool HasStaticCalls = false;
+  bool UnrollsLoop = false;        ///< a loop with static-variant regs unrolls
+  bool MultiWayUnroll = false;     ///< unrolled loop with in-loop static branch
+  bool HasInternalPromotions = false;
+  bool HasPolyvariantDivision = false; ///< some block owns >1 context
+  bool HasDynBranchInRegion = false;   ///< emitted dynamic branches exist
+
+  const Context &context(uint32_t Id) const {
+    assert(Id < Contexts.size() && "context id out of range");
+    return Contexts[Id];
+  }
+};
+
+} // namespace bta
+} // namespace dyc
+
+#endif // DYC_BTA_BINDINGTIME_H

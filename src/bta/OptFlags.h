@@ -1,0 +1,60 @@
+//===- bta/OptFlags.h - Per-optimization toggles --------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Master switches for each of DyC's staged run-time optimizations. Table 5
+/// of the paper is produced by disabling one at a time. Semantics of each
+/// "off" position follow section 4.4:
+///
+///  * CompleteLoopUnrolling off: loop-variant variables are demoted to
+///    dynamic at loop heads, so loops are specialized once instead of
+///    being completely unrolled.
+///  * StaticLoads off: `@` annotations are ignored; loads are dynamic.
+///  * StaticCalls off: pure-call annotations are ignored.
+///  * UncheckedDispatching off: every promotion point uses the safe
+///    cache-all (double-hashed) policy regardless of annotation.
+///  * ZeroCopyPropagation off: emit-time 0/1 operand checks are skipped
+///    (multiplies by 0/1 are emitted as-is; strength reduction may still
+///    rewrite them if enabled).
+///  * DeadAssignmentElimination off: zero/copy propagation still replaces
+///    operations with moves/clears, but the moves are materialized
+///    immediately instead of deferred-and-possibly-dropped.
+///  * StrengthReduction off: no emit-time power-of-two rewrites or
+///    immediate-field packing of static operands.
+///  * InternalPromotions off: a make_static of a dynamic value in the
+///    middle of a region is ignored.
+///  * PolyvariantDivision off: a program point keeps a single division;
+///    divisions meeting at a point are intersected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_BTA_OPTFLAGS_H
+#define DYC_BTA_OPTFLAGS_H
+
+namespace dyc {
+
+/// DyC optimization toggles (all on by default, the paper's "with all
+/// optimizations" configuration).
+struct OptFlags {
+  bool CompleteLoopUnrolling = true;
+  bool StaticLoads = true;
+  bool StaticCalls = true;
+  bool UncheckedDispatching = true;
+  bool ZeroCopyPropagation = true;
+  bool DeadAssignmentElimination = true;
+  bool StrengthReduction = true;
+  bool InternalPromotions = true;
+  bool PolyvariantDivision = true;
+
+  /// Named accessors for the ablation harness (Table 5 columns).
+  static constexpr unsigned NumToggles = 9;
+  static const char *toggleName(unsigned Idx);
+  bool &toggle(unsigned Idx);
+};
+
+} // namespace dyc
+
+#endif // DYC_BTA_OPTFLAGS_H

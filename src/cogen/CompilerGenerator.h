@@ -1,0 +1,39 @@
+//===- cogen/CompilerGenerator.h - Dynamic-compiler generator --------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds generating extensions: the static compile-time component that
+/// turns BTA results into per-context set-up/emit programs the run-time
+/// specializer executes directly (paper section 2.1, final bullet: "a
+/// custom dynamic compiler for each dynamic region (also called a
+/// generating extension) is built simply by inserting emit code sequences
+/// into the set-up code").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_COGEN_COMPILERGENERATOR_H
+#define DYC_COGEN_COMPILERGENERATOR_H
+
+#include "bta/OptFlags.h"
+#include "cogen/GenExt.h"
+#include "cogen/Lowering.h"
+
+namespace dyc {
+namespace cogen {
+
+/// Builds the generating extension for annotated function \p F.
+/// \p Region is consumed (moved into the result).
+GenExtFunction buildGenExt(const ir::Function &F, const ir::Module &M,
+                           bta::RegionInfo Region,
+                           const LoweredFunction &LF, const OptFlags &Flags);
+
+/// Debug rendering of a generating extension.
+std::string printGenExt(const GenExtFunction &GX, const ir::Function &F);
+
+} // namespace cogen
+} // namespace dyc
+
+#endif // DYC_COGEN_COMPILERGENERATOR_H

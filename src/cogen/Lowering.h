@@ -1,0 +1,66 @@
+//===- cogen/Lowering.h - IR-to-bytecode lowering -------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers IR functions to VM bytecode. Two modes:
+///
+///  * static compile (annotations ignored) — the baseline every
+///    measurement compares against ("compiled by ignoring the annotations",
+///    paper section 3.3), and
+///  * dynamic compile — identical, except each make_static block becomes
+///    an EnterRegion trap (its Imm encodes annotated-function ordinal and
+///    native-entry promotion id).
+///
+/// Lowering performs the immediate-operand selection a real compiler's
+/// code generator would: block-local constants are folded into
+/// reg-immediate instruction forms, and constant materializations whose
+/// only uses were folded are dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_COGEN_LOWERING_H
+#define DYC_COGEN_LOWERING_H
+
+#include "bta/BindingTime.h"
+#include "ir/Module.h"
+#include "vm/VM.h"
+
+#include <vector>
+
+namespace dyc {
+namespace cogen {
+
+/// Per-function results of lowering.
+struct LoweredFunction {
+  uint32_t VMIndex = 0;
+  std::vector<uint32_t> BlockPC; ///< IR block id -> bytecode offset
+  uint32_t StageBase = 0;
+  uint32_t Scratch0 = 0;
+  uint32_t Scratch1 = 0;
+};
+
+/// Lowers every function of \p M into \p Prog (in module order, so module
+/// function indices equal VM function indices; the same holds for
+/// externals, which the caller registers separately).
+///
+/// \p WithRegions selects the dynamic compile; \p Regions (parallel to the
+/// module's functions; entries for unannotated functions have empty
+/// Contexts) supplies native-entry promotion ids. \p AnnotatedOrdinal maps
+/// function index -> dense ordinal of annotated functions, used in the
+/// EnterRegion Imm encoding (ordinal << 16 | promoId).
+std::vector<LoweredFunction>
+lowerModule(const ir::Module &M, vm::Program &Prog, bool WithRegions,
+            const std::vector<bta::RegionInfo> &Regions,
+            const std::vector<int> &AnnotatedOrdinal);
+
+/// Registers the module's externals into \p Prog from the standard
+/// library, asserting that indices line up.
+void bindExternals(const ir::Module &M, vm::Program &Prog);
+
+} // namespace cogen
+} // namespace dyc
+
+#endif // DYC_COGEN_LOWERING_H

@@ -1,0 +1,95 @@
+//===- core/DycContext.h - Public API of the DyC reproduction --------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level entry point a downstream user programs against:
+///
+/// \code
+///   dyc::core::DycContext Ctx;
+///   std::vector<std::string> Errors;
+///   Ctx.compile(MiniCSource, Errors);                 // static pipeline
+///   auto Static = Ctx.buildStatic();                  // baseline
+///   auto Dynamic = Ctx.buildDynamic(dyc::OptFlags{}); // DyC
+///   Word R = Dynamic->Machine->run(Idx, Args);        // runs + specializes
+/// \endcode
+///
+/// compile() runs the full static side of Figure 1: parse, lower,
+/// normalize annotations, traditional optimizations, verification.
+/// buildDynamic() runs BTA, the dynamic-compiler generator, and wires a
+/// DycRuntime into a fresh VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_CORE_DYCCONTEXT_H
+#define DYC_CORE_DYCCONTEXT_H
+
+#include "bta/BTAnalysis.h"
+#include "cogen/CompilerGenerator.h"
+#include "runtime/Specializer.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace core {
+
+/// One runnable configuration of a compiled module. Owns the program, the
+/// machine, and (for dynamic builds) the DyC run-time. Not movable: the
+/// run-time holds references into the program.
+struct Executable {
+  vm::Program Prog;
+  std::unique_ptr<runtime::DycRuntime> RT; ///< null for static builds
+  std::unique_ptr<vm::VM> Machine;
+  std::vector<cogen::LoweredFunction> Lowered;
+  /// Function index -> annotated-region ordinal (-1 if unannotated).
+  std::vector<int> AnnotatedOrdinal;
+
+  Executable() = default;
+  Executable(const Executable &) = delete;
+  Executable &operator=(const Executable &) = delete;
+
+  int findFunction(const std::string &Name) const {
+    return Prog.findFunction(Name);
+  }
+
+  /// Region ordinal of function \p Name, or -1.
+  int regionOrdinalOf(const std::string &Name) const;
+};
+
+/// Compilation context: owns the optimized module.
+class DycContext {
+public:
+  /// Parses, lowers, normalizes, optimizes, and verifies \p Source.
+  /// Returns false (with messages in \p Errors) on failure.
+  bool compile(const std::string &Source, std::vector<std::string> &Errors);
+
+  const ir::Module &module() const { return M; }
+  ir::Module &moduleMutable() { return M; }
+
+  /// Builds the statically compiled configuration (annotations ignored).
+  std::unique_ptr<Executable>
+  buildStatic(const vm::CostModel &CM = vm::CostModel(),
+              const vm::ICacheConfig &IC = vm::ICacheConfig()) const;
+
+  /// Builds the dynamically compiled configuration under \p Flags.
+  std::unique_ptr<Executable>
+  buildDynamic(const OptFlags &Flags = OptFlags(),
+               const vm::CostModel &CM = vm::CostModel(),
+               const vm::ICacheConfig &IC = vm::ICacheConfig()) const;
+
+  /// Runs BTA only (no code generation); one RegionInfo per function.
+  std::vector<bta::RegionInfo> analyze(const OptFlags &Flags) const;
+
+private:
+  ir::Module M;
+};
+
+} // namespace core
+} // namespace dyc
+
+#endif // DYC_CORE_DYCCONTEXT_H

@@ -1,0 +1,154 @@
+//===- core/Harness.cpp --------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+namespace dyc {
+namespace core {
+
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+void compileWorkload(const Workload &W, DycContext &Ctx) {
+  std::vector<std::string> Errors;
+  if (Ctx.compile(W.Source, Errors)) {
+    return;
+  }
+  std::string All = "workload '" + W.Name + "' failed to compile:";
+  for (const std::string &E : Errors)
+    All += "\n  " + E;
+  fatal(All);
+}
+
+namespace {
+
+/// Runs \p Invocations calls of the region function; returns
+/// (execCyclesDelta, lastResult).
+std::pair<uint64_t, Word> timeInvocations(Executable &E, int Func,
+                                          const std::vector<Word> &Args,
+                                          uint64_t Invocations) {
+  uint64_t Start = E.Machine->execCycles();
+  Word Last;
+  for (uint64_t I = 0; I != Invocations; ++I)
+    Last = E.Machine->run(static_cast<uint32_t>(Func), Args);
+  return {E.Machine->execCycles() - Start, Last};
+}
+
+/// Compares the validated output range and a result word.
+bool outputsEqual(Executable &A, Executable &B, const WorkloadSetup &S,
+                  Word RA, Word RB) {
+  if (RA != RB)
+    return false;
+  for (int64_t I = 0; I != S.OutLen; ++I)
+    if (A.Machine->memory()[static_cast<size_t>(S.OutBase + I)] !=
+        B.Machine->memory()[static_cast<size_t>(S.OutBase + I)])
+      return false;
+  return true;
+}
+
+} // namespace
+
+RegionPerf measureRegion(const Workload &W, const OptFlags &Flags,
+                         const vm::CostModel &CM,
+                         const vm::ICacheConfig &IC) {
+  DycContext Ctx;
+  compileWorkload(W, Ctx);
+
+  RegionPerf P;
+
+  auto StaticE = Ctx.buildStatic(CM, IC);
+  WorkloadSetup SS = W.Setup(*StaticE->Machine);
+  int SF = StaticE->findFunction(W.RegionFunc);
+  if (SF < 0)
+    fatal("workload '" + W.Name + "': region function not found");
+  // One discarded warm-up invocation on both configurations (the paper
+  // discards the first run); it also keeps cumulative state symmetric.
+  Word SRes = StaticE->Machine->run(static_cast<uint32_t>(SF),
+                                    SS.RegionArgs);
+  auto [SCycles, SRes1] = timeInvocations(*StaticE, SF, SS.RegionArgs,
+                                          W.RegionInvocations);
+  (void)SRes1;
+  P.StaticCyclesPerInvoke =
+      static_cast<double>(SCycles) / W.RegionInvocations;
+
+  auto DynE = Ctx.buildDynamic(Flags, CM, IC);
+  WorkloadSetup DS = W.Setup(*DynE->Machine);
+  int DF = DynE->findFunction(W.RegionFunc);
+  // First invocation triggers dynamic compilation (overhead is accounted
+  // separately by the VM); subsequent invocations measure steady state.
+  Word DRes = DynE->Machine->run(static_cast<uint32_t>(DF), DS.RegionArgs);
+  auto [DCycles, DRes2] = timeInvocations(*DynE, DF, DS.RegionArgs,
+                                          W.RegionInvocations);
+  (void)DRes2;
+  P.DynCyclesPerInvoke = static_cast<double>(DCycles) / W.RegionInvocations;
+
+  P.AsymptoticSpeedup =
+      P.DynCyclesPerInvoke > 0
+          ? P.StaticCyclesPerInvoke / P.DynCyclesPerInvoke
+          : 0;
+  P.OverheadCycles = DynE->Machine->dynCompCycles();
+  double Gain = P.StaticCyclesPerInvoke - P.DynCyclesPerInvoke;
+  P.BreakEvenInvocations =
+      Gain > 0 ? static_cast<double>(P.OverheadCycles) / Gain : -1.0;
+  P.BreakEvenUnits = P.BreakEvenInvocations >= 0
+                         ? P.BreakEvenInvocations * DS.UnitsPerInvocation
+                         : -1.0;
+  P.UnitName = DS.UnitName;
+
+  int Ord = DynE->regionOrdinalOf(W.RegionFunc);
+  if (Ord >= 0) {
+    P.Stats = DynE->RT->stats(static_cast<size_t>(Ord));
+    P.InstructionsGenerated = P.Stats.InstructionsGenerated;
+    P.OverheadPerInstr =
+        P.InstructionsGenerated
+            ? static_cast<double>(P.OverheadCycles) /
+                  static_cast<double>(P.InstructionsGenerated)
+            : 0;
+  }
+  P.OutputsMatch = outputsEqual(*StaticE, *DynE, SS, SRes, DRes);
+  return P;
+}
+
+WholeProgramPerf measureWholeProgram(const Workload &W, const OptFlags &Flags,
+                                     const vm::CostModel &CM,
+                                     const vm::ICacheConfig &IC) {
+  DycContext Ctx;
+  compileWorkload(W, Ctx);
+  WholeProgramPerf P;
+
+  auto StaticE = Ctx.buildStatic(CM, IC);
+  WorkloadSetup SS = W.Setup(*StaticE->Machine);
+  int SMain = StaticE->findFunction(W.MainFunc);
+  int SRegion = StaticE->findFunction(W.RegionFunc);
+  if (SMain < 0 || SRegion < 0)
+    fatal("workload '" + W.Name + "': driver or region function missing");
+  Word SRes = StaticE->Machine->run(static_cast<uint32_t>(SMain),
+                                    SS.MainArgs);
+  uint64_t STotal = StaticE->Machine->execCycles();
+  uint64_t SRegionCycles =
+      StaticE->Machine->functionStats(static_cast<uint32_t>(SRegion))
+          .InclusiveCycles;
+  for (const std::string &Extra : W.ExtraRegionFuncs) {
+    int EF = StaticE->findFunction(Extra);
+    if (EF >= 0)
+      SRegionCycles +=
+          StaticE->Machine->functionStats(static_cast<uint32_t>(EF))
+              .InclusiveCycles;
+  }
+  P.StaticSeconds = static_cast<double>(STotal) / ClockHz;
+  P.PctInRegion =
+      STotal ? 100.0 * static_cast<double>(SRegionCycles) / STotal : 0;
+
+  auto DynE = Ctx.buildDynamic(Flags, CM, IC);
+  WorkloadSetup DS = W.Setup(*DynE->Machine);
+  int DMain = DynE->findFunction(W.MainFunc);
+  Word DRes = DynE->Machine->run(static_cast<uint32_t>(DMain), DS.MainArgs);
+  uint64_t DTotal =
+      DynE->Machine->execCycles() + DynE->Machine->dynCompCycles();
+  P.DynSeconds = static_cast<double>(DTotal) / ClockHz;
+  P.Speedup = DTotal ? static_cast<double>(STotal) / DTotal : 0;
+  P.OutputsMatch = outputsEqual(*StaticE, *DynE, SS, SRes, DRes);
+  return P;
+}
+
+} // namespace core
+} // namespace dyc

@@ -1,0 +1,72 @@
+//===- core/Harness.h - Measurement harness ---------------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's measurement methodology (section 3.3) on the
+/// deterministic machine: per-invocation dynamic-region timing (Table 3),
+/// whole-program timing with percent-of-execution attribution (Table 4),
+/// and the o/(s-d) break-even computation. Output equivalence between the
+/// static and dynamic configurations is checked on every measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_CORE_HARNESS_H
+#define DYC_CORE_HARNESS_H
+
+#include "core/DycContext.h"
+#include "runtime/RuntimeStats.h"
+#include "workloads/Workload.h"
+
+namespace dyc {
+namespace core {
+
+/// Simulated clock rate used only to render cycles as seconds in
+/// Table-4-style output (the 21164 of the paper's era ran near 500MHz).
+constexpr double ClockHz = 500e6;
+
+/// Table 3 row.
+struct RegionPerf {
+  double StaticCyclesPerInvoke = 0; ///< s
+  double DynCyclesPerInvoke = 0;    ///< d
+  double AsymptoticSpeedup = 0;     ///< s/d
+  uint64_t OverheadCycles = 0;      ///< o (dynamic-compilation cycles)
+  double BreakEvenInvocations = 0;  ///< o/(s-d); infinity if d >= s
+  double BreakEvenUnits = 0;        ///< scaled to the workload's units
+  std::string UnitName;
+  uint64_t InstructionsGenerated = 0;
+  double OverheadPerInstr = 0; ///< cycles per generated instruction
+  runtime::RegionStats Stats;  ///< specializer counters (Table 2 evidence)
+  bool OutputsMatch = false;   ///< dynamic results equal static results
+};
+
+/// Table 4 row.
+struct WholeProgramPerf {
+  double StaticSeconds = 0;
+  double DynSeconds = 0; ///< includes dynamic-compilation overhead
+  double PctInRegion = 0;
+  double Speedup = 0;
+  bool OutputsMatch = false;
+};
+
+/// Builds both configurations of \p W and measures its dynamic region.
+RegionPerf measureRegion(const workloads::Workload &W, const OptFlags &Flags,
+                         const vm::CostModel &CM = vm::CostModel(),
+                         const vm::ICacheConfig &IC = vm::ICacheConfig());
+
+/// Measures a full run of the workload's driver.
+WholeProgramPerf
+measureWholeProgram(const workloads::Workload &W, const OptFlags &Flags,
+                    const vm::CostModel &CM = vm::CostModel(),
+                    const vm::ICacheConfig &IC = vm::ICacheConfig());
+
+/// Compiles \p W into a fresh context; aborts with the compile errors on
+/// failure (workload sources are part of this repository and must build).
+void compileWorkload(const workloads::Workload &W, DycContext &Ctx);
+
+} // namespace core
+} // namespace dyc
+
+#endif // DYC_CORE_HARNESS_H

@@ -1,0 +1,137 @@
+//===- frontend/AST.h - MiniC abstract syntax ----------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Untyped AST produced by the parser; types are checked and attached
+/// during lowering. MiniC is C-like: int/double scalars, int*/double*
+/// word-addressed pointers, functions, if/while/for. DyC's annotations
+/// appear as statements (`make_static`, `make_dynamic`) and as the `@[`
+/// static-load index operator; functions may be declared `pure`, which
+/// makes calls to them eligible for static-call treatment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_FRONTEND_AST_H
+#define DYC_FRONTEND_AST_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace frontend {
+
+/// Source-level types.
+enum class MTy : uint8_t { Int, Double, IntPtr, DoublePtr, Void };
+
+const char *mtyName(MTy T);
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LogAnd, LogOr, ///< evaluated without short-circuit (documented)
+  BitAnd, BitOr, BitXor, Shl, Shr,
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node (tagged union).
+struct Expr {
+  enum Kind : uint8_t {
+    IntLit, FloatLit, Var, Unary, Binary, Index, Call, Cast
+  } K = IntLit;
+
+  unsigned Line = 0;
+
+  int64_t IntVal = 0;    // IntLit
+  double FloatVal = 0;   // FloatLit
+  std::string Name;      // Var, Call
+  UnOp UOp = UnOp::Neg;  // Unary
+  BinOp BOp = BinOp::Add; // Binary
+  ExprPtr L, R;           // Unary (L), Binary, Index (L=base, R=index)
+  bool StaticIndex = false; ///< `@[` — the static-load annotation
+  std::vector<ExprPtr> Args; // Call
+  MTy CastTo = MTy::Int;     // Cast (operand in L)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node (tagged union).
+struct Stmt {
+  enum Kind : uint8_t {
+    Decl, Assign, If, While, For, Return, ExprSt, Block,
+    Break, Continue,
+    MakeStatic, MakeDynamic
+  } K = Block;
+
+  unsigned Line = 0;
+
+  // Decl.
+  MTy DeclTy = MTy::Int;
+  std::string Name;
+  ExprPtr Init;
+
+  // Assign: LHS is Var or Index.
+  ExprPtr LHS, RHS;
+
+  // If / While / For.
+  ExprPtr Cond;
+  StmtPtr Then, Else;       // If
+  StmtPtr Body;             // While/For
+  StmtPtr ForInit, ForStep; // For (Decl or Assign)
+
+  // Return / ExprSt.
+  ExprPtr E;
+
+  // Block.
+  std::vector<StmtPtr> Stmts;
+
+  // MakeStatic / MakeDynamic.
+  std::vector<std::string> Vars;
+  ir::CachePolicy Policy = ir::CachePolicy::CacheAll;
+};
+
+/// A parameter declaration.
+struct ParamDecl {
+  MTy Ty = MTy::Int;
+  std::string Name;
+};
+
+/// A function definition.
+struct FuncDecl {
+  std::string Name;
+  MTy RetTy = MTy::Void;
+  bool Pure = false;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; // Block
+  unsigned Line = 0;
+};
+
+/// An external declaration.
+struct ExternDeclAST {
+  std::string Name;
+  MTy RetTy = MTy::Double;
+  bool Pure = false;
+  std::vector<MTy> ArgTys;
+  unsigned Line = 0;
+};
+
+/// A parsed translation unit.
+struct ProgramAST {
+  std::vector<ExternDeclAST> Externs;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace frontend
+} // namespace dyc
+
+#endif // DYC_FRONTEND_AST_H

@@ -1,0 +1,282 @@
+//===- frontend/Lexer.cpp --------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dyc {
+namespace frontend {
+
+namespace {
+
+struct Keyword {
+  const char *Text;
+  TokKind Kind;
+};
+
+const Keyword Keywords[] = {
+    {"int", TokKind::KwInt},
+    {"double", TokKind::KwDouble},
+    {"void", TokKind::KwVoid},
+    {"if", TokKind::KwIf},
+    {"else", TokKind::KwElse},
+    {"while", TokKind::KwWhile},
+    {"for", TokKind::KwFor},
+    {"return", TokKind::KwReturn},
+    {"break", TokKind::KwBreak},
+    {"continue", TokKind::KwContinue},
+    {"extern", TokKind::KwExtern},
+    {"pure", TokKind::KwPure},
+    {"make_static", TokKind::KwMakeStatic},
+    {"make_dynamic", TokKind::KwMakeDynamic},
+    {"cache_all", TokKind::KwCacheAll},
+    {"cache_one", TokKind::KwCacheOne},
+    {"cache_one_unchecked", TokKind::KwCacheOneUnchecked},
+    {"cache_indexed", TokKind::KwCacheIndexed},
+};
+
+} // namespace
+
+const char *tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of file";
+  case TokKind::Ident: return "identifier";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::FloatLit: return "floating literal";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwDouble: return "'double'";
+  case TokKind::KwVoid: return "'void'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwWhile: return "'while'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwExtern: return "'extern'";
+  case TokKind::KwPure: return "'pure'";
+  case TokKind::KwMakeStatic: return "'make_static'";
+  case TokKind::KwMakeDynamic: return "'make_dynamic'";
+  case TokKind::KwCacheAll: return "'cache_all'";
+  case TokKind::KwCacheOne: return "'cache_one'";
+  case TokKind::KwCacheOneUnchecked: return "'cache_one_unchecked'";
+  case TokKind::KwCacheIndexed: return "'cache_indexed'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::AtLBracket: return "'@['";
+  case TokKind::Comma: return "','";
+  case TokKind::Semi: return "';'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Assign: return "'='";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Ge: return "'>='";
+  case TokKind::AmpAmp: return "'&&'";
+  case TokKind::PipePipe: return "'||'";
+  case TokKind::Bang: return "'!'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::MinusMinus: return "'--'";
+  }
+  return "<bad-token>";
+}
+
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors) {
+  std::vector<Token> Toks;
+  size_t I = 0, N = Source.size();
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&](size_t K = 1) {
+    for (size_t J = 0; J != K && I < N; ++J, ++I) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+  auto Peek = [&](size_t K = 0) -> char {
+    return I + K < N ? Source[I + K] : '\0';
+  };
+  auto Push = [&](TokKind K, std::string Text, size_t Len) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Col = Col;
+    Toks.push_back(std::move(T));
+    Advance(Len);
+  };
+
+  while (I < N) {
+    char C = Peek();
+    // Whitespace.
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Advance(2);
+      while (I < N && !(Peek() == '*' && Peek(1) == '/'))
+        Advance();
+      if (I >= N)
+        Errors.push_back(formatString("line %u: unterminated comment", Line));
+      else
+        Advance(2);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      size_t Len = 0;
+      while (I + Len < N &&
+             (std::isalnum(static_cast<unsigned char>(Source[I + Len])) ||
+              Source[I + Len] == '_'))
+        ++Len;
+      std::string Text = Source.substr(Start, Len);
+      TokKind K = TokKind::Ident;
+      for (const Keyword &KW : Keywords)
+        if (Text == KW.Text) {
+          K = KW.Kind;
+          break;
+        }
+      Push(K, std::move(Text), Len);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      size_t Len = 0;
+      bool IsFloat = false;
+      while (I + Len < N) {
+        char D = Source[I + Len];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          ++Len;
+        } else if (D == '.' && !IsFloat) {
+          IsFloat = true;
+          ++Len;
+        } else if ((D == 'e' || D == 'E') &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(Peek(Len + 1))) ||
+                    ((Peek(Len + 1) == '+' || Peek(Len + 1) == '-') &&
+                     std::isdigit(
+                         static_cast<unsigned char>(Peek(Len + 2)))))) {
+          IsFloat = true;
+          Len += Peek(Len + 1) == '+' || Peek(Len + 1) == '-' ? 2 : 1;
+          while (I + Len < N &&
+                 std::isdigit(static_cast<unsigned char>(Source[I + Len])))
+            ++Len;
+          break;
+        } else {
+          break;
+        }
+      }
+      std::string Text = Source.substr(I, Len);
+      Token T;
+      T.Line = Line;
+      T.Col = Col;
+      T.Text = Text;
+      if (IsFloat) {
+        T.Kind = TokKind::FloatLit;
+        T.FloatVal = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.Kind = TokKind::IntLit;
+        T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+      }
+      Toks.push_back(std::move(T));
+      Advance(Len);
+      continue;
+    }
+    // Multi-character operators.
+    struct Multi {
+      const char *Text;
+      TokKind Kind;
+    };
+    static const Multi Multis[] = {
+        {"@[", TokKind::AtLBracket}, {"==", TokKind::EqEq},
+        {"!=", TokKind::NotEq},      {"<=", TokKind::Le},
+        {">=", TokKind::Ge},         {"&&", TokKind::AmpAmp},
+        {"||", TokKind::PipePipe},   {"<<", TokKind::Shl},
+        {">>", TokKind::Shr},        {"++", TokKind::PlusPlus},
+        {"--", TokKind::MinusMinus},
+    };
+    bool Matched = false;
+    for (const Multi &M : Multis) {
+      if (C == M.Text[0] && Peek(1) == M.Text[1]) {
+        Push(M.Kind, M.Text, 2);
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    // Single-character tokens.
+    TokKind K;
+    switch (C) {
+    case '(': K = TokKind::LParen; break;
+    case ')': K = TokKind::RParen; break;
+    case '{': K = TokKind::LBrace; break;
+    case '}': K = TokKind::RBrace; break;
+    case '[': K = TokKind::LBracket; break;
+    case ']': K = TokKind::RBracket; break;
+    case ',': K = TokKind::Comma; break;
+    case ';': K = TokKind::Semi; break;
+    case ':': K = TokKind::Colon; break;
+    case '*': K = TokKind::Star; break;
+    case '=': K = TokKind::Assign; break;
+    case '+': K = TokKind::Plus; break;
+    case '-': K = TokKind::Minus; break;
+    case '/': K = TokKind::Slash; break;
+    case '%': K = TokKind::Percent; break;
+    case '<': K = TokKind::Lt; break;
+    case '>': K = TokKind::Gt; break;
+    case '!': K = TokKind::Bang; break;
+    case '&': K = TokKind::Amp; break;
+    case '|': K = TokKind::Pipe; break;
+    case '^': K = TokKind::Caret; break;
+    default:
+      Errors.push_back(
+          formatString("line %u: unexpected character '%c'", Line, C));
+      Advance();
+      continue;
+    }
+    Push(K, std::string(1, C), 1);
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Toks.push_back(Eof);
+  return Toks;
+}
+
+} // namespace frontend
+} // namespace dyc

@@ -1,0 +1,35 @@
+//===- frontend/Lower.h - AST-to-IR lowering ------------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types, checks, and lowers a MiniC ProgramAST into an ir::Module. Each
+/// source variable maps to one fixed virtual register (the IR is non-SSA),
+/// which is what makes program-point binding times meaningful downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_FRONTEND_LOWER_H
+#define DYC_FRONTEND_LOWER_H
+
+#include "frontend/AST.h"
+#include "ir/Module.h"
+
+namespace dyc {
+namespace frontend {
+
+/// Lowers \p P into a module. Type errors are appended to \p Errors; on
+/// error the module may be incomplete.
+ir::Module lowerProgram(const ProgramAST &P, std::vector<std::string> &Errors);
+
+/// Convenience: parse + lower + verify in one step. Returns true on
+/// success.
+bool compileMiniC(const std::string &Source, ir::Module &M,
+                  std::vector<std::string> &Errors);
+
+} // namespace frontend
+} // namespace dyc
+
+#endif // DYC_FRONTEND_LOWER_H

@@ -1,0 +1,40 @@
+//===- ir/Function.cpp -------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+namespace dyc {
+namespace ir {
+
+Reg Function::newReg(Type Ty, const std::string &Name) {
+  assert(Ty != Type::Void && "registers cannot be void");
+  RegTypes.push_back(Ty);
+  RegNames.push_back(Name.empty()
+                         ? formatString("t%zu", RegTypes.size() - 1)
+                         : Name);
+  return static_cast<Reg>(RegTypes.size() - 1);
+}
+
+BlockId Function::newBlock(const std::string &Name) {
+  Blocks.emplace_back();
+  Blocks.back().Name =
+      Name.empty() ? formatString("bb%zu", Blocks.size() - 1) : Name;
+  return static_cast<BlockId>(Blocks.size() - 1);
+}
+
+bool Function::hasAnnotations() const {
+  for (const BasicBlock &B : Blocks)
+    for (const Instruction &I : B.Instrs)
+      if (I.Op == Opcode::MakeStatic)
+        return true;
+  return false;
+}
+
+size_t Function::numInstructions() const {
+  size_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    N += B.Instrs.size();
+  return N;
+}
+
+} // namespace ir
+} // namespace dyc

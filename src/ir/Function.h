@@ -1,0 +1,107 @@
+//===- ir/Function.h - Basic blocks, functions ------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks and functions. Blocks live in a function-owned vector and
+/// are referenced by index (BlockId); block 0 is the entry. Virtual
+/// registers are function-scoped and typed; parameters occupy registers
+/// 0..NumParams-1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_IR_FUNCTION_H
+#define DYC_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace ir {
+
+/// A basic block: zero or more non-terminator instructions followed by
+/// exactly one terminator (the verifier enforces this).
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instruction> Instrs;
+
+  const Instruction &terminator() const {
+    assert(!Instrs.empty() && Instrs.back().isTerminator() &&
+           "block has no terminator");
+    return Instrs.back();
+  }
+
+  /// Appends the successor block ids to \p Succs.
+  void appendSuccessors(std::vector<BlockId> &Succs) const {
+    const Instruction &T = terminator();
+    if (T.Op == Opcode::Br) {
+      Succs.push_back(T.TrueSucc);
+    } else if (T.Op == Opcode::CondBr) {
+      Succs.push_back(T.TrueSucc);
+      Succs.push_back(T.FalseSucc);
+    }
+  }
+};
+
+/// A function: typed virtual registers, a CFG of basic blocks, and
+/// metadata used by the DyC pipeline.
+class Function {
+public:
+  std::string Name;
+  uint32_t NumParams = 0;
+  Type RetTy = Type::Void;
+  /// Pure-function annotation (paper section 2.2.6): calls to pure
+  /// functions with all-static arguments may be executed at dynamic-compile
+  /// time. This is a potentially unsafe programmer assertion, as in DyC.
+  bool Pure = false;
+
+  /// Creates a fresh register of type \p Ty with debug name \p Name.
+  Reg newReg(Type Ty, const std::string &Name = "");
+
+  /// Creates a new block; returns its id.
+  BlockId newBlock(const std::string &Name = "");
+
+  BasicBlock &block(BlockId Id) {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  const BasicBlock &block(BlockId Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  uint32_t numRegs() const { return static_cast<uint32_t>(RegTypes.size()); }
+
+  Type regType(Reg R) const {
+    assert(R < RegTypes.size() && "register out of range");
+    return RegTypes[R];
+  }
+
+  const std::string &regName(Reg R) const {
+    assert(R < RegNames.size() && "register out of range");
+    return RegNames[R];
+  }
+
+  /// True if any block contains a MakeStatic annotation — i.e., DyC will
+  /// build dynamic regions for this function.
+  bool hasAnnotations() const;
+
+  /// Total instruction count across blocks (annotations included).
+  size_t numInstructions() const;
+
+  std::vector<BasicBlock> Blocks;
+
+private:
+  std::vector<Type> RegTypes;
+  std::vector<std::string> RegNames;
+};
+
+} // namespace ir
+} // namespace dyc
+
+#endif // DYC_IR_FUNCTION_H

@@ -1,0 +1,39 @@
+//===- ir/IRPrinter.cpp - Textual IR dumps ------------------------------------===//
+
+#include "ir/Module.h"
+
+namespace dyc {
+namespace ir {
+
+std::string printFunction(const Function &F) {
+  std::string Out = formatString("func %s %s(", typeName(F.RetTy),
+                                 F.Name.c_str());
+  for (uint32_t P = 0; P != F.NumParams; ++P)
+    Out += formatString("%s%s r%u:%s", P ? ", " : "",
+                        typeName(F.regType(P)), P, F.regName(P).c_str());
+  Out += formatString(")  ; %u regs\n", F.numRegs());
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    Out += formatString("bb%zu:  ; %s\n", B, BB.Name.c_str());
+    for (const Instruction &I : BB.Instrs)
+      Out += "  " + I.toString() + "\n";
+  }
+  return Out;
+}
+
+std::string printModule(const Module &M) {
+  std::string Out;
+  for (size_t E = 0; E != M.numExternals(); ++E) {
+    const ExternalDecl &D = M.external(static_cast<int>(E));
+    Out += formatString("extern%s %s %s/%u\n", D.Pure ? " pure" : "",
+                        typeName(D.RetTy), D.Name.c_str(), D.NumArgs);
+  }
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Out += printFunction(M.function(static_cast<int>(I)));
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace ir
+} // namespace dyc

@@ -1,0 +1,209 @@
+//===- ir/Instruction.cpp ---------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+namespace dyc {
+namespace ir {
+
+const char *typeName(Type T) {
+  switch (T) {
+  case Type::Void: return "void";
+  case Type::I64: return "i64";
+  case Type::F64: return "f64";
+  }
+  return "<bad-type>";
+}
+
+const char *cachePolicyName(CachePolicy P) {
+  switch (P) {
+  case CachePolicy::CacheAll: return "cache_all";
+  case CachePolicy::CacheOne: return "cache_one";
+  case CachePolicy::CacheOneUnchecked: return "cache_one_unchecked";
+  case CachePolicy::CacheIndexed: return "cache_indexed";
+  }
+  return "<bad-policy>";
+}
+
+const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstI: return "consti";
+  case Opcode::ConstF: return "constf";
+  case Opcode::Mov: return "mov";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::Div: return "div";
+  case Opcode::Rem: return "rem";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::Shr: return "shr";
+  case Opcode::Neg: return "neg";
+  case Opcode::FAdd: return "fadd";
+  case Opcode::FSub: return "fsub";
+  case Opcode::FMul: return "fmul";
+  case Opcode::FDiv: return "fdiv";
+  case Opcode::FNeg: return "fneg";
+  case Opcode::CmpEq: return "cmpeq";
+  case Opcode::CmpNe: return "cmpne";
+  case Opcode::CmpLt: return "cmplt";
+  case Opcode::CmpLe: return "cmple";
+  case Opcode::CmpGt: return "cmpgt";
+  case Opcode::CmpGe: return "cmpge";
+  case Opcode::FCmpEq: return "fcmpeq";
+  case Opcode::FCmpNe: return "fcmpne";
+  case Opcode::FCmpLt: return "fcmplt";
+  case Opcode::FCmpLe: return "fcmple";
+  case Opcode::FCmpGt: return "fcmpgt";
+  case Opcode::FCmpGe: return "fcmpge";
+  case Opcode::IToF: return "itof";
+  case Opcode::FToI: return "ftoi";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::Call: return "call";
+  case Opcode::CallExt: return "callext";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Ret: return "ret";
+  case Opcode::MakeStatic: return "make_static";
+  case Opcode::MakeDynamic: return "make_dynamic";
+  }
+  return "<bad-opcode>";
+}
+
+bool Instruction::isSideEffectFree() const {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+  case Opcode::MakeStatic:
+  case Opcode::MakeDynamic:
+    return false;
+  case Opcode::Load:
+    // A plain load has no side effects, but its *value* is only known at
+    // specialize time when annotated static; for DCE purposes it is pure.
+    return true;
+  case Opcode::Call:
+  case Opcode::CallExt:
+    return false; // purity handled separately via StaticCall
+  default:
+    return true;
+  }
+}
+
+void Instruction::appendUses(std::vector<Reg> &Uses) const {
+  switch (Op) {
+  case Opcode::ConstI:
+  case Opcode::ConstF:
+  case Opcode::Br:
+  case Opcode::MakeDynamic:
+    return;
+  case Opcode::MakeStatic:
+    // A promotion reads the annotated variables' run-time values.
+    for (Reg R : AnnotVars)
+      Uses.push_back(R);
+    return;
+  case Opcode::Ret:
+  case Opcode::CondBr:
+    if (Src1 != NoReg)
+      Uses.push_back(Src1);
+    return;
+  case Opcode::Call:
+  case Opcode::CallExt:
+    for (Reg A : Args)
+      Uses.push_back(A);
+    return;
+  case Opcode::Store:
+    Uses.push_back(Src1);
+    Uses.push_back(Src2);
+    return;
+  default:
+    if (Src1 != NoReg)
+      Uses.push_back(Src1);
+    if (Src2 != NoReg)
+      Uses.push_back(Src2);
+    return;
+  }
+}
+
+std::string Instruction::toString() const {
+  std::string S;
+  auto R = [](Reg X) {
+    return X == NoReg ? std::string("r?") : formatString("r%u", X);
+  };
+  switch (Op) {
+  case Opcode::ConstI:
+    return formatString("%s = consti %lld", R(Dst).c_str(), (long long)Imm);
+  case Opcode::ConstF:
+    return formatString("%s = constf %g", R(Dst).c_str(),
+                        Word{(uint64_t)Imm}.asFloat());
+  case Opcode::Mov:
+  case Opcode::Neg:
+  case Opcode::FNeg:
+  case Opcode::IToF:
+  case Opcode::FToI:
+    return formatString("%s = %s %s", R(Dst).c_str(), opcodeName(Op),
+                        R(Src1).c_str());
+  case Opcode::Load:
+    return formatString("%s = load%s [%s + %lld]", R(Dst).c_str(),
+                        StaticLoad ? "@" : "", R(Src1).c_str(),
+                        (long long)Imm);
+  case Opcode::Store:
+    return formatString("store [%s + %lld], %s", R(Src1).c_str(),
+                        (long long)Imm, R(Src2).c_str());
+  case Opcode::Call:
+  case Opcode::CallExt: {
+    S = formatString("%s = %s%s %s%d(", R(Dst).c_str(),
+                     StaticCall ? "static " : "", opcodeName(Op),
+                     Op == Opcode::Call ? "fn" : "ext", Callee);
+    for (size_t I = 0; I != Args.size(); ++I)
+      S += (I ? ", " : "") + R(Args[I]);
+    return S + ")";
+  }
+  case Opcode::Br:
+    return formatString("br bb%u", TrueSucc);
+  case Opcode::CondBr:
+    return formatString("condbr %s, bb%u, bb%u", R(Src1).c_str(), TrueSucc,
+                        FalseSucc);
+  case Opcode::Ret:
+    return Src1 == NoReg ? "ret" : formatString("ret %s", R(Src1).c_str());
+  case Opcode::MakeStatic:
+  case Opcode::MakeDynamic: {
+    S = opcodeName(Op);
+    S += "(";
+    for (size_t I = 0; I != AnnotVars.size(); ++I)
+      S += (I ? ", " : "") + R(AnnotVars[I]);
+    S += ")";
+    if (Op == Opcode::MakeStatic)
+      S += formatString(" : %s", cachePolicyName(Policy));
+    return S;
+  }
+  default:
+    return formatString("%s = %s %s, %s", R(Dst).c_str(), opcodeName(Op),
+                        R(Src1).c_str(), R(Src2).c_str());
+  }
+}
+
+Instruction makeBinary(Opcode Op, Type Ty, Reg Dst, Reg A, Reg B) {
+  Instruction I;
+  I.Op = Op;
+  I.Ty = Ty;
+  I.Dst = Dst;
+  I.Src1 = A;
+  I.Src2 = B;
+  return I;
+}
+
+Instruction makeUnary(Opcode Op, Type Ty, Reg Dst, Reg A) {
+  Instruction I;
+  I.Op = Op;
+  I.Ty = Ty;
+  I.Dst = Dst;
+  I.Src1 = A;
+  return I;
+}
+
+} // namespace ir
+} // namespace dyc

@@ -1,0 +1,35 @@
+//===- ir/Module.cpp ----------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+namespace dyc {
+namespace ir {
+
+int Module::addFunction(Function F) {
+  assert(findFunction(F.Name) < 0 && "duplicate function name");
+  Funcs.push_back(std::move(F));
+  return static_cast<int>(Funcs.size() - 1);
+}
+
+int Module::declareExternal(ExternalDecl D) {
+  assert(findExternal(D.Name) < 0 && "duplicate external name");
+  Externals.push_back(std::move(D));
+  return static_cast<int>(Externals.size() - 1);
+}
+
+int Module::findFunction(const std::string &Name) const {
+  for (size_t I = 0; I != Funcs.size(); ++I)
+    if (Funcs[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Module::findExternal(const std::string &Name) const {
+  for (size_t I = 0; I != Externals.size(); ++I)
+    if (Externals[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+} // namespace ir
+} // namespace dyc

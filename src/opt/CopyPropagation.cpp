@@ -1,0 +1,140 @@
+//===- opt/CopyPropagation.cpp ------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+#include "opt/Passes.h"
+
+#include <map>
+#include <set>
+
+namespace dyc {
+namespace opt {
+
+using namespace ir;
+
+namespace {
+
+/// Collects every register named by a MakeStatic/MakeDynamic annotation.
+/// Uses of these variables are never rewritten: replacing a use of an
+/// annotated variable with its copy source would bypass the promotion the
+/// programmer asked for.
+std::set<Reg> annotatedRegs(const Function &F) {
+  std::set<Reg> Out;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instruction &I : B.Instrs)
+      if (I.isAnnotation())
+        for (Reg R : I.AnnotVars)
+          Out.insert(R);
+  return Out;
+}
+
+/// Rewrites \p I's register uses via \p Rewrite (which returns the
+/// replacement for a reg, possibly itself). Annotation variable lists are
+/// left untouched.
+template <typename Fn> bool rewriteUses(Instruction &I, Fn Rewrite) {
+  bool Changed = false;
+  auto Do = [&](Reg &R) {
+    if (R == NoReg)
+      return;
+    Reg N = Rewrite(R);
+    if (N != R) {
+      R = N;
+      Changed = true;
+    }
+  };
+  switch (I.Op) {
+  case Opcode::ConstI:
+  case Opcode::ConstF:
+  case Opcode::Br:
+  case Opcode::MakeStatic:
+  case Opcode::MakeDynamic:
+    return false;
+  case Opcode::Call:
+  case Opcode::CallExt:
+    for (Reg &A : I.Args)
+      Do(A);
+    return Changed;
+  case Opcode::Store:
+    Do(I.Src1);
+    Do(I.Src2);
+    return Changed;
+  case Opcode::Ret:
+  case Opcode::CondBr:
+    Do(I.Src1);
+    return Changed;
+  default:
+    Do(I.Src1);
+    Do(I.Src2);
+    return Changed;
+  }
+}
+
+} // namespace
+
+bool runCopyPropagation(Function &F, const Module &M) {
+  bool Changed = false;
+  std::set<Reg> Annotated = annotatedRegs(F);
+
+  // --- Block-local copy propagation -----------------------------------------
+  for (BasicBlock &BB : F.Blocks) {
+    std::map<Reg, Reg> Copies; // dst -> src, valid at current point
+    auto Chase = [&](Reg R) {
+      if (Annotated.count(R))
+        return R;
+      auto It = Copies.find(R);
+      return It == Copies.end() ? R : It->second;
+    };
+    for (Instruction &I : BB.Instrs) {
+      Changed |= rewriteUses(I, Chase);
+      if (I.definesReg()) {
+        // Kill facts involving the redefined register.
+        Copies.erase(I.Dst);
+        for (auto It = Copies.begin(); It != Copies.end();)
+          It = It->second == I.Dst ? Copies.erase(It) : std::next(It);
+        if (I.Op == Opcode::Mov && I.Src1 != I.Dst &&
+            !Annotated.count(I.Dst))
+          Copies[I.Dst] = Chase(I.Src1);
+      }
+      if (I.Op == Opcode::MakeStatic)
+        for (Reg R : I.AnnotVars)
+          Copies.erase(R);
+    }
+  }
+
+  // --- Global single-definition copy propagation ----------------------------
+  analysis::CFG G(F);
+  analysis::ReachingDefs RD(F, G);
+
+  // Count def sites per register (parameter pseudo-defs included).
+  std::vector<unsigned> DefCount(F.numRegs(), 0);
+  for (const analysis::DefSite &D : RD.defSites())
+    ++DefCount[D.Defined];
+
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    for (size_t Idx = 0; Idx != BB.Instrs.size(); ++Idx) {
+      auto Rewrite = [&](Reg R) {
+        if (Annotated.count(R))
+          return R;
+        int Site = RD.uniqueReachingDef(F, B, Idx, R);
+        if (Site < 0)
+          return R;
+        const analysis::DefSite &D =
+            RD.defSites()[static_cast<size_t>(Site)];
+        if (D.InstrIdx == 0xffffffffu)
+          return R;
+        const Instruction &Def = F.block(D.Block).Instrs[D.InstrIdx];
+        if (Def.Op != Opcode::Mov)
+          return R;
+        Reg S = Def.Src1;
+        if (S == R || DefCount[S] != 1 || Annotated.count(S))
+          return R;
+        return S;
+      };
+      Changed |= rewriteUses(BB.Instrs[Idx], Rewrite);
+    }
+  }
+  return Changed;
+}
+
+} // namespace opt
+} // namespace dyc

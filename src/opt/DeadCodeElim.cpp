@@ -1,0 +1,78 @@
+//===- opt/DeadCodeElim.cpp -----------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "opt/Passes.h"
+
+namespace dyc {
+namespace opt {
+
+using namespace ir;
+
+namespace {
+
+/// True if deleting \p I (when its result is dead) is safe.
+bool removableWhenDead(const Instruction &I, const Module &M) {
+  if (!I.definesReg())
+    return false;
+  switch (I.Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+  case Opcode::MakeStatic:
+  case Opcode::MakeDynamic:
+    return false;
+  case Opcode::Call:
+    return M.function(I.Callee).Pure;
+  case Opcode::CallExt:
+    return M.external(I.Callee).Pure;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+bool runDeadCodeElim(Function &F, const Module &M) {
+  analysis::CFG G(F);
+  analysis::Liveness LV(F, G);
+  bool Changed = false;
+  std::vector<Reg> Uses;
+
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    BitVector Live = LV.liveOut(B);
+    // Backward walk; mark-and-sweep within the block.
+    std::vector<bool> Keep(BB.Instrs.size(), true);
+    for (size_t Idx = BB.Instrs.size(); Idx-- > 0;) {
+      Instruction &I = BB.Instrs[Idx];
+      bool Dead = removableWhenDead(I, M) && !Live.test(I.Dst);
+      // Self-moves are dead regardless of liveness.
+      if (I.Op == Opcode::Mov && I.Src1 == I.Dst)
+        Dead = true;
+      if (Dead) {
+        Keep[Idx] = false;
+        Changed = true;
+        continue; // its uses do not become live
+      }
+      if (I.definesReg())
+        Live.reset(I.Dst);
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg U : Uses)
+        Live.set(U);
+    }
+    if (Changed) {
+      std::vector<Instruction> Kept;
+      Kept.reserve(BB.Instrs.size());
+      for (size_t Idx = 0; Idx != BB.Instrs.size(); ++Idx)
+        if (Keep[Idx])
+          Kept.push_back(std::move(BB.Instrs[Idx]));
+      BB.Instrs = std::move(Kept);
+    }
+  }
+  return Changed;
+}
+
+} // namespace opt
+} // namespace dyc

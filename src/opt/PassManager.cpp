@@ -1,0 +1,48 @@
+//===- opt/PassManager.cpp --------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+namespace dyc {
+namespace opt {
+
+unsigned runStaticOptimizations(ir::Function &F, const ir::Module &M) {
+  unsigned Applications = 0;
+  // Bounded fixpoint; each round runs the classic pipeline once.
+  for (unsigned Round = 0; Round != 8; ++Round) {
+    bool Changed = false;
+    if (runConstantFold(F, M)) {
+      Changed = true;
+      ++Applications;
+    }
+    if (runCopyPropagation(F, M)) {
+      Changed = true;
+      ++Applications;
+    }
+    if (runCoalesceMoves(F, M)) {
+      Changed = true;
+      ++Applications;
+    }
+    if (runDeadCodeElim(F, M)) {
+      Changed = true;
+      ++Applications;
+    }
+    if (runSimplifyCFG(F, M)) {
+      Changed = true;
+      ++Applications;
+    }
+    if (!Changed)
+      break;
+  }
+  return Applications;
+}
+
+unsigned runStaticOptimizations(ir::Module &M) {
+  unsigned Applications = 0;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    Applications +=
+        runStaticOptimizations(M.function(static_cast<int>(I)), M);
+  return Applications;
+}
+
+} // namespace opt
+} // namespace dyc

@@ -1,0 +1,57 @@
+//===- opt/Passes.h - Traditional static optimizations -------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "traditional intraprocedural optimizations" DyC applies before
+/// binding-time analysis (paper section 2.1): constant folding and
+/// propagation, copy propagation, dead-code elimination, and CFG
+/// simplification. Each pass returns true if it changed the function; the
+/// pass manager iterates them to a fixpoint.
+///
+/// The passes are annotation-aware: facts are never propagated in a way
+/// that would bypass a `make_static` promotion of a source variable, since
+/// that would change which values the BTA can specialize on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_OPT_PASSES_H
+#define DYC_OPT_PASSES_H
+
+#include "ir/Module.h"
+
+namespace dyc {
+namespace opt {
+
+/// Folds instructions whose operands are all known constants; rewrites
+/// conditional branches on constants into unconditional ones.
+bool runConstantFold(ir::Function &F, const ir::Module &M);
+
+/// Replaces uses of a copy's destination with its source (block-local
+/// table, plus the global single-definition case).
+bool runCopyPropagation(ir::Function &F, const ir::Module &M);
+
+/// Deletes side-effect-free instructions whose results are dead.
+bool runDeadCodeElim(ir::Function &F, const ir::Module &M);
+
+/// Coalesces `t = op ...; v = mov t` into `v = op ...` when t has no other
+/// use (classic copy coalescing of lowering temporaries).
+bool runCoalesceMoves(ir::Function &F, const ir::Module &M);
+
+/// Threads trivial jumps, folds condbr with identical targets, and stubs
+/// out unreachable blocks.
+bool runSimplifyCFG(ir::Function &F, const ir::Module &M);
+
+/// Runs all passes to a fixpoint (bounded rounds) on every function in
+/// \p M. Returns the number of pass applications that reported a change.
+unsigned runStaticOptimizations(ir::Module &M);
+
+/// Same for a single function.
+unsigned runStaticOptimizations(ir::Function &F, const ir::Module &M);
+
+} // namespace opt
+} // namespace dyc
+
+#endif // DYC_OPT_PASSES_H

@@ -1,0 +1,130 @@
+//===- profile/ValueProfiler.cpp -----------------------------------------------------===//
+
+#include "profile/ValueProfiler.h"
+
+#include <algorithm>
+
+namespace dyc {
+namespace profile {
+
+double ParamProfile::dominance() const {
+  if (Observations == 0 || Values.empty())
+    return 0.0;
+  uint64_t Best = 0;
+  for (const auto &[V, N] : Values)
+    Best = std::max(Best, N);
+  return static_cast<double>(Best) / static_cast<double>(Observations);
+}
+
+void ValueProfiler::attach(vm::VM &M) {
+  size_t N = M.program().numFunctions();
+  Profiles.resize(N);
+  Calls.assign(N, 0);
+  M.OnCall = [this](uint32_t Func, const Word *Args, uint32_t NArgs) {
+    if (Func >= Profiles.size()) {
+      Profiles.resize(Func + 1);
+      Calls.resize(Func + 1, 0);
+    }
+    ++Calls[Func];
+    std::vector<ParamProfile> &Ps = Profiles[Func];
+    if (Ps.size() < NArgs)
+      Ps.resize(NArgs);
+    for (uint32_t I = 0; I != NArgs; ++I) {
+      ParamProfile &P = Ps[I];
+      ++P.Observations;
+      if (P.Overflowed)
+        continue;
+      auto [It, Inserted] = P.Values.try_emplace(Args[I].Bits, 0);
+      ++It->second;
+      if (Inserted && P.Values.size() > MaxDistinct) {
+        P.Overflowed = true;
+        P.Values.clear();
+      }
+    }
+  };
+}
+
+const ParamProfile &ValueProfiler::param(uint32_t Func,
+                                         uint32_t Param) const {
+  static const ParamProfile Empty;
+  if (Func >= Profiles.size() || Param >= Profiles[Func].size())
+    return Empty;
+  return Profiles[Func][Param];
+}
+
+uint64_t ValueProfiler::calls(uint32_t Func) const {
+  return Func < Calls.size() ? Calls[Func] : 0;
+}
+
+std::string Suggestion::toString() const {
+  std::string Vars;
+  for (size_t I = 0; I != Names.size(); ++I)
+    Vars += (I ? ", " : "") + Names[I];
+  return formatString(
+      "%s: make_static(%s)  [%llu calls, <=%zu value combinations, "
+      "%.1f%% of cycles, score %.2f]",
+      FuncName.c_str(), Vars.c_str(), (unsigned long long)CallCount,
+      DistinctCombos, CycleShare * 100.0, Score);
+}
+
+std::vector<Suggestion> adviseAnnotations(const ir::Module &M,
+                                          const vm::VM &Machine,
+                                          const ValueProfiler &P,
+                                          const AdvisorPolicy &Policy) {
+  std::vector<Suggestion> Out;
+
+  uint64_t TotalCycles = Machine.execCycles();
+  if (TotalCycles == 0)
+    return Out;
+
+  for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const ir::Function &F = M.function(static_cast<int>(FI));
+    if (F.hasAnnotations())
+      continue; // already specialized by the programmer
+    uint64_t NCalls = P.calls(static_cast<uint32_t>(FI));
+    if (NCalls < Policy.MinCalls)
+      continue;
+    double Share =
+        static_cast<double>(
+            Machine.functionStats(static_cast<uint32_t>(FI))
+                .InclusiveCycles) /
+        static_cast<double>(TotalCycles);
+    if (Share < Policy.MinCycleShare)
+      continue;
+
+    Suggestion S;
+    S.FuncIdx = static_cast<int>(FI);
+    S.FuncName = F.Name;
+    S.CallCount = NCalls;
+    S.CycleShare = Share;
+    for (uint32_t PI = 0; PI != F.NumParams; ++PI) {
+      const ParamProfile &PP = P.param(static_cast<uint32_t>(FI), PI);
+      if (PP.Overflowed || PP.Observations == 0)
+        continue;
+      if (PP.distinctValues() > Policy.MaxDistinct)
+        continue;
+      if (PP.dominance() < Policy.MinDominance)
+        continue;
+      S.Params.push_back(PI);
+      S.Names.push_back(F.regName(PI));
+      S.DistinctCombos =
+          std::max(S.DistinctCombos, PP.distinctValues());
+    }
+    if (S.Params.empty())
+      continue;
+    // Cost-benefit: hot (cycle share), frequently re-entered
+    // (amortization), and few versions to cache.
+    S.Score = Share * static_cast<double>(NCalls) /
+              static_cast<double>(S.DistinctCombos ? S.DistinctCombos : 1);
+    Out.push_back(std::move(S));
+  }
+
+  std::sort(Out.begin(), Out.end(),
+            [](const Suggestion &A, const Suggestion &B) {
+              return A.Score > B.Score;
+            });
+  return Out;
+}
+
+} // namespace profile
+} // namespace dyc

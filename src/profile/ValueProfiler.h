@@ -1,0 +1,100 @@
+//===- profile/ValueProfiler.h - Value profiling & annotation advice -------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated next step (sections 3.2 and 6): "automate program
+/// annotation using techniques such as value profiling [Calder et al.] to
+/// identify static variable candidates, and a cost-benefit model to
+/// select appropriate optimizations."
+///
+/// ValueProfiler observes every call executed by a VM and records, per
+/// function parameter, the distinct values seen (up to a cap).
+/// AnnotationAdvisor combines that with the VM's per-function inclusive
+/// cycle counts into ranked make_static suggestions: parameters of hot
+/// functions that are invariant (or near-invariant) across many calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_PROFILE_VALUEPROFILER_H
+#define DYC_PROFILE_VALUEPROFILER_H
+
+#include "ir/Module.h"
+#include "vm/VM.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace profile {
+
+/// Per-parameter value statistics.
+struct ParamProfile {
+  uint64_t Observations = 0;
+  /// Distinct values with occurrence counts; capped — once the cap is
+  /// exceeded the parameter is considered too variable to specialize on.
+  std::map<uint64_t, uint64_t> Values;
+  bool Overflowed = false;
+
+  size_t distinctValues() const { return Values.size(); }
+
+  /// Fraction of observations taken by the most common value.
+  double dominance() const;
+};
+
+/// Records argument values for every call in a VM run.
+class ValueProfiler {
+public:
+  /// \p MaxDistinct caps the tracked value set per parameter.
+  explicit ValueProfiler(size_t MaxDistinct = 16)
+      : MaxDistinct(MaxDistinct) {}
+
+  /// Attaches to \p M (sets its call observer). Call before running.
+  void attach(vm::VM &M);
+
+  const ParamProfile &param(uint32_t Func, uint32_t Param) const;
+  uint64_t calls(uint32_t Func) const;
+
+private:
+  size_t MaxDistinct;
+  /// [function][param] -> profile.
+  std::vector<std::vector<ParamProfile>> Profiles;
+  std::vector<uint64_t> Calls;
+};
+
+/// One make_static suggestion.
+struct Suggestion {
+  int FuncIdx = -1;
+  std::string FuncName;
+  std::vector<ir::Reg> Params;      ///< parameters to annotate together
+  std::vector<std::string> Names;
+  uint64_t CallCount = 0;
+  size_t DistinctCombos = 0;        ///< max distinct values among them
+  double CycleShare = 0;            ///< fraction of total execution time
+  double Score = 0;                 ///< ranking key
+
+  std::string toString() const;
+};
+
+/// Cost-benefit knobs for the advisor.
+struct AdvisorPolicy {
+  uint64_t MinCalls = 8;        ///< amortization floor
+  size_t MaxDistinct = 4;       ///< values per parameter worth caching
+  double MinCycleShare = 0.01;  ///< ignore cold functions
+  double MinDominance = 0.5;    ///< most-common value share floor
+};
+
+/// Ranks annotation candidates from a profile + execution statistics.
+/// Functions that already carry annotations are skipped.
+std::vector<Suggestion> adviseAnnotations(const ir::Module &M,
+                                          const vm::VM &Machine,
+                                          const ValueProfiler &P,
+                                          const AdvisorPolicy &Policy = {});
+
+} // namespace profile
+} // namespace dyc
+
+#endif // DYC_PROFILE_VALUEPROFILER_H

@@ -1,0 +1,75 @@
+//===- runtime/CodeCache.cpp -------------------------------------------------------===//
+
+#include "runtime/CodeCache.h"
+
+namespace dyc {
+namespace runtime {
+
+size_t CodeCache::entries() const {
+  switch (Policy) {
+  case ir::CachePolicy::CacheAll:
+    return Table.size();
+  case ir::CachePolicy::CacheIndexed:
+    return IndexedCount;
+  default:
+    return HasOne ? 1 : 0;
+  }
+}
+
+CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
+  ++Lookups;
+  CacheResult R;
+  switch (Policy) {
+  case ir::CachePolicy::CacheAll: {
+    uint32_t V = Table.lookup(Key, &R.Probes);
+    R.Hit = V != DoubleHashTable::NotFound;
+    R.Value = R.Hit ? V : 0;
+    return R;
+  }
+  case ir::CachePolicy::CacheOne:
+    R.Hit = HasOne && OneKey == Key;
+    R.Value = R.Hit ? OneValue : 0;
+    return R;
+  case ir::CachePolicy::CacheOneUnchecked:
+    // A resident entry is used without comparing keys.
+    R.Hit = HasOne;
+    R.Value = R.Hit ? OneValue : 0;
+    return R;
+  case ir::CachePolicy::CacheIndexed: {
+    assert(IndexPos < Key.size() && "indexed cache needs its index key");
+    uint64_t Idx = Key[IndexPos].Bits;
+    if (Idx >= MaxIndexedKey)
+      fatal("cache_indexed key outside the supported small range");
+    if (Idx >= Indexed.size() || Indexed[Idx] == NotPresent)
+      return R;
+    R.Hit = true;
+    R.Value = Indexed[Idx];
+    return R;
+  }
+  }
+  return R;
+}
+
+void CodeCache::insert(const std::vector<Word> &Key, uint32_t Value) {
+  if (Policy == ir::CachePolicy::CacheAll) {
+    Table.insert(Key, Value);
+    return;
+  }
+  if (Policy == ir::CachePolicy::CacheIndexed) {
+    uint64_t Idx = Key[IndexPos].Bits;
+    if (Idx >= MaxIndexedKey)
+      fatal("cache_indexed key outside the supported small range");
+    if (Idx >= Indexed.size())
+      Indexed.resize(Idx + 1, NotPresent);
+    if (Indexed[Idx] == NotPresent)
+      ++IndexedCount;
+    Indexed[Idx] = Value;
+    return;
+  }
+  HasOne = true;
+  OneKey = Key;
+  OneValue = Value;
+}
+
+} // namespace runtime
+} // namespace dyc

@@ -1,0 +1,80 @@
+//===- runtime/CodeCache.h - Dynamic-code caches ---------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-promotion-point caches of dynamically generated code (paper
+/// section 2.2.3). Three policies:
+///
+///  * cache_all (default, safe): double-hashed table mapping the tuple of
+///    static-variable values to generated code (~90 cycles per dispatch).
+///  * cache_one: a single entry whose key is checked; a mismatch evicts
+///    and respecializes.
+///  * cache_one_unchecked: a single entry returned *without* checking
+///    (load + indirect jump, ~10 cycles) — fast but a potentially unsafe
+///    programmer assertion, exactly as in DyC.
+///  * cache_indexed: the section-3.1 extension — the last key word
+///    directly indexes an array (valid for small value ranges); other key
+///    words are unchecked invariants. This is what makes byte-keyed
+///    regions (decompressors, grep) profitable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_CODECACHE_H
+#define DYC_RUNTIME_CODECACHE_H
+
+#include "ir/Instruction.h"
+#include "support/DoubleHashTable.h"
+
+namespace dyc {
+namespace runtime {
+
+/// Outcome of a cache probe.
+struct CacheResult {
+  bool Hit = false;
+  uint32_t Value = 0;   ///< generated-code entry PC on hit
+  unsigned Probes = 0;  ///< hash probes performed (cache_all only)
+};
+
+/// One promotion point's cache.
+class CodeCache {
+public:
+  explicit CodeCache(ir::CachePolicy Policy = ir::CachePolicy::CacheAll,
+                     uint32_t IndexPos = 0)
+      : Policy(Policy), IndexPos(IndexPos) {}
+
+  ir::CachePolicy policy() const { return Policy; }
+
+  /// Probes for \p Key. Under cache_one_unchecked, any resident entry hits
+  /// regardless of key — the unsafety is the point.
+  CacheResult lookup(const std::vector<Word> &Key) const;
+
+  /// Installs \p Key -> \p Value (replaces the resident entry under the
+  /// one-slot policies).
+  void insert(const std::vector<Word> &Key, uint32_t Value);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t totalProbes() const { return Table.totalProbes(); }
+  size_t entries() const;
+
+private:
+  ir::CachePolicy Policy;
+  uint32_t IndexPos;
+  DoubleHashTable Table; // cache_all
+  bool HasOne = false;   // one-slot policies
+  std::vector<Word> OneKey;
+  uint32_t OneValue = 0;
+  std::vector<uint32_t> Indexed; // cache_indexed (sentinel = NotPresent)
+  size_t IndexedCount = 0;
+  mutable uint64_t Lookups = 0;
+
+  static constexpr uint32_t NotPresent = 0xffffffffu;
+  static constexpr size_t MaxIndexedKey = 65536;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_CODECACHE_H

@@ -1,0 +1,32 @@
+//===- runtime/RuntimeStats.cpp ------------------------------------------------===//
+
+#include "runtime/RuntimeStats.h"
+
+#include "support/Support.h"
+
+namespace dyc {
+namespace runtime {
+
+std::string RegionStats::toString() const {
+  return formatString(
+      "runs=%llu items=%llu gen=%llu sloads=%llu scalls=%llu(memo %llu) "
+      "zcp=%llu dae=%llu mat=%llu sr=%llu folded-br=%llu dyn-br=%llu "
+      "disp=%llu hit=%llu miss=%llu sites=%llu max-copies=%llu",
+      (unsigned long long)SpecializationRuns, (unsigned long long)WorkItems,
+      (unsigned long long)InstructionsGenerated,
+      (unsigned long long)StaticLoadsExecuted,
+      (unsigned long long)StaticCallsExecuted,
+      (unsigned long long)StaticCallMemoHits, (unsigned long long)ZcpApplied,
+      (unsigned long long)DeadAssignsEliminated,
+      (unsigned long long)MaterializedDeferred,
+      (unsigned long long)StrengthReduced,
+      (unsigned long long)BranchesFolded,
+      (unsigned long long)DynamicBranchesEmitted,
+      (unsigned long long)Dispatches, (unsigned long long)CacheHits,
+      (unsigned long long)CacheMisses,
+      (unsigned long long)DispatchSitesCreated,
+      (unsigned long long)MaxBlockInstances);
+}
+
+} // namespace runtime
+} // namespace dyc

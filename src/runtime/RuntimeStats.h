@@ -1,0 +1,54 @@
+//===- runtime/RuntimeStats.h - Per-region run-time statistics -------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the specializer maintains per region. Tables 2 and 3 of the
+/// paper are computed from these (which optimizations actually fired;
+/// instructions generated; dispatch behavior).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_RUNTIMESTATS_H
+#define DYC_RUNTIME_RUNTIMESTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dyc {
+namespace runtime {
+
+/// Counters for one region (annotated function).
+struct RegionStats {
+  uint64_t SpecializationRuns = 0;
+  uint64_t WorkItems = 0;
+  uint64_t InstructionsGenerated = 0;
+
+  uint64_t StaticLoadsExecuted = 0;
+  uint64_t StaticCallsExecuted = 0;
+  uint64_t StaticCallMemoHits = 0;
+
+  uint64_t ZcpApplied = 0;          ///< operations reduced to moves/clears
+  uint64_t DeadAssignsEliminated = 0; ///< deferred instructions dropped
+  uint64_t MaterializedDeferred = 0;  ///< deferred instructions forced out
+  uint64_t StrengthReduced = 0;
+  uint64_t BranchesFolded = 0;      ///< static (or propagated) branch folds
+  uint64_t DynamicBranchesEmitted = 0;
+
+  uint64_t Dispatches = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t DispatchSitesCreated = 0; ///< internal promotion sites emitted
+
+  uint64_t MaxBlockInstances = 0; ///< max specializations of one context —
+                                  ///< >1 is loop-unrolling evidence
+
+  std::string toString() const;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_RUNTIMESTATS_H

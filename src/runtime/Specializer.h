@@ -1,0 +1,117 @@
+//===- runtime/Specializer.h - The DyC run-time ----------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-time half of DyC: dispatching through dynamic-code caches and,
+/// on a miss, running the generating extension to produce specialized
+/// bytecode. Specialization is a memoized walk over (context,
+/// static-values) pairs — polyvariant specialization. Re-reaching a pair
+/// emits a jump to the existing code, which is what terminates and shapes
+/// complete loop unrolling: a simple counted loop unrolls into a linear
+/// chain; loops whose iterations diverge produce a directed graph of
+/// unrolled bodies (multi-way unrolling, paper section 2.2.4).
+///
+/// Emit-time optimizations (all statically planned, no run-time IR):
+///  * holes filled with static values, integer operands packed into
+///    immediate fields, power-of-two strength reduction (section 2.2.7),
+///  * zero/copy propagation via operand resolution through a deferral
+///    table, and
+///  * dead-assignment elimination: pure instructions whose results are
+///    block-dead are deferred; if nothing reads them before the end of the
+///    specialized block, they are never emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_SPECIALIZER_H
+#define DYC_RUNTIME_SPECIALIZER_H
+
+#include "bta/OptFlags.h"
+#include "cogen/CompilerGenerator.h"
+#include "runtime/CodeCache.h"
+#include "runtime/RuntimeStats.h"
+#include "vm/VM.h"
+
+#include <map>
+#include <memory>
+
+namespace dyc {
+namespace runtime {
+
+/// The DyC run-time: owns every region's generated-code buffer, caches,
+/// and statistics, and serves the VM's EnterRegion/Dispatch traps.
+class DycRuntime : public vm::RuntimeHook {
+public:
+  DycRuntime(const ir::Module &M, vm::Program &Prog, const OptFlags &Flags)
+      : M(M), Prog(Prog), Flags(Flags) {}
+
+  /// Registers the generating extension for the next annotated function.
+  /// Must be called in annotated-ordinal order (the order lowerModule
+  /// encoded into EnterRegion instructions).
+  void addRegion(cogen::GenExtFunction GX);
+
+  /// VM trap entry point. \p PointId >= 0 encodes a native entry
+  /// (ordinal << 16 | promoId); negative values are run-time dispatch
+  /// sites (-(site + 1)).
+  Target dispatch(vm::VM &M, int64_t PointId,
+                  std::vector<Word> &Regs) override;
+
+  size_t numRegions() const { return Regions.size(); }
+  const RegionStats &stats(size_t Ordinal) const;
+  RegionStats &statsMutable(size_t Ordinal);
+
+  /// Disassembles a region's generated-code buffer (for the examples'
+  /// Figure-3/4-style dumps).
+  std::string disassembleRegion(size_t Ordinal) const;
+
+  /// Renders a region's generating extension (set-up/emit programs).
+  std::string printRegion(size_t Ordinal, const ir::Module &Mod) const;
+
+  /// Average probes per cache_all lookup across a region's promotion
+  /// points (dispatch-cost reporting).
+  double avgCacheProbes(size_t Ordinal) const;
+
+private:
+  struct RegionRT {
+    cogen::GenExtFunction GX;
+    vm::CodeObject Buffer;
+    std::vector<CodeCache> PromoCaches; ///< index == promo id
+    RegionStats Stats;
+    /// Memo for static calls executed at specialize time.
+    std::map<std::vector<uint64_t>, Word> CallMemo;
+    /// Shared single-instruction stubs: exit block -> PC, site -> PC.
+    std::map<ir::BlockId, uint32_t> ExitStubs;
+    std::map<uint32_t, uint32_t> DispatchStubs;
+    /// Per-context placement counts (unrolling evidence).
+    std::vector<uint32_t> CtxPlacements;
+  };
+
+  /// A run-time dispatch site (emitted Dispatch instruction payload).
+  struct DispatchSite {
+    uint32_t RegionOrd = 0;
+    uint32_t PromoId = 0;
+    std::vector<Word> BakedVals; ///< values of the promo's BakedRegs
+  };
+
+  friend class SpecializeRun;
+
+  /// Runs the specializer; returns the entry PC in the region's buffer.
+  uint32_t specialize(RegionRT &R, vm::VM &M, uint32_t TargetCtx,
+                      std::vector<Word> Vals);
+
+  /// Finds or creates a dispatch site; returns its index.
+  uint32_t internSite(DispatchSite S);
+
+  const ir::Module &M;
+  vm::Program &Prog;
+  OptFlags Flags;
+  std::vector<std::unique_ptr<RegionRT>> Regions;
+  std::vector<DispatchSite> Sites;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_SPECIALIZER_H

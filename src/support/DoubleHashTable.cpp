@@ -1,0 +1,97 @@
+//===- support/DoubleHashTable.cpp ----------------------------------------===//
+
+#include "support/DoubleHashTable.h"
+
+namespace dyc {
+
+namespace {
+
+/// Prime capacities so the double-hash step h2 (which is always made odd
+/// and smaller than the capacity) walks a full cycle.
+const size_t PrimeCaps[] = {13,    31,    61,     127,    251,   509,
+                            1021,  2039,  4093,   8191,   16381, 32749,
+                            65521, 131071, 262139, 524287};
+
+size_t nextCapacity(size_t Current) {
+  for (size_t P : PrimeCaps)
+    if (P > Current)
+      return P;
+  return Current * 2 + 1;
+}
+
+uint64_t secondaryHash(uint64_t H) {
+  // A distinct mix so h2 is independent of h1.
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdULL;
+  H ^= H >> 33;
+  return H;
+}
+
+} // namespace
+
+DoubleHashTable::DoubleHashTable() { Slots.resize(PrimeCaps[0]); }
+
+uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
+                                 unsigned *ProbesOut) const {
+  uint64_t H = hashWords(Key);
+  size_t Cap = capacity();
+  size_t Idx = H % Cap;
+  size_t Step = 1 + secondaryHash(H) % (Cap - 1);
+  unsigned Probes = 0;
+  ++TotalLookups;
+  for (size_t I = 0; I != Cap; ++I) {
+    ++Probes;
+    const Slot &S = Slots[Idx];
+    if (!S.Occupied)
+      break;
+    if (S.Hash == H && S.Key == Key) {
+      TotalProbes += Probes;
+      if (ProbesOut)
+        *ProbesOut = Probes;
+      return S.Value;
+    }
+    Idx = (Idx + Step) % Cap;
+  }
+  TotalProbes += Probes;
+  if (ProbesOut)
+    *ProbesOut = Probes;
+  return NotFound;
+}
+
+void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value) {
+  if ((NumEntries + 1) * 3 > capacity() * 2)
+    grow();
+  uint64_t H = hashWords(Key);
+  size_t Cap = capacity();
+  size_t Idx = H % Cap;
+  size_t Step = 1 + secondaryHash(H) % (Cap - 1);
+  for (size_t I = 0; I != Cap; ++I) {
+    Slot &S = Slots[Idx];
+    if (!S.Occupied) {
+      S.Key = Key;
+      S.Hash = H;
+      S.Value = Value;
+      S.Occupied = true;
+      ++NumEntries;
+      return;
+    }
+    if (S.Hash == H && S.Key == Key) {
+      S.Value = Value;
+      return;
+    }
+    Idx = (Idx + Step) % Cap;
+  }
+  fatal("double-hash table insert failed despite resize policy");
+}
+
+void DoubleHashTable::grow() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.clear();
+  Slots.resize(nextCapacity(Old.size()));
+  NumEntries = 0;
+  for (Slot &S : Old)
+    if (S.Occupied)
+      insert(S.Key, S.Value);
+}
+
+} // namespace dyc

@@ -1,0 +1,114 @@
+//===- support/Support.h - Common utilities for the DyC libraries -------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared low-level utilities: fatal-error reporting, a 64-bit machine word
+/// type used uniformly by the IR, the VM, and the run-time specializer, and
+/// small string/format helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SUPPORT_SUPPORT_H
+#define DYC_SUPPORT_SUPPORT_H
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dyc {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// must be diagnosed even in release builds.
+[[noreturn]] void fatal(const std::string &Msg);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// A 64-bit machine word. Registers, memory cells, and run-time-constant
+/// values are all Words; the instruction opcode determines whether the bits
+/// are interpreted as a signed integer or an IEEE double.
+struct Word {
+  uint64_t Bits = 0;
+
+  Word() = default;
+
+  /// Constructs from a raw bit pattern.
+  constexpr explicit Word(uint64_t Raw) : Bits(Raw) {}
+
+  static Word fromInt(int64_t V) {
+    Word W;
+    W.Bits = static_cast<uint64_t>(V);
+    return W;
+  }
+
+  static Word fromFloat(double V) {
+    Word W;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    __builtin_memcpy(&W.Bits, &V, sizeof(double));
+    return W;
+  }
+
+  int64_t asInt() const { return static_cast<int64_t>(Bits); }
+
+  double asFloat() const {
+    double D;
+    __builtin_memcpy(&D, &Bits, sizeof(double));
+    return D;
+  }
+
+  bool operator==(const Word &O) const { return Bits == O.Bits; }
+  bool operator!=(const Word &O) const { return Bits != O.Bits; }
+};
+
+/// FNV-1a over a sequence of 64-bit words; the run-time code cache and the
+/// specializer's memoization tables key on static-value tuples.
+uint64_t hashWords(const Word *Data, size_t N, uint64_t Seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t hashWords(const std::vector<Word> &Ws, uint64_t Seed = 0xcbf29ce484222325ULL) {
+  return hashWords(Ws.data(), Ws.size(), Seed);
+}
+
+/// Returns true if \p V is a (positive) power of two.
+inline bool isPowerOf2(int64_t V) { return V > 0 && (V & (V - 1)) == 0; }
+
+/// Log2 of a power of two.
+inline unsigned log2OfPow2(int64_t V) {
+  assert(isPowerOf2(V) && "not a power of two");
+  return static_cast<unsigned>(__builtin_ctzll(static_cast<uint64_t>(V)));
+}
+
+/// A tiny deterministic RNG (xorshift*) used by workload input generators so
+/// every run of the benchmark harness sees identical inputs.
+class DeterministicRNG {
+public:
+  explicit DeterministicRNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL)
+      : State(Seed ? Seed : 1) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dyc
+
+#endif // DYC_SUPPORT_SUPPORT_H

@@ -1,0 +1,140 @@
+//===- vm/Bytecode.h - The target instruction set -------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode executed by the abstract machine. Both statically compiled
+/// code (lowered from the IR) and dynamically generated code (emitted by the
+/// run-time specializer) use this single format, executing in the same
+/// register frame — this mirrors DyC's seamless treatment of registers
+/// across dynamic-region boundaries (paper section 2.1).
+///
+/// The ISA is deliberately Alpha-flavored: a load/store RISC over 64-bit
+/// registers, with separate integer and floating-point operations and
+/// reg-immediate forms ("fit integer static operands into instruction
+/// immediate fields", section 2.2.7). Each instruction occupies 4 bytes of
+/// simulated instruction space for the I-cache model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_VM_BYTECODE_H
+#define DYC_VM_BYTECODE_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace vm {
+
+/// Bytecode operations. Register operands name slots in the current frame;
+/// branch targets are absolute instruction indices within the current code
+/// object.
+enum class Op : uint8_t {
+  // Constants and moves.
+  ConstI, ///< A <- Imm (signed integer)
+  ConstF, ///< A <- Imm (bit pattern of a double)
+  Mov,    ///< A <- R[B] (integer move)
+  FMov,   ///< A <- R[B] (floating move; costs as much as FMul on the Alpha)
+
+  // Integer arithmetic, register-register.
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Neg,
+
+  // Integer arithmetic, register-immediate.
+  AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI,
+
+  // Floating-point arithmetic.
+  FAdd, FSub, FMul, FDiv, FNeg,
+  FAddI, FSubI, FMulI, FDivI, ///< Imm holds the bit pattern of a double.
+
+  // Comparisons; result is 0/1 in an integer register.
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+
+  // Conversions.
+  IToF, FToI,
+
+  // Memory (word-addressed; one Word per cell).
+  Load,     ///< A <- Mem[R[B] + Imm]
+  LoadAbs,  ///< A <- Mem[Imm]
+  Store,    ///< Mem[R[B] + Imm] <- R[A]
+  StoreAbs, ///< Mem[Imm] <- R[A]
+
+  // Calls. Imm = callee index; args are R[B]..R[B+C-1], copied to the
+  // callee's R[0..C); the return value lands in R[A].
+  Call,
+  CallExt, ///< Imm = external-function index.
+
+  // Control flow.
+  Br,     ///< pc <- B
+  CondBr, ///< pc <- (R[A] != 0) ? B : C
+  Ret,    ///< return R[A]; A == NoReg returns void.
+
+  // DyC run-time interface.
+  EnterRegion, ///< Imm = region id. Traps to the run-time, which dispatches
+               ///< through the region-entry cache and may invoke the
+               ///< specializer; execution resumes in generated code.
+  Dispatch,    ///< Imm = dispatch-descriptor id. Emitted at dynamic-to-static
+               ///< promotion points inside generated code.
+  ExitRegion,  ///< B = resume offset in the function's static code.
+
+  Halt, ///< Stop the machine (top-level driver use only).
+};
+
+/// Number of distinct opcodes.
+constexpr unsigned NumOps = static_cast<unsigned>(Op::Halt) + 1;
+
+/// Sentinel register meaning "no register" (e.g. void returns).
+constexpr uint32_t NoReg = 0xffffffffu;
+
+/// One bytecode instruction.
+struct Instr {
+  Op Opcode = Op::Halt;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  int64_t Imm = 0;
+
+  Instr() = default;
+  Instr(Op O, uint32_t A, uint32_t B = 0, uint32_t C = 0, int64_t Imm = 0)
+      : Opcode(O), A(A), B(B), C(C), Imm(Imm) {}
+};
+
+/// A compiled unit of bytecode. Static code objects hold a lowered function;
+/// the run-time appends generated code for a region to a growing code object.
+struct CodeObject {
+  std::vector<Instr> Code;
+  uint32_t NumRegs = 0;
+  /// Simulated base address for the I-cache model. Each instruction is 4
+  /// bytes of instruction space.
+  uint64_t BaseAddr = 0;
+  /// True for run-time-generated code buffers (unscheduled code pays the
+  /// cost model's surcharge).
+  bool IsDynamicCode = false;
+  std::string Name;
+
+  uint64_t addrOf(size_t PC) const { return BaseAddr + PC * 4; }
+};
+
+/// Returns the mnemonic for \p O.
+const char *opName(Op O);
+
+/// True for Br/CondBr/Ret/EnterRegion/Dispatch/ExitRegion/Halt.
+bool isTerminatorLike(Op O);
+
+/// Renders \p I for debugging dumps.
+std::string toString(const Instr &I);
+
+/// Disassembles a whole code object (one instruction per line, with
+/// indices), used by examples to show residual code a la Figures 3 and 4.
+std::string disassemble(const CodeObject &CO);
+
+} // namespace vm
+} // namespace dyc
+
+#endif // DYC_VM_BYTECODE_H

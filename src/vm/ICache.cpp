@@ -1,0 +1,60 @@
+//===- vm/ICache.cpp -------------------------------------------------------===//
+
+#include "vm/ICache.h"
+
+#include "support/Support.h"
+
+namespace dyc {
+namespace vm {
+
+ICache::ICache(const ICacheConfig &Config) : Cfg(Config) {
+  if (Cfg.BlockBytes == 0 || (Cfg.BlockBytes & (Cfg.BlockBytes - 1)))
+    fatal("I-cache block size must be a power of two");
+  if (Cfg.Assoc == 0)
+    fatal("I-cache associativity must be >= 1");
+  uint32_t NumBlocks = Cfg.SizeBytes / Cfg.BlockBytes;
+  if (NumBlocks == 0 || NumBlocks % Cfg.Assoc != 0)
+    fatal("I-cache geometry does not divide evenly into sets");
+  NumSets = NumBlocks / Cfg.Assoc;
+  if (NumSets & (NumSets - 1))
+    fatal("I-cache set count must be a power of two");
+  Lines.resize(static_cast<size_t>(NumSets) * Cfg.Assoc);
+}
+
+bool ICache::access(uint64_t Addr) {
+  if (!Cfg.Enabled) {
+    ++Hits;
+    return true;
+  }
+  ++Clock;
+  uint64_t Block = Addr / Cfg.BlockBytes;
+  uint32_t Set = static_cast<uint32_t>(Block & (NumSets - 1));
+  uint64_t Tag = Block >> __builtin_ctz(NumSets);
+  Line *SetBase = &Lines[static_cast<size_t>(Set) * Cfg.Assoc];
+
+  Line *Victim = nullptr;
+  for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
+    Line &L = SetBase[W];
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Victim || !L.Valid ||
+        (Victim->Valid && L.Valid && L.LastUse < Victim->LastUse))
+      Victim = &L;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  ++Misses;
+  return false;
+}
+
+void ICache::flush() {
+  for (Line &L : Lines)
+    L.Valid = false;
+}
+
+} // namespace vm
+} // namespace dyc

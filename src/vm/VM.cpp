@@ -1,0 +1,309 @@
+//===- vm/VM.cpp - Bytecode interpreter ------------------------------------===//
+
+#include "vm/VM.h"
+
+namespace dyc {
+namespace vm {
+
+RuntimeHook::~RuntimeHook() = default;
+
+uint32_t Program::addFunction(CodeObject CO) {
+  CO.BaseAddr = allocCodeAddr(CO.Code.size() * 4 + 64);
+  Funcs.push_back(std::move(CO));
+  return static_cast<uint32_t>(Funcs.size() - 1);
+}
+
+uint64_t Program::allocCodeAddr(uint64_t Bytes) {
+  uint64_t Base = NextCodeAddr;
+  // Keep code objects block-aligned so footprints are easy to reason about.
+  NextCodeAddr += (Bytes + 63) & ~63ULL;
+  return Base;
+}
+
+int Program::findFunction(const std::string &Name) const {
+  for (size_t I = 0; I != Funcs.size(); ++I)
+    if (Funcs[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+VM::VM(Program &P, const CostModel &CMIn, const ICacheConfig &ICIn)
+    : Prog(P), CM(CMIn), IC(ICIn) {
+  Mem.resize(1 << 20);
+  FuncStats.resize(P.numFunctions());
+}
+
+const FunctionStats &VM::functionStats(uint32_t FuncIdx) const {
+  assert(FuncIdx < FuncStats.size() && "function index out of range");
+  return FuncStats[FuncIdx];
+}
+
+int64_t VM::allocMemory(int64_t Cells) {
+  assert(Cells >= 0 && "negative allocation");
+  int64_t Base = MemBrk;
+  MemBrk += Cells;
+  if (static_cast<uint64_t>(MemBrk) > Mem.size()) {
+    size_t NewSize = Mem.size();
+    while (static_cast<uint64_t>(MemBrk) > NewSize)
+      NewSize *= 2;
+    Mem.resize(NewSize);
+  }
+  return Base;
+}
+
+void VM::machineError(const std::string &Msg, const Frame &F) {
+  fatal(formatString("machine error in '%s' at pc %u: %s",
+                     F.CurCode ? F.CurCode->Name.c_str() : "<none>", F.PC,
+                     Msg.c_str()));
+}
+
+Word &VM::mem(int64_t Addr, const Frame &F) {
+  if (Addr < 0 || static_cast<uint64_t>(Addr) >= Mem.size())
+    machineError(formatString("memory access out of range: %lld",
+                              (long long)Addr),
+                 F);
+  return Mem[static_cast<size_t>(Addr)];
+}
+
+Word VM::run(uint32_t FuncIdx, const std::vector<Word> &Args) {
+  if (FuncStats.size() < Prog.numFunctions())
+    FuncStats.resize(Prog.numFunctions());
+  size_t BaseDepth = Frames.size();
+  Frame F;
+  F.FuncCode = F.CurCode = &Prog.function(FuncIdx);
+  F.FuncIdx = FuncIdx;
+  F.Regs.assign(F.FuncCode->NumRegs, Word());
+  assert(Args.size() <= F.Regs.size() && "too many arguments");
+  for (size_t I = 0; I != Args.size(); ++I)
+    F.Regs[I] = Args[I];
+  F.StartCycles = ExecCycles;
+  ++FuncStats[FuncIdx].Calls;
+  if (OnCall)
+    OnCall(FuncIdx, F.Regs.data(), static_cast<uint32_t>(Args.size()));
+  Frames.push_back(std::move(F));
+
+  while (Frames.size() > BaseDepth) {
+    Frame &Fr = Frames.back();
+    const CodeObject &CO = *Fr.CurCode;
+    if (Fr.PC >= CO.Code.size())
+      machineError("fell off the end of the code object", Fr);
+    if (++InstrsExecuted > MaxInstructions)
+      machineError("instruction fuel exhausted (runaway loop?)", Fr);
+
+    const Instr I = CO.Code[Fr.PC];
+    if (!IC.access(CO.addrOf(Fr.PC)))
+      ExecCycles += CM.ICacheMissPenalty;
+    ExecCycles += CM.costOf(I, CO.IsDynamicCode);
+
+    std::vector<Word> &R = Fr.Regs;
+    uint32_t NextPC = Fr.PC + 1;
+
+    switch (I.Opcode) {
+    case Op::ConstI:
+      R[I.A] = Word::fromInt(I.Imm);
+      break;
+    case Op::ConstF:
+      R[I.A] = Word{static_cast<uint64_t>(I.Imm)};
+      break;
+    case Op::Mov:
+    case Op::FMov:
+      R[I.A] = R[I.B];
+      break;
+
+    case Op::Add: R[I.A] = Word::fromInt(R[I.B].asInt() + R[I.C].asInt()); break;
+    case Op::Sub: R[I.A] = Word::fromInt(R[I.B].asInt() - R[I.C].asInt()); break;
+    case Op::Mul: R[I.A] = Word::fromInt(R[I.B].asInt() * R[I.C].asInt()); break;
+    case Op::Div:
+      if (R[I.C].asInt() == 0)
+        machineError("integer divide by zero", Fr);
+      R[I.A] = Word::fromInt(R[I.B].asInt() / R[I.C].asInt());
+      break;
+    case Op::Rem:
+      if (R[I.C].asInt() == 0)
+        machineError("integer remainder by zero", Fr);
+      R[I.A] = Word::fromInt(R[I.B].asInt() % R[I.C].asInt());
+      break;
+    case Op::And: R[I.A] = Word::fromInt(R[I.B].asInt() & R[I.C].asInt()); break;
+    case Op::Or:  R[I.A] = Word::fromInt(R[I.B].asInt() | R[I.C].asInt()); break;
+    case Op::Xor: R[I.A] = Word::fromInt(R[I.B].asInt() ^ R[I.C].asInt()); break;
+    case Op::Shl:
+      R[I.A] = Word::fromInt(R[I.B].asInt() << (R[I.C].asInt() & 63));
+      break;
+    case Op::Shr:
+      R[I.A] = Word::fromInt(R[I.B].asInt() >> (R[I.C].asInt() & 63));
+      break;
+    case Op::Neg: R[I.A] = Word::fromInt(-R[I.B].asInt()); break;
+
+    case Op::AddI: R[I.A] = Word::fromInt(R[I.B].asInt() + I.Imm); break;
+    case Op::SubI: R[I.A] = Word::fromInt(R[I.B].asInt() - I.Imm); break;
+    case Op::MulI: R[I.A] = Word::fromInt(R[I.B].asInt() * I.Imm); break;
+    case Op::DivI:
+      if (I.Imm == 0)
+        machineError("integer divide by zero immediate", Fr);
+      R[I.A] = Word::fromInt(R[I.B].asInt() / I.Imm);
+      break;
+    case Op::RemI:
+      if (I.Imm == 0)
+        machineError("integer remainder by zero immediate", Fr);
+      R[I.A] = Word::fromInt(R[I.B].asInt() % I.Imm);
+      break;
+    case Op::AndI: R[I.A] = Word::fromInt(R[I.B].asInt() & I.Imm); break;
+    case Op::OrI:  R[I.A] = Word::fromInt(R[I.B].asInt() | I.Imm); break;
+    case Op::XorI: R[I.A] = Word::fromInt(R[I.B].asInt() ^ I.Imm); break;
+    case Op::ShlI: R[I.A] = Word::fromInt(R[I.B].asInt() << (I.Imm & 63)); break;
+    case Op::ShrI: R[I.A] = Word::fromInt(R[I.B].asInt() >> (I.Imm & 63)); break;
+
+    case Op::FAdd: R[I.A] = Word::fromFloat(R[I.B].asFloat() + R[I.C].asFloat()); break;
+    case Op::FSub: R[I.A] = Word::fromFloat(R[I.B].asFloat() - R[I.C].asFloat()); break;
+    case Op::FMul: R[I.A] = Word::fromFloat(R[I.B].asFloat() * R[I.C].asFloat()); break;
+    case Op::FDiv: R[I.A] = Word::fromFloat(R[I.B].asFloat() / R[I.C].asFloat()); break;
+    case Op::FNeg: R[I.A] = Word::fromFloat(-R[I.B].asFloat()); break;
+
+    case Op::FAddI:
+      R[I.A] = Word::fromFloat(R[I.B].asFloat() +
+                               Word{(uint64_t)I.Imm}.asFloat());
+      break;
+    case Op::FSubI:
+      R[I.A] = Word::fromFloat(R[I.B].asFloat() -
+                               Word{(uint64_t)I.Imm}.asFloat());
+      break;
+    case Op::FMulI:
+      R[I.A] = Word::fromFloat(R[I.B].asFloat() *
+                               Word{(uint64_t)I.Imm}.asFloat());
+      break;
+    case Op::FDivI:
+      R[I.A] = Word::fromFloat(R[I.B].asFloat() /
+                               Word{(uint64_t)I.Imm}.asFloat());
+      break;
+
+    case Op::CmpEq: R[I.A] = Word::fromInt(R[I.B].asInt() == R[I.C].asInt()); break;
+    case Op::CmpNe: R[I.A] = Word::fromInt(R[I.B].asInt() != R[I.C].asInt()); break;
+    case Op::CmpLt: R[I.A] = Word::fromInt(R[I.B].asInt() <  R[I.C].asInt()); break;
+    case Op::CmpLe: R[I.A] = Word::fromInt(R[I.B].asInt() <= R[I.C].asInt()); break;
+    case Op::CmpGt: R[I.A] = Word::fromInt(R[I.B].asInt() >  R[I.C].asInt()); break;
+    case Op::CmpGe: R[I.A] = Word::fromInt(R[I.B].asInt() >= R[I.C].asInt()); break;
+
+    case Op::CmpEqI: R[I.A] = Word::fromInt(R[I.B].asInt() == I.Imm); break;
+    case Op::CmpNeI: R[I.A] = Word::fromInt(R[I.B].asInt() != I.Imm); break;
+    case Op::CmpLtI: R[I.A] = Word::fromInt(R[I.B].asInt() <  I.Imm); break;
+    case Op::CmpLeI: R[I.A] = Word::fromInt(R[I.B].asInt() <= I.Imm); break;
+    case Op::CmpGtI: R[I.A] = Word::fromInt(R[I.B].asInt() >  I.Imm); break;
+    case Op::CmpGeI: R[I.A] = Word::fromInt(R[I.B].asInt() >= I.Imm); break;
+
+    case Op::FCmpEq: R[I.A] = Word::fromInt(R[I.B].asFloat() == R[I.C].asFloat()); break;
+    case Op::FCmpNe: R[I.A] = Word::fromInt(R[I.B].asFloat() != R[I.C].asFloat()); break;
+    case Op::FCmpLt: R[I.A] = Word::fromInt(R[I.B].asFloat() <  R[I.C].asFloat()); break;
+    case Op::FCmpLe: R[I.A] = Word::fromInt(R[I.B].asFloat() <= R[I.C].asFloat()); break;
+    case Op::FCmpGt: R[I.A] = Word::fromInt(R[I.B].asFloat() >  R[I.C].asFloat()); break;
+    case Op::FCmpGe: R[I.A] = Word::fromInt(R[I.B].asFloat() >= R[I.C].asFloat()); break;
+
+    case Op::IToF:
+      R[I.A] = Word::fromFloat(static_cast<double>(R[I.B].asInt()));
+      break;
+    case Op::FToI:
+      R[I.A] = Word::fromInt(static_cast<int64_t>(R[I.B].asFloat()));
+      break;
+
+    case Op::Load:
+      R[I.A] = mem(R[I.B].asInt() + I.Imm, Fr);
+      break;
+    case Op::LoadAbs:
+      R[I.A] = mem(I.Imm, Fr);
+      break;
+    case Op::Store:
+      mem(R[I.B].asInt() + I.Imm, Fr) = R[I.A];
+      break;
+    case Op::StoreAbs:
+      mem(I.Imm, Fr) = R[I.A];
+      break;
+
+    case Op::Call: {
+      if (Frames.size() > 4096)
+        machineError("call stack overflow", Fr);
+      uint32_t Callee = static_cast<uint32_t>(I.Imm);
+      if (Callee >= Prog.numFunctions())
+        machineError("call to nonexistent function", Fr);
+      Fr.PC = NextPC;
+      Frame NF;
+      NF.FuncCode = NF.CurCode = &Prog.function(Callee);
+      NF.FuncIdx = Callee;
+      NF.Regs.assign(NF.FuncCode->NumRegs, Word());
+      for (uint32_t K = 0; K != I.C; ++K)
+        NF.Regs[K] = R[I.B + K];
+      NF.RetReg = I.A;
+      NF.StartCycles = ExecCycles;
+      ++FuncStats[Callee].Calls;
+      if (OnCall)
+        OnCall(Callee, NF.Regs.data(), I.C);
+      Frames.push_back(std::move(NF));
+      continue;
+    }
+
+    case Op::CallExt: {
+      const ExternalFunction &E =
+          Prog.Externals.get(static_cast<unsigned>(I.Imm));
+      assert(I.C == E.NumArgs && "external call arity mismatch");
+      Word ArgBuf[8];
+      assert(I.C <= 8 && "too many external arguments");
+      for (uint32_t K = 0; K != I.C; ++K)
+        ArgBuf[K] = R[I.B + K];
+      ExecCycles += E.CostCycles;
+      Word Res = E.Fn(ArgBuf);
+      if (I.A != NoReg)
+        R[I.A] = Res;
+      break;
+    }
+
+    case Op::Br:
+      NextPC = I.B;
+      break;
+    case Op::CondBr:
+      NextPC = R[I.A].asInt() != 0 ? I.B : I.C;
+      break;
+
+    case Op::Ret: {
+      Word Res = I.A == NoReg ? Word() : R[I.A];
+      FuncStats[Fr.FuncIdx].InclusiveCycles += ExecCycles - Fr.StartCycles;
+      uint32_t RetReg = Fr.RetReg;
+      Frames.pop_back();
+      if (Frames.size() == BaseDepth) {
+        LastResult = Res;
+        return Res;
+      }
+      if (RetReg != NoReg)
+        Frames.back().Regs[RetReg] = Res;
+      continue;
+    }
+
+    case Op::EnterRegion:
+    case Op::Dispatch: {
+      if (!Hook)
+        machineError("region trap with no run-time attached", Fr);
+      RuntimeHook::Target T = Hook->dispatch(*this, I.Imm, Fr.Regs);
+      if (!T.CO)
+        machineError("run-time returned no target", Fr);
+      // The hook may have re-entered the VM (static calls during
+      // specialization); re-establish the frame reference.
+      Frame &Fr2 = Frames.back();
+      Fr2.CurCode = T.CO;
+      Fr2.PC = T.PC;
+      continue;
+    }
+
+    case Op::ExitRegion: {
+      Fr.CurCode = Fr.FuncCode;
+      Fr.PC = I.B;
+      continue;
+    }
+
+    case Op::Halt:
+      machineError("halt executed", Fr);
+    }
+
+    Fr.PC = NextPC;
+  }
+  return LastResult;
+}
+
+} // namespace vm
+} // namespace dyc

@@ -1,0 +1,185 @@
+//===- vm/VM.h - The abstract machine --------------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate standing in for the paper's DEC Alpha 21164
+/// workstation. The VM interprets bytecode deterministically, charging
+/// cycles per the CostModel and simulating an L1 instruction cache.
+/// Execution cycles and dynamic-compilation cycles are accounted
+/// separately, replacing the paper's getrusage/cycle-counter measurements
+/// with exact deterministic counts.
+///
+/// The DyC run-time attaches through the RuntimeHook interface: the
+/// EnterRegion and Dispatch instructions trap into it, and it returns the
+/// generated code to continue executing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_VM_VM_H
+#define DYC_VM_VM_H
+
+#include "vm/Bytecode.h"
+#include "vm/CostModel.h"
+#include "vm/ExternalFunctions.h"
+#include "vm/ICache.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace vm {
+
+/// A complete executable: the static code objects plus the external
+/// function table and a simulated-code address allocator (generated code
+/// claims address ranges here so the I-cache sees its true footprint).
+class Program {
+public:
+  /// Adds a function; assigns its simulated base address. Returns its index.
+  uint32_t addFunction(CodeObject CO);
+
+  /// Reserves \p Bytes of simulated instruction-address space (for
+  /// dynamically generated code buffers). Returns the base address.
+  uint64_t allocCodeAddr(uint64_t Bytes);
+
+  int findFunction(const std::string &Name) const;
+
+  CodeObject &function(uint32_t Idx) {
+    assert(Idx < Funcs.size() && "function index out of range");
+    return Funcs[Idx];
+  }
+  const CodeObject &function(uint32_t Idx) const {
+    assert(Idx < Funcs.size() && "function index out of range");
+    return Funcs[Idx];
+  }
+  size_t numFunctions() const { return Funcs.size(); }
+
+  ExternalRegistry Externals;
+
+private:
+  std::vector<CodeObject> Funcs;
+  uint64_t NextCodeAddr = 0x10000;
+};
+
+class VM;
+
+/// Interface the DyC run-time implements; invoked when the machine executes
+/// EnterRegion or Dispatch.
+class RuntimeHook {
+public:
+  virtual ~RuntimeHook();
+
+  /// Where execution continues after a trap.
+  struct Target {
+    const CodeObject *CO = nullptr;
+    uint32_t PC = 0;
+  };
+
+  /// Handles an EnterRegion/Dispatch trap. \p PointId is the instruction's
+  /// Imm; \p Regs is the live register frame (promoted values are read from
+  /// it). Implementations charge dispatch cycles via VM::chargeExec and
+  /// compilation cycles via VM::chargeDynComp.
+  virtual Target dispatch(VM &M, int64_t PointId, std::vector<Word> &Regs) = 0;
+};
+
+/// Per-function execution statistics (inclusive cycles let the harness
+/// compute Table 4's "% of execution in the dynamic region").
+struct FunctionStats {
+  uint64_t Calls = 0;
+  uint64_t InclusiveCycles = 0;
+};
+
+/// The bytecode interpreter.
+class VM {
+public:
+  explicit VM(Program &P, const CostModel &CM = CostModel(),
+              const ICacheConfig &IC = ICacheConfig());
+
+  /// Calls function \p FuncIdx with \p Args and runs to completion.
+  /// Halts the process on machine errors (out-of-range memory, stack
+  /// overflow, fuel exhaustion) — these are bugs in compiled code.
+  Word run(uint32_t FuncIdx, const std::vector<Word> &Args);
+
+  // --- Memory ---------------------------------------------------------------
+  std::vector<Word> &memory() { return Mem; }
+  const std::vector<Word> &memory() const { return Mem; }
+
+  /// Bump-allocates \p Cells words of VM memory; returns the base address.
+  int64_t allocMemory(int64_t Cells);
+
+  // --- Cycle accounting -------------------------------------------------------
+  void chargeExec(uint64_t Cycles) { ExecCycles += Cycles; }
+  void chargeDynComp(uint64_t Cycles) { DynCompCycles += Cycles; }
+  uint64_t execCycles() const { return ExecCycles; }
+  uint64_t dynCompCycles() const { return DynCompCycles; }
+
+  /// Moves all execution cycles accrued since \p Mark into the
+  /// dynamic-compilation account. The specializer brackets nested VM runs
+  /// (static calls to bytecode functions executed at specialize time) with
+  /// execCycles()/reattributeExecToDynComp so their cost lands in DC
+  /// overhead, as the paper accounts it.
+  void reattributeExecToDynComp(uint64_t Mark) {
+    assert(Mark <= ExecCycles && "mark from the future");
+    uint64_t Delta = ExecCycles - Mark;
+    ExecCycles = Mark;
+    DynCompCycles += Delta;
+  }
+  uint64_t instrsExecuted() const { return InstrsExecuted; }
+
+  const FunctionStats &functionStats(uint32_t FuncIdx) const;
+
+  ICache &icache() { return IC; }
+  const CostModel &costModel() const { return CM; }
+  Program &program() { return Prog; }
+
+  /// Flushes the I-cache (called by the run-time after emitting code, for
+  /// coherence, as the paper lists among dynamic-compilation costs).
+  void flushICache() { IC.flush(); }
+
+  RuntimeHook *Hook = nullptr;
+
+  /// Optional observer invoked at every function entry (both top-level
+  /// runs and internal calls) with the argument values. Used by the value
+  /// profiler; null by default and free when unset.
+  std::function<void(uint32_t Func, const Word *Args, uint32_t N)> OnCall;
+
+  /// Execution fuel: aborts if exceeded (guards against miscompiled loops).
+  uint64_t MaxInstructions = 4ULL << 30;
+
+private:
+  struct Frame {
+    const CodeObject *CurCode = nullptr;  ///< may be a generated-code buffer
+    const CodeObject *FuncCode = nullptr; ///< the function's static code
+    uint32_t FuncIdx = 0;
+    uint32_t PC = 0;
+    uint32_t RetReg = NoReg; ///< caller register receiving the result
+    uint64_t StartCycles = 0;
+    std::vector<Word> Regs;
+  };
+
+  void execLoop();
+  [[noreturn]] void machineError(const std::string &Msg, const Frame &F);
+
+  Word &mem(int64_t Addr, const Frame &F);
+
+  Program &Prog;
+  CostModel CM;
+  ICache IC;
+  std::vector<Word> Mem;
+  int64_t MemBrk = 16; // low addresses reserved (address 0 acts as "null")
+  std::vector<Frame> Frames;
+  std::vector<FunctionStats> FuncStats;
+  uint64_t ExecCycles = 0;
+  uint64_t DynCompCycles = 0;
+  uint64_t InstrsExecuted = 0;
+  Word LastResult;
+};
+
+} // namespace vm
+} // namespace dyc
+
+#endif // DYC_VM_VM_H

@@ -1,0 +1,212 @@
+//===- workloads/Dinero.cpp - dinero III cache simulator ---------------------------===//
+//
+// The paper's flagship application: a trace-driven cache simulator
+// (Hill & Smith's dinero III), specialized for the cache configuration
+// being simulated — "8kB I/D, direct-mapped, 32B blocks" (Table 1).
+//
+// DyC features exercised (Table 2 row "dinero: mainloop"): single-way
+// complete loop unrolling (the per-block sub-word valid loop), static
+// loads (configuration fields), unchecked dispatching, dynamic strength
+// reduction (block/set arithmetic on power-of-two geometry becomes shifts
+// and masks), and an internal dynamic-to-static promotion (the write
+// policy is read from the trace header at run time, then promoted).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace dyc {
+namespace workloads {
+
+namespace {
+
+const char *Source = R"(
+/* dinero: trace-driven split I/D cache simulator. Like dinero III, the
+   per-cache geometry is kept as precomputed shift/mask fields in the
+   configuration record (loaded per reference in the static code; folded
+   into immediates by dynamic compilation).
+   config layout: [0]=ibshift [1]=ismask [2]=dbshift [3]=dsmask
+                  [4]=dbsize [5]=dbwords
+   trace layout:  [0]=write-policy header, then (addr, kind) pairs;
+                  kind: 0 = ifetch, 1 = data read, 2 = data write.
+   stats layout:  [0]=ihit [1]=imiss [2]=dhit [3]=dmiss [4]=writebacks */
+int dinero_sim(int* config, int* trace, int ntrace,
+               int* itags, int* dtags, int* ddirty, int* dvalid,
+               int* stats) {
+  make_static(config : cache_one_unchecked);
+  int ibshift = config@[0];
+  int ismask = config@[1];
+  int dbshift = config@[2];
+  int dsmask = config@[3];
+  int dbsize = config@[4];
+  int dbwords = config@[5];
+
+  /* The write policy arrives in the trace header: a run-time value that
+     is promoted to static mid-region (internal promotion). */
+  int walloc = trace[0];
+  make_static(walloc);
+
+  int t;
+  for (t = 0; t < ntrace; t = t + 1) {
+    int addr = trace[1 + t * 2];
+    int kind = trace[2 + t * 2];
+    if (kind == 0) {
+      /* instruction cache probe */
+      int block = addr >> ibshift;
+      int set = block & ismask;
+      int tag = block >> 8;
+      if (itags[set] == tag) {
+        stats[0] = stats[0] + 1;
+      } else {
+        stats[1] = stats[1] + 1;
+        itags[set] = tag;
+      }
+    } else {
+      /* data cache probe, sub-block (word) validity tracked per block;
+         the word index uses the raw block size (strength-reduced to
+         shifts and masks by dynamic compilation) */
+      int block = addr >> dbshift;
+      int set = block & dsmask;
+      int tag = block >> 8;
+      int word = (addr % dbsize) / (dbsize / dbwords);
+      if (dtags[set] == tag) {
+        if (dvalid[set * dbwords + word] == 1) {
+          stats[2] = stats[2] + 1;
+        } else {
+          stats[3] = stats[3] + 1;
+          dvalid[set * dbwords + word] = 1;
+        }
+        if (kind == 2) { ddirty[set] = 1; }
+      } else {
+        stats[3] = stats[3] + 1;
+        if (ddirty[set] == 1) {
+          stats[4] = stats[4] + 1;
+          ddirty[set] = 0;
+        }
+        if (kind == 2) {
+          if (walloc == 1) {
+            dtags[set] = tag;
+            int w;
+            make_static(w);
+            for (w = 0; w < dbwords; w = w + 1) {  /* unrolled (static) */
+              dvalid[set * dbwords + w] = 0;
+            }
+            dvalid[set * dbwords + word] = 1;
+            ddirty[set] = 1;
+          }
+        } else {
+          dtags[set] = tag;
+          int w2;
+          make_static(w2);
+          for (w2 = 0; w2 < dbwords; w2 = w2 + 1) { /* unrolled (static) */
+            dvalid[set * dbwords + w2] = 0;
+          }
+          dvalid[set * dbwords + word] = 1;
+        }
+      }
+    }
+  }
+  return stats[1] + stats[3];
+}
+
+/* Whole-program driver: synthesizes the reference trace (the part of
+   dinero that parses its input file), then simulates it. */
+int dinero_main(int* config, int* trace, int ntrace,
+                int* itags, int* dtags, int* ddirty, int* dvalid,
+                int* stats) {
+  /* trace preprocessing: relocate addresses and classify references,
+     standing in for dinero's din-format input parsing */
+  int t;
+  int seed = 12345;
+  for (t = 0; t < ntrace; t = t + 1) {
+    seed = seed * 1103515245 + 12345;
+    int r = seed % 65536;
+    if (r < 0) { r = 0 - r; }
+    int kind = 0;
+    if (r % 16 < 6) { kind = 0; }
+    else { if (r % 16 < 12) { kind = 1; } else { kind = 2; } }
+    int addr = 0;
+    if (kind == 0) { addr = 4096 + (r % 2048) * 4; }
+    else { addr = 65536 + (r % 4096) * 8; }
+    trace[1 + t * 2] = addr;
+    trace[2 + t * 2] = kind;
+  }
+  trace[0] = 1; /* write-allocate */
+  return dinero_sim(config, trace, ntrace, itags, dtags, ddirty, dvalid,
+                    stats);
+}
+)";
+
+} // namespace
+
+Workload makeDinero() {
+  Workload W;
+  W.Name = "dinero";
+  W.Description = "cache simulator";
+  W.StaticVars = "cache configuration parameters";
+  W.StaticVals = "8kB I/D, direct-mapped, 32B blocks";
+  W.IsKernel = false;
+  W.Source = Source;
+  W.RegionFunc = "dinero_sim";
+  W.MainFunc = "dinero_main";
+  W.RegionInvocations = 3;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    // 8KB direct-mapped, 32B blocks: 256 sets each; 4 words per D-block.
+    const int64_t INSets = 256, DNSets = 256, DBWords = 4;
+    int64_t Config = M.allocMemory(6);
+    int64_t NTrace = 6000;
+    int64_t Trace = M.allocMemory(1 + NTrace * 2);
+    int64_t ITags = M.allocMemory(INSets);
+    int64_t DTags = M.allocMemory(DNSets);
+    int64_t DDirty = M.allocMemory(DNSets);
+    int64_t DValid = M.allocMemory(DNSets * DBWords);
+    int64_t Stats = M.allocMemory(8);
+    auto &Mem = M.memory();
+    Mem[Config + 0] = Word::fromInt(5);          // ibshift (32B blocks)
+    Mem[Config + 1] = Word::fromInt(INSets - 1); // ismask
+    Mem[Config + 2] = Word::fromInt(5);          // dbshift
+    Mem[Config + 3] = Word::fromInt(DNSets - 1); // dsmask
+    Mem[Config + 4] = Word::fromInt(32);         // dbsize
+    Mem[Config + 5] = Word::fromInt(DBWords);
+    for (int64_t I = 0; I != INSets; ++I)
+      Mem[ITags + I] = Word::fromInt(-1);
+    for (int64_t I = 0; I != DNSets; ++I) {
+      Mem[DTags + I] = Word::fromInt(-1);
+      Mem[DDirty + I] = Word::fromInt(0);
+    }
+    // Deterministic synthetic reference trace with locality.
+    DeterministicRNG RNG(0xd1e401);
+    Mem[Trace] = Word::fromInt(1); // write-allocate header
+    int64_t PC = 4096, DBase = 65536;
+    for (int64_t T = 0; T != NTrace; ++T) {
+      uint64_t R = RNG.next();
+      int64_t Kind, Addr;
+      if (R % 16 < 6) {
+        Kind = 0;
+        PC = (R % 32 == 0) ? 4096 + (int64_t)(RNG.nextBelow(2048)) * 4
+                           : PC + 4;
+        Addr = PC;
+      } else {
+        Kind = (R % 16 < 12) ? 1 : 2;
+        Addr = DBase + (int64_t)(RNG.nextBelow(4096)) * 8;
+      }
+      Mem[Trace + 1 + T * 2] = Word::fromInt(Addr);
+      Mem[Trace + 2 + T * 2] = Word::fromInt(Kind);
+    }
+    S.RegionArgs = {Word::fromInt(Config), Word::fromInt(Trace),
+                    Word::fromInt(NTrace), Word::fromInt(ITags),
+                    Word::fromInt(DTags),  Word::fromInt(DDirty),
+                    Word::fromInt(DValid), Word::fromInt(Stats)};
+    S.MainArgs = S.RegionArgs;
+    S.UnitsPerInvocation = static_cast<double>(NTrace);
+    S.UnitName = "memory references";
+    S.OutBase = Stats;
+    S.OutLen = 8;
+    return S;
+  };
+  return W;
+}
+
+} // namespace workloads
+} // namespace dyc

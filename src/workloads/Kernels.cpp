@@ -1,0 +1,384 @@
+//===- workloads/Kernels.cpp - The kernel benchmark suite ---------------------------===//
+//
+// The five kernels used by earlier dynamic-compilation systems (`C,
+// Tempo), included by the paper "to provide continuity to previous
+// studies" (section 3.1): binary, chebyshev, dotproduct, query, romberg,
+// with the paper's inputs (Table 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace dyc {
+namespace workloads {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// binary — binary search over a static array (multi-way unrolling: the
+// search unrolls into a comparison tree over the array's contents).
+//===----------------------------------------------------------------------===//
+
+const char *BinarySource = R"(
+int bsearch(int* arr, int n, int key) {
+  int lo = 0;
+  int hi = n - 1;
+  int found = 0 - 1;
+  make_static(arr, n, lo, hi, found : cache_one_unchecked);
+  while (lo <= hi) {                 /* static bounds: unrolls */
+    int mid = (lo + hi) / 2;
+    int v = arr@[mid];               /* static load */
+    if (key < v) { hi = mid - 1; }
+    else {
+      if (v < key) { lo = mid + 1; }
+      else { found = mid; lo = hi + 1; }
+    }
+  }
+  return found;
+}
+
+/* driver: a batch of lookups */
+int binary_main(int* arr, int n, int* keys, int nkeys, int* results) {
+  int i;
+  int hits = 0;
+  for (i = 0; i < nkeys; i = i + 1) {
+    int r = bsearch(arr, n, keys[i]);
+    results[i] = r;
+    if (r >= 0) { hits = hits + 1; }
+  }
+  return hits;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// chebyshev — polynomial function approximation; the coefficient
+// computation is dominated by calls to cosine, which become static calls
+// memoized at dynamic-compile time (section 4.4.4: "treating calls to
+// cosine as static ... turned a marginal 20% advantage into a 6-fold
+// speedup").
+//===----------------------------------------------------------------------===//
+
+const char *ChebyshevSource = R"(
+extern pure double cos(double);
+
+/* Evaluate a degree-n Chebyshev-style cosine series at x; coefficients
+   c_j = cos(omega*j)/(1+j) are recomputed per call in the static code and
+   folded to immediates in the dynamic code. */
+double cheby(double x, int n) {
+  int j;
+  make_static(n, j : cache_one_unchecked);
+  double omega = 0.73;
+  double d = 0.0;
+  double dd = 0.0;
+  double y2 = x * 2.0;
+  for (j = n - 1; j > 0; j = j - 1) {      /* unrolled (static) */
+    double cj = cos(omega * (double)j) / (1.0 + (double)j);   /* static */
+    double sv = d;
+    d = y2 * d - dd + cj;
+    dd = sv;
+  }
+  return x * d - dd + cos(0.0) / 2.0;
+}
+
+double cheby_main(double* xs, int nxs, int degree, double* out) {
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < nxs; i = i + 1) {
+    double v = cheby(xs[i], degree);
+    out[i] = v;
+    acc = acc + v;
+  }
+  return acc;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// dotproduct — dot product with one static vector, 90% zeroes: unrolling
+// plus static loads expose the elements; zero folding eliminates most of
+// the multiply/accumulate chains and the feeding loads.
+//===----------------------------------------------------------------------===//
+
+const char *DotproductSource = R"(
+int dotp(int* a, int* b, int n) {
+  int i;
+  make_static(a, n, i : cache_one_unchecked);
+  int sum = 0;
+  for (i = 0; i < n; i = i + 1) {          /* unrolled (static) */
+    sum = sum + a@[i] * b[i];              /* static load feeds mul */
+  }
+  return sum;
+}
+
+int dotp_main(int* a, int* b, int n, int reps) {
+  int r;
+  int acc = 0;
+  for (r = 0; r < reps; r = r + 1) {
+    b[r % n] = b[r % n] + 1;               /* perturb the dynamic vector */
+    acc = acc + dotp(a, b, n);
+  }
+  return acc;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// query — tests a database record against a static query of 7
+// comparisons; the per-field operator selection folds away and the
+// comparison constants pack into immediates.
+//===----------------------------------------------------------------------===//
+
+const char *QuerySource = R"(
+/* q layout: 7 (op, value) pairs. op: 0 '>=', 1 '<=', 2 '==', 3 ignore. */
+int query(int* q, int* rec) {
+  int f;
+  make_static(q, f : cache_one_unchecked);
+  int ok = 1;
+  for (f = 0; f < 7; f = f + 1) {          /* unrolled (static) */
+    int op = q@[f * 2];                    /* static load */
+    int val = q@[f * 2 + 1];               /* static load */
+    if (op == 0) { ok = ok & (rec[f] >= val); }
+    else { if (op == 1) { ok = ok & (rec[f] <= val); }
+    else { if (op == 2) { ok = ok & (rec[f] == val); } } }
+  }
+  return ok;
+}
+
+int query_main(int* q, int* db, int nrecs, int* matches) {
+  int i;
+  int n = 0;
+  for (i = 0; i < nrecs; i = i + 1) {
+    int m = query(q, db + i * 7);
+    matches[i] = m;
+    n = n + m;
+  }
+  return n;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// romberg — Romberg integration with a static iteration bound (6): both
+// the trapezoid refinement loops and the Richardson-extrapolation table
+// loops unroll completely; the 4^k - 1 divisors fold to immediates.
+//===----------------------------------------------------------------------===//
+
+const char *RombergSource = R"(
+/* Integrate f(x) = 4/(1+x^2) over [a,b] with m Romberg levels; r is an
+   m*m scratch table. Integrating over [0,1] yields pi. */
+double romberg(double a, double b, int m, double* r) {
+  int i;
+  int j;
+  int k;
+  make_static(m, i, j, k : cache_one_unchecked);
+  double h = b - a;
+  double fa = 4.0 / (1.0 + a * a);
+  double fb = 4.0 / (1.0 + b * b);
+  r[0] = (fa + fb) * h / 2.0;
+  for (i = 1; i < m; i = i + 1) {          /* unrolled (static) */
+    h = h / 2.0;
+    double s = 0.0;
+    int n1 = 1 << (i - 1);                 /* static */
+    for (k = 1; k <= n1; k = k + 1) {      /* unrolled (static) */
+      double x = a + (2.0 * (double)k - 1.0) * h;
+      s = s + 4.0 / (1.0 + x * x);
+    }
+    r[i * m] = r[(i - 1) * m] / 2.0 + s * h;
+    for (j = 1; j <= i; j = j + 1) {       /* unrolled (static) */
+      double denom = (double)((1 << (2 * j)) - 1);   /* static */
+      r[i * m + j] = r[i * m + j - 1]
+          + (r[i * m + j - 1] - r[(i - 1) * m + j - 1]) / denom;
+    }
+  }
+  return r[(m - 1) * m + (m - 1)];
+}
+
+double romberg_main(int m, double* r, double* out, int nints) {
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < nints; i = i + 1) {
+    double v = romberg(0.0, 1.0 + (double)i * 0.125, m, r);
+    out[i] = v;
+    acc = acc + v;
+  }
+  return acc;
+}
+)";
+
+} // namespace
+
+Workload makeBinary() {
+  Workload W;
+  W.Name = "binary";
+  W.Description = "binary search over an array";
+  W.StaticVars = "the input array and its contents";
+  W.StaticVals = "16 integers";
+  W.IsKernel = true;
+  W.Source = BinarySource;
+  W.RegionFunc = "bsearch";
+  W.MainFunc = "binary_main";
+  W.RegionInvocations = 300;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int N = 16, NKeys = 256;
+    int64_t Arr = M.allocMemory(N);
+    int64_t Keys = M.allocMemory(NKeys);
+    int64_t Results = M.allocMemory(NKeys);
+    auto &Mem = M.memory();
+    for (int I = 0; I != N; ++I)
+      Mem[Arr + I] = Word::fromInt(I * 7 + 3);
+    DeterministicRNG RNG(0xb1a2);
+    for (int I = 0; I != NKeys; ++I)
+      Mem[Keys + I] =
+          Word::fromInt(static_cast<int64_t>(RNG.nextBelow(130)));
+    S.RegionArgs = {Word::fromInt(Arr), Word::fromInt(N),
+                    Word::fromInt(45)};
+    S.MainArgs = {Word::fromInt(Arr), Word::fromInt(N),
+                  Word::fromInt(Keys), Word::fromInt(NKeys),
+                  Word::fromInt(Results)};
+    S.UnitsPerInvocation = 1;
+    S.UnitName = "searches";
+    S.OutBase = Results;
+    S.OutLen = NKeys;
+    return S;
+  };
+  return W;
+}
+
+Workload makeChebyshev() {
+  Workload W;
+  W.Name = "chebyshev";
+  W.Description = "polynomial function approximation";
+  W.StaticVars = "the degree of the polynomial";
+  W.StaticVals = "10";
+  W.IsKernel = true;
+  W.Source = ChebyshevSource;
+  W.RegionFunc = "cheby";
+  W.MainFunc = "cheby_main";
+  W.RegionInvocations = 200;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int NXs = 64;
+    int64_t Xs = M.allocMemory(NXs);
+    int64_t Out = M.allocMemory(NXs);
+    auto &Mem = M.memory();
+    DeterministicRNG RNG(0xc4eb);
+    for (int I = 0; I != NXs; ++I)
+      Mem[Xs + I] = Word::fromFloat(RNG.nextDouble() * 2.0 - 1.0);
+    S.RegionArgs = {Word::fromFloat(0.37), Word::fromInt(10)};
+    S.MainArgs = {Word::fromInt(Xs), Word::fromInt(NXs), Word::fromInt(10),
+                  Word::fromInt(Out)};
+    S.UnitsPerInvocation = 1;
+    S.UnitName = "interpolations";
+    S.OutBase = Out;
+    S.OutLen = NXs;
+    return S;
+  };
+  return W;
+}
+
+Workload makeDotproduct() {
+  Workload W;
+  W.Name = "dotproduct";
+  W.Description = "dot-product of two vectors";
+  W.StaticVars = "the contents of one of the vectors";
+  W.StaticVals = "a 100-integer array with 90% zeroes";
+  W.IsKernel = true;
+  W.Source = DotproductSource;
+  W.RegionFunc = "dotp";
+  W.MainFunc = "dotp_main";
+  W.RegionInvocations = 200;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int N = 100;
+    int64_t A = M.allocMemory(N);
+    int64_t B = M.allocMemory(N);
+    auto &Mem = M.memory();
+    DeterministicRNG RNG(0xd07);
+    // 90 zeroes, a few ones and powers of two, the rest odd values.
+    for (int I = 0; I != N; ++I) {
+      int64_t V = 0;
+      if (I % 10 == 3)
+        V = (I % 20 == 3) ? 1 : ((I % 30 == 13) ? 8 : 5 + I % 7);
+      Mem[A + I] = Word::fromInt(V);
+      Mem[B + I] = Word::fromInt(static_cast<int64_t>(RNG.nextBelow(50)));
+    }
+    S.RegionArgs = {Word::fromInt(A), Word::fromInt(B), Word::fromInt(N)};
+    S.MainArgs = {Word::fromInt(A), Word::fromInt(B), Word::fromInt(N),
+                  Word::fromInt(500)};
+    S.UnitsPerInvocation = 1;
+    S.UnitName = "dot products";
+    S.OutBase = B;
+    S.OutLen = N;
+    return S;
+  };
+  return W;
+}
+
+Workload makeQuery() {
+  Workload W;
+  W.Name = "query";
+  W.Description = "tests database entry for match";
+  W.StaticVars = "a query";
+  W.StaticVals = "7 comparisons";
+  W.IsKernel = true;
+  W.Source = QuerySource;
+  W.RegionFunc = "query";
+  W.MainFunc = "query_main";
+  W.RegionInvocations = 300;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int NRecs = 512;
+    int64_t Q = M.allocMemory(14);
+    int64_t Db = M.allocMemory(NRecs * 7);
+    int64_t Matches = M.allocMemory(NRecs);
+    auto &Mem = M.memory();
+    const int64_t Ops[7] = {0, 1, 2, 0, 1, 0, 2};
+    const int64_t Vals[7] = {10, 90, 42, 5, 75, 33, 7};
+    for (int I = 0; I != 7; ++I) {
+      Mem[Q + I * 2] = Word::fromInt(Ops[I]);
+      Mem[Q + I * 2 + 1] = Word::fromInt(Vals[I]);
+    }
+    DeterministicRNG RNG(0x9e4);
+    for (int I = 0; I != NRecs * 7; ++I)
+      Mem[Db + I] = Word::fromInt(static_cast<int64_t>(RNG.nextBelow(100)));
+    S.RegionArgs = {Word::fromInt(Q), Word::fromInt(Db)};
+    S.MainArgs = {Word::fromInt(Q), Word::fromInt(Db),
+                  Word::fromInt(NRecs), Word::fromInt(Matches)};
+    S.UnitsPerInvocation = 1;
+    S.UnitName = "database entry comparisons";
+    S.OutBase = Matches;
+    S.OutLen = NRecs;
+    return S;
+  };
+  return W;
+}
+
+Workload makeRomberg() {
+  Workload W;
+  W.Name = "romberg";
+  W.Description = "function integration by iteration";
+  W.StaticVars = "the iteration bound";
+  W.StaticVals = "6";
+  W.IsKernel = true;
+  W.Source = RombergSource;
+  W.RegionFunc = "romberg";
+  W.MainFunc = "romberg_main";
+  W.RegionInvocations = 100;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int Mlev = 6, NInts = 64;
+    int64_t R = M.allocMemory(Mlev * Mlev);
+    int64_t Out = M.allocMemory(NInts);
+    S.RegionArgs = {Word::fromFloat(0.0), Word::fromFloat(1.0),
+                    Word::fromInt(Mlev), Word::fromInt(R)};
+    S.MainArgs = {Word::fromInt(Mlev), Word::fromInt(R),
+                  Word::fromInt(Out), Word::fromInt(NInts)};
+    S.UnitsPerInvocation = 1;
+    S.UnitName = "integrations";
+    S.OutBase = Out;
+    S.OutLen = NInts;
+    return S;
+  };
+  return W;
+}
+
+} // namespace workloads
+} // namespace dyc

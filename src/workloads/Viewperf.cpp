@@ -1,0 +1,189 @@
+//===- workloads/Viewperf.cpp - SPEC Viewperf / Mesa routines -----------------------===//
+//
+// The two Mesa routines the paper dynamically compiles:
+//
+//  * project_and_clip_test — transforms vertices by the (static) 3D
+//    projection matrix and clip-tests them. A perspective matrix is
+//    mostly zeroes, so zero/copy propagation erases most of the
+//    multiply/accumulate work (Table 3: 1.3x).
+//
+//  * gl_color_shade_vertices — the general-purpose shader, specialized
+//    for the lighting state. The lighting parameters are derived static
+//    only on the lit path, so intraprocedural polyvariant division is
+//    required (section 4.4.4); the original Mesa sources carried
+//    hand-specialized variants of this routine, which the paper deleted
+//    in favor of dynamic compilation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace dyc {
+namespace workloads {
+
+namespace {
+
+const char *ProjectSource = R"(
+/* Transform nverts vertices (x,y,z triples) by the 4x4 matrix m (static
+   contents), producing clip coordinates and counting in-frustum verts. */
+int project_and_clip(double* m, double* verts, double* out, int nverts) {
+  int r;
+  int c;
+  make_static(m, r, c : cache_one_unchecked);
+  int i;
+  int inside = 0;
+  for (i = 0; i < nverts; i = i + 1) {
+    for (r = 0; r < 4; r = r + 1) {              /* unrolled (static) */
+      double acc = m@[r * 4 + 3];                /* translation column */
+      for (c = 0; c < 3; c = c + 1) {            /* unrolled (static) */
+        acc = acc + m@[r * 4 + c] * verts[i * 3 + c];
+      }
+      out[i * 4 + r] = acc;
+    }
+    double w = out[i * 4 + 3];
+    double nw = 0.0 - w;
+    int ok = 1;
+    if (out[i * 4] > w) { ok = 0; }
+    if (out[i * 4] < nw) { ok = 0; }
+    if (out[i * 4 + 1] > w) { ok = 0; }
+    if (out[i * 4 + 1] < nw) { ok = 0; }
+    if (out[i * 4 + 2] > w) { ok = 0; }
+    if (out[i * 4 + 2] < nw) { ok = 0; }
+    inside = inside + ok;
+  }
+  return inside;
+}
+
+/* Shade nverts vertices. light layout: [0..2]=ambient RGB,
+   [3..5]=diffuse RGB, [6..8]=light direction. mode 1 = lighting enabled.
+   The make_static(light) on the lit path creates the second division. */
+int shade(int mode, double* light, double* normals, double* colors,
+          int nverts) {
+  int ch;
+  make_static(mode, ch);
+  if (mode == 1) {
+    make_static(light);
+  }
+  int i;
+  for (i = 0; i < nverts; i = i + 1) {
+    if (mode == 1) {
+      double ndotl = normals[i * 3] * light@[6]
+                   + normals[i * 3 + 1] * light@[7]
+                   + normals[i * 3 + 2] * light@[8];
+      if (ndotl < 0.0) { ndotl = 0.0; }
+      for (ch = 0; ch < 3; ch = ch + 1) {        /* unrolled (static) */
+        colors[i * 3 + ch] = light@[ch] + light@[3 + ch] * ndotl;
+      }
+    } else {
+      for (ch = 0; ch < 3; ch = ch + 1) {
+        colors[i * 3 + ch] = 1.0;
+      }
+    }
+  }
+  return nverts;
+}
+
+/* Whole-program driver: generate a vertex array, project it, then shade
+   it (the Viewperf frame loop). */
+int viewperf_main(double* m, double* verts, double* out, int nverts,
+                  double* light, double* normals, double* colors) {
+  /* vertex generation stands in for Viewperf's file loading */
+  int i;
+  int seed = 777;
+  for (i = 0; i < nverts * 3; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int v = seed % 1000;
+    if (v < 0) { v = 0 - v; }
+    verts[i] = (double)v / 500.0 - 1.0;
+    normals[i] = (double)v / 1000.0;
+  }
+  int inside = project_and_clip(m, verts, out, nverts);
+  int shaded = shade(1, light, normals, colors, nverts);
+  return inside + shaded;
+}
+)";
+
+WorkloadSetup viewperfSetup(vm::VM &M) {
+  WorkloadSetup S;
+  const int NVerts = 96;
+  int64_t Mat = M.allocMemory(16);
+  int64_t Verts = M.allocMemory(NVerts * 3);
+  int64_t Out = M.allocMemory(NVerts * 4);
+  int64_t Light = M.allocMemory(9);
+  int64_t Normals = M.allocMemory(NVerts * 3);
+  int64_t Colors = M.allocMemory(NVerts * 3);
+  auto &Mem = M.memory();
+  // Perspective projection matrix: ten zeroes, one unit entry.
+  const double F = 1.8, Near = 0.1, Far = 100.0;
+  const double P[16] = {F, 0, 0, 0,
+                        0, F, 0, 0,
+                        0, 0, (Far + Near) / (Near - Far),
+                        2 * Far * Near / (Near - Far),
+                        0, 0, -1.0, 0};
+  for (int I = 0; I != 16; ++I)
+    Mem[Mat + I] = Word::fromFloat(P[I]);
+  // One light: white ambient 0, unit diffuse on G, direction with zeros.
+  const double L[9] = {0.1, 0.0, 0.0, 1.0, 1.0, 0.5, 0.0, 1.0, 0.0};
+  for (int I = 0; I != 9; ++I)
+    Mem[Light + I] = Word::fromFloat(L[I]);
+  DeterministicRNG RNG(0x7e4f);
+  for (int I = 0; I != NVerts * 3; ++I) {
+    Mem[Verts + I] = Word::fromFloat(RNG.nextDouble() * 2.0 - 1.0);
+    Mem[Normals + I] = Word::fromFloat(RNG.nextDouble());
+  }
+  S.RegionArgs = {Word::fromInt(Mat), Word::fromInt(Verts),
+                  Word::fromInt(Out), Word::fromInt(NVerts)};
+  S.MainArgs = {Word::fromInt(Mat),     Word::fromInt(Verts),
+                Word::fromInt(Out),     Word::fromInt(NVerts),
+                Word::fromInt(Light),   Word::fromInt(Normals),
+                Word::fromInt(Colors)};
+  S.UnitsPerInvocation = NVerts;
+  S.UnitName = "vertices";
+  S.OutBase = Out;
+  S.OutLen = NVerts * 4;
+  return S;
+}
+
+} // namespace
+
+Workload makeViewperfProject() {
+  Workload W;
+  W.Name = "viewperf:project&clip";
+  W.Description = "renderer (matrix transform + clip test)";
+  W.StaticVars = "3D projection matrix";
+  W.StaticVals = "perspective matrix";
+  W.IsKernel = false;
+  W.Source = ProjectSource;
+  W.RegionFunc = "project_and_clip";
+  W.ExtraRegionFuncs = {"shade"};
+  W.MainFunc = "viewperf_main";
+  W.RegionInvocations = 20;
+  W.Setup = viewperfSetup;
+  return W;
+}
+
+Workload makeViewperfShade() {
+  Workload W;
+  W.Name = "viewperf:shade";
+  W.Description = "renderer (vertex shader)";
+  W.StaticVars = "lighting vars";
+  W.StaticVals = "one light source";
+  W.IsKernel = false;
+  W.Source = ProjectSource;
+  W.RegionFunc = "shade";
+  W.MainFunc = "viewperf_main";
+  W.RegionInvocations = 20;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S = viewperfSetup(M);
+    // shade(mode=1, light, normals, colors, nverts)
+    S.RegionArgs = {Word::fromInt(1), S.MainArgs[4], S.MainArgs[5],
+                    S.MainArgs[6], S.MainArgs[3]};
+    S.OutBase = S.MainArgs[6].asInt(); // colors
+    S.OutLen = S.MainArgs[3].asInt() * 3;
+    return S;
+  };
+  return W;
+}
+
+} // namespace workloads
+} // namespace dyc

@@ -1,0 +1,37 @@
+//===- workloads/Workload.cpp - Workload registry -----------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Support.h"
+
+namespace dyc {
+namespace workloads {
+
+const std::vector<Workload> &allWorkloads() {
+  static const std::vector<Workload> All = [] {
+    std::vector<Workload> V;
+    V.push_back(makeDinero());
+    V.push_back(makeM88ksim());
+    V.push_back(makeMipsi());
+    V.push_back(makePnmconvol());
+    V.push_back(makeViewperfProject());
+    V.push_back(makeViewperfShade());
+    V.push_back(makeBinary());
+    V.push_back(makeChebyshev());
+    V.push_back(makeDotproduct());
+    V.push_back(makeQuery());
+    V.push_back(makeRomberg());
+    return V;
+  }();
+  return All;
+}
+
+const Workload &workloadByName(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return W;
+  fatal("unknown workload '" + Name + "'");
+}
+
+} // namespace workloads
+} // namespace dyc

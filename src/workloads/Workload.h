@@ -1,0 +1,79 @@
+//===- workloads/Workload.h - The benchmark suite --------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's workload (Table 1), re-implemented in MiniC: five
+/// applications (dinero, m88ksim, mipsi, pnmconvol, viewperf) and five
+/// kernels (binary, chebyshev, dotproduct, query, romberg), each with the
+/// paper's static-variable values as inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_WORKLOADS_WORKLOAD_H
+#define DYC_WORKLOADS_WORKLOAD_H
+
+#include "vm/VM.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dyc {
+namespace workloads {
+
+/// Everything the harness needs to invoke and validate one workload after
+/// its memory image has been set up.
+struct WorkloadSetup {
+  std::vector<Word> RegionArgs; ///< arguments for the region function
+  std::vector<Word> MainArgs;   ///< arguments for the whole-program driver
+  double UnitsPerInvocation = 1.0; ///< domain units per region invocation
+  std::string UnitName = "invocations";
+  int64_t OutBase = 0; ///< validated output range in VM memory
+  int64_t OutLen = 0;
+};
+
+/// One benchmark program.
+struct Workload {
+  std::string Name;
+  std::string Description;
+  std::string StaticVars; ///< Table 1: "Annotated Static Variables"
+  std::string StaticVals; ///< Table 1: "Values of Static Variables"
+  bool IsKernel = false;
+  std::string Source;     ///< MiniC source (with annotations)
+  std::string RegionFunc; ///< dynamically compiled function (timed)
+  /// Additional dynamically compiled functions whose time counts toward
+  /// the whole-program "% in dynamic regions" (viewperf has two).
+  std::vector<std::string> ExtraRegionFuncs;
+  std::string MainFunc;   ///< whole-program driver
+  uint64_t RegionInvocations = 200; ///< timing repetitions
+  /// Allocates and fills the VM memory image; must be deterministic so
+  /// the static and dynamic configurations see identical inputs.
+  std::function<WorkloadSetup(vm::VM &)> Setup;
+};
+
+/// All ten workloads, applications first (Table 1 order).
+const std::vector<Workload> &allWorkloads();
+
+/// Lookup by name; aborts if absent.
+const Workload &workloadByName(const std::string &Name);
+
+// Individual factories (one per source file).
+Workload makeDinero();
+Workload makeM88ksim();
+Workload makeMipsi();
+Workload makePnmconvol();
+Workload makeViewperfProject();
+Workload makeViewperfShade();
+Workload makeBinary();
+Workload makeChebyshev();
+Workload makeDotproduct();
+Workload makeQuery();
+Workload makeRomberg();
+
+} // namespace workloads
+} // namespace dyc
+
+#endif // DYC_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,185 @@
+//===- tests/AnalysisTest.cpp - dataflow analysis unit tests ----------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ReachingDefs.h"
+#include "frontend/Lower.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+using namespace dyc::ir;
+
+namespace {
+
+/// A diamond with a loop on one side:
+///   bb0 -> bb1 -> bb2 -> bb1 (latch) ; bb1 -> bb3 ; bb0 -> bb3
+Function makeLoopDiamond() {
+  Function F;
+  F.Name = "g";
+  F.RetTy = Type::I64;
+  Reg P = F.newReg(Type::I64, "p");
+  F.NumParams = 1;
+  BlockId B0 = F.newBlock();
+  BlockId B1 = F.newBlock();
+  BlockId B2 = F.newBlock();
+  BlockId B3 = F.newBlock();
+  IRBuilder B(F);
+  B.setInsertPoint(B0);
+  B.condBr(P, B1, B3);
+  B.setInsertPoint(B1);
+  Reg C = B.binary(Opcode::CmpLt, P, P);
+  B.condBr(C, B2, B3);
+  B.setInsertPoint(B2);
+  Reg X = B.binary(Opcode::Add, P, P, "x");
+  (void)X;
+  B.br(B1);
+  B.setInsertPoint(B3);
+  B.ret(P);
+  return F;
+}
+
+TEST(CFGTest, PredsSuccsRPO) {
+  Function F = makeLoopDiamond();
+  analysis::CFG G(F);
+  EXPECT_EQ(G.succs(0), (std::vector<BlockId>{1, 3}));
+  EXPECT_EQ(G.succs(2), (std::vector<BlockId>{1}));
+  EXPECT_EQ(G.preds(1).size(), 2u); // from bb0 and the latch bb2
+  EXPECT_EQ(G.preds(3).size(), 2u);
+  EXPECT_EQ(G.rpo().front(), 0u);
+  EXPECT_TRUE(G.isReachable(3));
+  // RPO visits a block before its non-backedge successors.
+  EXPECT_LT(G.rpoIndex(0), G.rpoIndex(1));
+  EXPECT_LT(G.rpoIndex(1), G.rpoIndex(2));
+}
+
+TEST(CFGTest, UnreachableBlocksExcluded) {
+  Function F;
+  F.Name = "u";
+  Reg R0 = F.newReg(Type::I64);
+  BlockId B0 = F.newBlock();
+  BlockId Dead = F.newBlock();
+  IRBuilder B(F);
+  B.setInsertPoint(B0);
+  Instruction C;
+  C.Op = Opcode::ConstI;
+  C.Ty = Type::I64;
+  C.Dst = R0;
+  C.Imm = 0;
+  F.block(B0).Instrs.push_back(C);
+  B.ret(R0);
+  F.RetTy = Type::I64;
+  B.setInsertPoint(Dead);
+  B.br(Dead);
+  analysis::CFG G(F);
+  EXPECT_FALSE(G.isReachable(Dead));
+  EXPECT_EQ(G.rpo().size(), 1u);
+}
+
+TEST(DominatorsTest, LoopDiamond) {
+  Function F = makeLoopDiamond();
+  analysis::CFG G(F);
+  analysis::Dominators D(F, G);
+  EXPECT_TRUE(D.dominates(0, 1));
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_FALSE(D.dominates(1, 3)); // bb3 reachable directly from bb0
+  EXPECT_FALSE(D.dominates(2, 1));
+  EXPECT_EQ(D.idom(2), 1u);
+  EXPECT_EQ(D.idom(3), 0u);
+}
+
+TEST(LoopInfoTest, FindsNaturalLoop) {
+  Function F = makeLoopDiamond();
+  analysis::CFG G(F);
+  analysis::Dominators D(F, G);
+  analysis::LoopInfo LI(F, G, D);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const analysis::Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Latches, (std::vector<BlockId>{2}));
+  EXPECT_TRUE(L.contains(2));
+  EXPECT_FALSE(L.contains(3));
+  EXPECT_TRUE(LI.inAnyLoop(2));
+  EXPECT_FALSE(LI.inAnyLoop(0));
+  // x is assigned inside the loop -> loop-variant.
+  std::vector<Reg> Variant = LI.loopVariantRegs(F, 1);
+  EXPECT_FALSE(Variant.empty());
+}
+
+/// Lowers MiniC and returns the module (asserts success).
+ir::Module lower(const std::string &Src) {
+  ir::Module M;
+  std::vector<std::string> Errors;
+  bool OK = frontend::compileMiniC(Src, M, Errors);
+  EXPECT_TRUE(OK) << (Errors.empty() ? "" : Errors[0]);
+  return M;
+}
+
+TEST(LivenessTest, ParamsAndAccumulators) {
+  ir::Module M = lower("int f(int a, int b) {\n"
+                       "  int s = 0;\n"
+                       "  int i;\n"
+                       "  for (i = 0; i < a; i = i + 1) { s = s + b; }\n"
+                       "  return s;\n"
+                       "}");
+  const Function &F = M.function(0);
+  analysis::CFG G(F);
+  analysis::Liveness LV(F, G);
+  // a (r0) and b (r1) are live into the entry block.
+  EXPECT_TRUE(LV.liveIn(0).test(0));
+  EXPECT_TRUE(LV.liveIn(0).test(1));
+  // At the loop header, the accumulator s (r2) is live.
+  bool SomewhereLive = false;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    if (!G.succs(B).empty() && LV.liveIn(B).test(2))
+      SomewhereLive = true;
+  EXPECT_TRUE(SomewhereLive);
+}
+
+TEST(LivenessTest, LiveBeforeWalksBackwards) {
+  ir::Module M = lower("int f(int a) { int t = a + 1; return t; }");
+  const Function &F = M.function(0);
+  analysis::CFG G(F);
+  analysis::Liveness LV(F, G);
+  // Before instruction 0 of the entry block, the parameter is live.
+  BitVector L = LV.liveBefore(F, 0, 0);
+  EXPECT_TRUE(L.test(0));
+}
+
+TEST(ReachingDefsTest, UniqueDefThroughControlFlow) {
+  ir::Module M = lower("int f(int a, int p) {\n"
+                       "  int x = 5;\n"
+                       "  if (p) { a = x + 1; } else { a = x + 2; }\n"
+                       "  return a + x;\n"
+                       "}");
+  const Function &F = M.function(0);
+  analysis::CFG G(F);
+  analysis::ReachingDefs RD(F, G);
+  // In the return block, x (a single definition) reaches uniquely...
+  BlockId RetBlock = NoBlock;
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    if (!F.block(B).Instrs.empty() &&
+        F.block(B).terminator().Op == Opcode::Ret)
+      RetBlock = B;
+  ASSERT_NE(RetBlock, NoBlock);
+  Reg X = 2; // params occupy r0/r1; x is the first local
+  EXPECT_GE(RD.uniqueReachingDef(F, RetBlock, 0, X), 0);
+  // ...while a (two definitions) does not.
+  EXPECT_EQ(RD.uniqueReachingDef(F, RetBlock, 0, 0), -1);
+}
+
+TEST(ReachingDefsTest, ParameterPseudoDefs) {
+  ir::Module M = lower("int f(int a) { return a; }");
+  const Function &F = M.function(0);
+  analysis::CFG G(F);
+  analysis::ReachingDefs RD(F, G);
+  int Def = RD.uniqueReachingDef(F, 0, 0, 0);
+  ASSERT_GE(Def, 0);
+  EXPECT_EQ(RD.defSites()[static_cast<size_t>(Def)].InstrIdx, 0xffffffffu);
+}
+
+} // namespace

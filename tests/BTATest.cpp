@@ -1,0 +1,257 @@
+//===- tests/BTATest.cpp - binding-time analysis unit tests -----------------------===//
+
+#include "bta/BTAnalysis.h"
+#include "frontend/Lower.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+using namespace dyc::bta;
+
+namespace {
+
+/// Front half of the DycContext pipeline: lower, normalize, optimize.
+ir::Module prepare(const std::string &Src) {
+  ir::Module M;
+  std::vector<std::string> Errors;
+  bool OK = frontend::compileMiniC(Src, M, Errors);
+  EXPECT_TRUE(OK) << (Errors.empty() ? "" : Errors[0]);
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    normalizeAnnotations(M.function(static_cast<int>(I)));
+  opt::runStaticOptimizations(M);
+  return M;
+}
+
+RegionInfo analyze(const std::string &Src, OptFlags Flags = OptFlags()) {
+  ir::Module M = prepare(Src);
+  return analyzeFunction(M.function(0), M, Flags);
+}
+
+TEST(Normalize, MakeStaticHeadsItsBlock) {
+  ir::Module M;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(frontend::compileMiniC(
+      "int f(int a) { int x = a + 1; make_static(x); return x; }", M,
+      Errors));
+  ir::Function &F = M.function(0);
+  EXPECT_TRUE(normalizeAnnotations(F));
+  EXPECT_EQ(ir::verifyFunction(F, M), "");
+  for (const ir::BasicBlock &B : F.Blocks)
+    for (size_t I = 0; I != B.Instrs.size(); ++I)
+      if (B.Instrs[I].Op == ir::Opcode::MakeStatic)
+        EXPECT_EQ(I, 0u);
+}
+
+TEST(BTA, UnannotatedFunctionHasNoRegion) {
+  RegionInfo R = analyze("int f(int a) { return a + 1; }");
+  EXPECT_TRUE(R.Contexts.empty());
+  EXPECT_TRUE(R.Promos.empty());
+}
+
+TEST(BTA, DerivedStaticComputations) {
+  RegionInfo R = analyze("int f(int n, int d) {\n"
+                         "  make_static(n);\n"
+                         "  int twice = n * 2;\n"
+                         "  return twice + d;\n"
+                         "}");
+  ASSERT_FALSE(R.Contexts.empty());
+  // Find the multiply: it must be classified static; the add (mixing in
+  // the dynamic d) must not.
+  bool SawStaticMul = false, SawDynamicAdd = false;
+  ir::Module M = prepare("int f(int n, int d) {\n"
+                         "  make_static(n);\n"
+                         "  int twice = n * 2;\n"
+                         "  return twice + d;\n"
+                         "}");
+  const ir::Function &F = M.function(0);
+  RegionInfo R2 = analyzeFunction(F, M, OptFlags());
+  for (const Context &C : R2.Contexts) {
+    const ir::BasicBlock &B = F.block(C.Block);
+    for (size_t I = 0; I != C.InstIsStatic.size(); ++I) {
+      if (B.Instrs[I].Op == ir::Opcode::Mul && C.InstIsStatic[I])
+        SawStaticMul = true;
+      if (B.Instrs[I].Op == ir::Opcode::Add && !C.InstIsStatic[I])
+        SawDynamicAdd = true;
+    }
+  }
+  EXPECT_TRUE(SawStaticMul);
+  EXPECT_TRUE(SawDynamicAdd);
+}
+
+const char *LoopSrc = R"(
+int f(int* a, int n, int d) {
+  int i;
+  make_static(a, n, i);
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + a@[i] * d;
+  }
+  return s;
+}
+)";
+
+TEST(BTA, AnnotatedIVStaysStaticWithStaticExit) {
+  RegionInfo R = analyze(LoopSrc);
+  EXPECT_TRUE(R.UnrollsLoop);
+  EXPECT_FALSE(R.MultiWayUnroll); // straight-line body: single-way
+  EXPECT_TRUE(R.HasStaticLoads);
+  // Some context must carry a static branch (the folded loop test).
+  bool SawStaticBranch = false;
+  for (const Context &C : R.Contexts)
+    if (C.TermCondStatic)
+      SawStaticBranch = true;
+  EXPECT_TRUE(SawStaticBranch);
+}
+
+TEST(BTA, UnannotatedIVDemotesAtLoopHead) {
+  RegionInfo R = analyze("int f(int* a, int n, int d) {\n"
+                         "  make_static(a, n);\n" // i NOT annotated
+                         "  int s = 0;\n"
+                         "  int i;\n"
+                         "  for (i = 0; i < n; i = i + 1) {\n"
+                         "    s = s + a[i] * d;\n"
+                         "  }\n"
+                         "  return s;\n"
+                         "}");
+  EXPECT_FALSE(R.UnrollsLoop);
+}
+
+TEST(BTA, DynamicBoundDemotesAnnotatedIV) {
+  // n is dynamic: no static exit test exists, so unrolling would diverge
+  // and the analysis must demote i despite the annotation.
+  RegionInfo R = analyze("int f(int* a, int n, int d) {\n"
+                         "  int i;\n"
+                         "  make_static(a, i);\n" // n NOT static
+                         "  int s = 0;\n"
+                         "  for (i = 0; i < n; i = i + 1) {\n"
+                         "    s = s + a[i] * d;\n"
+                         "  }\n"
+                         "  return s;\n"
+                         "}");
+  EXPECT_FALSE(R.UnrollsLoop);
+}
+
+TEST(BTA, WithoutUnrollingFlagDemotesEverything) {
+  OptFlags Fl;
+  Fl.CompleteLoopUnrolling = false;
+  RegionInfo R = analyze(LoopSrc, Fl);
+  EXPECT_FALSE(R.UnrollsLoop);
+}
+
+TEST(BTA, MultiWayClassification) {
+  // The induction variable is updated differently on two branch paths
+  // (binary-search shape) -> multi-way.
+  RegionInfo R = analyze("int f(int* a, int n, int key) {\n"
+                         "  int lo = 0;\n"
+                         "  int hi = n - 1;\n"
+                         "  make_static(a, n, lo, hi);\n"
+                         "  int r = 0 - 1;\n"
+                         "  while (lo <= hi) {\n"
+                         "    int mid = (lo + hi) / 2;\n"
+                         "    if (key < a@[mid]) { hi = mid - 1; }\n"
+                         "    else { lo = mid + 1; }\n"
+                         "  }\n"
+                         "  return r;\n"
+                         "}");
+  EXPECT_TRUE(R.UnrollsLoop);
+  EXPECT_TRUE(R.MultiWayUnroll);
+}
+
+TEST(BTA, InternalPromotionCreatesPromoPoint) {
+  RegionInfo R = analyze("int f(int* conf, int* data) {\n"
+                         "  make_static(conf);\n"
+                         "  int mode = data[0];\n" // dynamic value
+                         "  make_static(mode);\n"  // internal promotion
+                         "  return conf@[mode];\n"
+                         "}");
+  EXPECT_TRUE(R.HasInternalPromotions);
+  bool SawInternal = false;
+  for (const PromoPoint &P : R.Promos)
+    if (!P.IsNativeEntry)
+      SawInternal = true;
+  EXPECT_TRUE(SawInternal);
+}
+
+TEST(BTA, InternalPromotionsFlagOff) {
+  OptFlags Fl;
+  Fl.InternalPromotions = false;
+  RegionInfo R = analyze("int f(int* conf, int* data) {\n"
+                         "  make_static(conf);\n"
+                         "  int mode = data[0];\n"
+                         "  make_static(mode);\n"
+                         "  return conf@[mode];\n"
+                         "}",
+                         Fl);
+  EXPECT_FALSE(R.HasInternalPromotions);
+}
+
+const char *DivisionSrc = R"(
+int f(int mode, int* t, int x) {
+  make_static(mode);
+  if (mode == 1) {
+    make_static(t);
+  }
+  return t@[x & 3] + x * mode;
+}
+)";
+
+TEST(BTA, PolyvariantDivisionSplitsMergePoints) {
+  RegionInfo R = analyze(DivisionSrc);
+  EXPECT_TRUE(R.HasPolyvariantDivision);
+  OptFlags Mono;
+  Mono.PolyvariantDivision = false;
+  RegionInfo RM = analyze(DivisionSrc, Mono);
+  EXPECT_FALSE(RM.HasPolyvariantDivision);
+}
+
+TEST(BTA, RegionEndsAfterLastStaticUse) {
+  // After the loop, no static variable is live: an Exit edge must exist.
+  RegionInfo R = analyze(LoopSrc);
+  bool SawExit = false;
+  for (const Context &C : R.Contexts) {
+    if (C.TrueEdge.K == Edge::Exit || C.FalseEdge.K == Edge::Exit)
+      SawExit = true;
+  }
+  EXPECT_TRUE(SawExit);
+}
+
+TEST(BTA, PoliciesRespectUncheckedFlag) {
+  const char *Src = "int f(int n) {\n"
+                    "  make_static(n : cache_one_unchecked);\n"
+                    "  return n * 2;\n"
+                    "}";
+  RegionInfo R = analyze(Src);
+  ASSERT_FALSE(R.Promos.empty());
+  EXPECT_EQ(R.Promos[0].Policy, ir::CachePolicy::CacheOneUnchecked);
+  OptFlags Fl;
+  Fl.UncheckedDispatching = false;
+  RegionInfo R2 = analyze(Src, Fl);
+  EXPECT_EQ(R2.Promos[0].Policy, ir::CachePolicy::CacheAll);
+}
+
+TEST(BTA, MakeDynamicDemotes) {
+  ir::Module M = prepare("int f(int n, int d) {\n"
+                         "  make_static(n);\n"
+                         "  int t = n * 3;\n"
+                         "  make_dynamic(t);\n"
+                         "  return t + d;\n"
+                         "}");
+  const ir::Function &F = M.function(0);
+  RegionInfo R = analyzeFunction(F, M, OptFlags());
+  // After make_dynamic(t), the use of t must be in a dynamic computation
+  // whose pre-set excludes t.
+  for (const Context &C : R.Contexts) {
+    const ir::BasicBlock &B = F.block(C.Block);
+    for (size_t I = 0; I != C.InstIsStatic.size(); ++I)
+      if (B.Instrs[I].Op == ir::Opcode::Add) {
+        std::vector<ir::Reg> Uses;
+        B.Instrs[I].appendUses(Uses);
+        for (ir::Reg U : Uses)
+          if (F.regName(U) == "t")
+            EXPECT_FALSE(C.PreSets[I].test(U));
+      }
+  }
+}
+
+} // namespace

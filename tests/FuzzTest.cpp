@@ -1,0 +1,374 @@
+//===- tests/FuzzTest.cpp - property-based equivalence testing --------------------===//
+//
+// The system's core invariant: for ANY annotated program, ANY inputs, and
+// ANY combination of optimization toggles, the dynamically compiled
+// configuration computes exactly what the statically compiled one does.
+// This suite generates random annotated MiniC programs (structured so
+// they always terminate), runs both configurations on random inputs under
+// every single-toggle-off configuration plus all-on/all-off, and compares
+// results and output memory bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+
+namespace {
+
+/// Generates a random terminating annotated function over:
+///   a  — a static int array (annotated, read via a mix of @ and plain loads)
+///   b  — a dynamic int array (read/written)
+///   n  — the static trip count
+///   x,y — dynamic scalars
+struct ProgramGen {
+  DeterministicRNG RNG;
+  explicit ProgramGen(uint64_t Seed) : RNG(Seed) {}
+
+  std::string pick(std::initializer_list<const char *> Opts) {
+    size_t K = RNG.nextBelow(Opts.size());
+    return *(Opts.begin() + K);
+  }
+
+  /// A random integer expression of bounded depth.
+  std::string expr(int Depth) {
+    if (Depth <= 0) {
+      switch (RNG.nextBelow(8)) {
+      case 0: return "i";
+      case 1: return "x";
+      case 2: return "y";
+      case 3: return "s0";
+      case 4: return "s1";
+      case 5: return "a@[i]";
+      case 6: return "a[i]";
+      default:
+        return formatString("%d", (int)RNG.nextBelow(64) - 16);
+      }
+    }
+    switch (RNG.nextBelow(10)) {
+    case 0:
+      return "(" + expr(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    case 1:
+      return "(" + expr(Depth - 1) + " - " + expr(Depth - 1) + ")";
+    case 2:
+      return "(" + expr(Depth - 1) + " * " + expr(Depth - 1) + ")";
+    case 3:
+      return "(" + expr(Depth - 1) + " & " + expr(Depth - 1) + ")";
+    case 4:
+      return "(" + expr(Depth - 1) + " | " + expr(Depth - 1) + ")";
+    case 5:
+      return "(" + expr(Depth - 1) + " ^ " + expr(Depth - 1) + ")";
+    case 6:
+      return "(" + expr(Depth - 1) + " < " + expr(Depth - 1) + ")";
+    case 7: // division by a guaranteed-nonzero small value
+      return "(" + expr(Depth - 1) + " / (1 + (" + expr(Depth - 1) +
+             " & 7)))";
+    case 8: // remainder, same guard
+      return "(" + expr(Depth - 1) + " % (1 + (" + expr(Depth - 1) +
+             " & 3)))";
+    default:
+      return "(b[(" + expr(Depth - 1) + ") & 15] + " + expr(Depth - 1) +
+             ")";
+    }
+  }
+
+  std::string stmt() {
+    switch (RNG.nextBelow(7)) {
+    case 5:
+      // A guarded continue exercises the for-latch path.
+      return "if ((" + expr(1) + " & 7) == 3) { continue; }";
+    case 6:
+      return "if ((" + expr(1) + " & 15) == 9) { break; }";
+    case 0:
+      return "s0 = " + expr(2) + ";";
+    case 1:
+      return "s1 = " + expr(2) + ";";
+    case 2:
+      return "b[(" + expr(1) + ") & 15] = " + expr(2) + ";";
+    case 3:
+      return "if (" + expr(1) + " < " + expr(1) + ") { s0 = " + expr(1) +
+             "; } else { s1 = " + expr(1) + "; }";
+    default:
+      return "if (" + expr(1) + ") { b[i & 15] = " + expr(1) + "; }";
+    }
+  }
+
+  std::string generate() {
+    std::string Policy =
+        pick({": cache_all", ": cache_one", ": cache_one_unchecked",
+              ": cache_indexed"});
+    std::string Body;
+    unsigned NumStmts = 2 + RNG.nextBelow(4);
+    for (unsigned I = 0; I != NumStmts; ++I)
+      Body += "    " + stmt() + "\n";
+    std::string Src = "int f(int* a, int* b, int n, int x, int y) {\n"
+                      "  int i;\n"
+                      "  make_static(a, n, i " +
+                      Policy +
+                      ");\n"
+                      "  int s0 = 1;\n"
+                      "  int s1 = y;\n"
+                      "  for (i = 0; i < n; i = i + 1) {\n" +
+                      Body +
+                      "  }\n"
+                      "  return s0 ^ s1;\n"
+                      "}\n";
+    return Src;
+  }
+};
+
+struct RunResult {
+  int64_t Ret = 0;
+  std::vector<uint64_t> BMem;
+};
+
+RunResult runConfig(core::Executable &E, int64_t N, int64_t X, int64_t Y,
+                    const std::vector<int64_t> &AVals,
+                    const std::vector<int64_t> &BVals) {
+  vm::VM &M = *E.Machine;
+  int64_t A = M.allocMemory(static_cast<int64_t>(AVals.size()));
+  int64_t B = M.allocMemory(static_cast<int64_t>(BVals.size()));
+  for (size_t I = 0; I != AVals.size(); ++I)
+    M.memory()[A + static_cast<int64_t>(I)] = Word::fromInt(AVals[I]);
+  for (size_t I = 0; I != BVals.size(); ++I)
+    M.memory()[B + static_cast<int64_t>(I)] = Word::fromInt(BVals[I]);
+  int F = E.findFunction("f");
+  EXPECT_GE(F, 0);
+  Word R = M.run(static_cast<uint32_t>(F),
+                 {Word::fromInt(A), Word::fromInt(B), Word::fromInt(N),
+                  Word::fromInt(X), Word::fromInt(Y)});
+  RunResult Out;
+  Out.Ret = R.asInt();
+  for (size_t I = 0; I != BVals.size(); ++I)
+    Out.BMem.push_back(M.memory()[B + static_cast<int64_t>(I)].Bits);
+  return Out;
+}
+
+class FuzzEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalence, StaticAndDynamicAgreeUnderAllConfigs) {
+  uint64_t Seed = 0xf00d + static_cast<uint64_t>(GetParam()) * 7919;
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors))
+      << Src << "\n" << (Errors.empty() ? "" : Errors[0]);
+
+  DeterministicRNG In(Seed ^ 0xabcdef);
+  const int64_t N = 1 + static_cast<int64_t>(In.nextBelow(6));
+  std::vector<int64_t> AVals, BVals;
+  for (int I = 0; I != 16; ++I) {
+    // Bias the static array toward the ZCP/SR special values.
+    switch (In.nextBelow(5)) {
+    case 0: AVals.push_back(0); break;
+    case 1: AVals.push_back(1); break;
+    case 2: AVals.push_back(8); break;
+    default: AVals.push_back(static_cast<int64_t>(In.nextBelow(100)) - 50);
+    }
+    BVals.push_back(static_cast<int64_t>(In.nextBelow(1000)) - 500);
+  }
+  int64_t X = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+  int64_t Y = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+
+  auto StaticE = Ctx.buildStatic();
+  RunResult Ref = runConfig(*StaticE, N, X, Y, AVals, BVals);
+
+  // All-on, all-off, and each single toggle off.
+  std::vector<OptFlags> Configs;
+  Configs.emplace_back();
+  {
+    OptFlags AllOff;
+    for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
+      AllOff.toggle(T) = false;
+    Configs.push_back(AllOff);
+  }
+  for (unsigned T = 0; T != OptFlags::NumToggles; ++T) {
+    OptFlags Fl;
+    Fl.toggle(T) = false;
+    Configs.push_back(Fl);
+  }
+
+  for (size_t C = 0; C != Configs.size(); ++C) {
+    auto DynE = Ctx.buildDynamic(Configs[C]);
+    RunResult Got = runConfig(*DynE, N, X, Y, AVals, BVals);
+    EXPECT_EQ(Got.Ret, Ref.Ret)
+        << "config " << C << " seed " << Seed << "\n" << Src;
+    EXPECT_EQ(Got.BMem, Ref.BMem)
+        << "config " << C << " seed " << Seed << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, FuzzEquivalence,
+                         ::testing::Range(0, 200));
+
+//===----------------------------------------------------------------------===//
+// Floating-point fuzzing: the ZCP/DAE machinery treats 0.0 and 1.0
+// specially, so the static weight vector is biased toward them; results
+// must still match the static baseline bit-for-bit.
+//===----------------------------------------------------------------------===//
+
+struct FloatGen {
+  DeterministicRNG RNG;
+  explicit FloatGen(uint64_t Seed) : RNG(Seed) {}
+
+  std::string fexpr(int Depth) {
+    if (Depth <= 0) {
+      switch (RNG.nextBelow(6)) {
+      case 0: return "x";
+      case 1: return "acc";
+      case 2: return "w@[i]";
+      case 3: return "b[i]";
+      case 4: return "(double)i";
+      default:
+        return formatString("%d.%u", (int)RNG.nextBelow(4),
+                            (unsigned)RNG.nextBelow(100));
+      }
+    }
+    switch (RNG.nextBelow(5)) {
+    case 0: return "(" + fexpr(Depth - 1) + " + " + fexpr(Depth - 1) + ")";
+    case 1: return "(" + fexpr(Depth - 1) + " - " + fexpr(Depth - 1) + ")";
+    case 2: return "(" + fexpr(Depth - 1) + " * " + fexpr(Depth - 1) + ")";
+    case 3: // division by a value bounded away from zero
+      return "(" + fexpr(Depth - 1) + " / (1.5 + " + fexpr(Depth - 1) +
+             " * 0.0))";
+    default:
+      return "(" + fexpr(Depth - 1) + " * w@[(i + 1) & 7])";
+    }
+  }
+
+  std::string generate() {
+    std::string Body;
+    unsigned NumStmts = 2 + RNG.nextBelow(3);
+    for (unsigned I = 0; I != NumStmts; ++I) {
+      if (RNG.nextBelow(3) == 0)
+        Body += "    b[i & 7] = " + fexpr(2) + ";\n";
+      else
+        Body += "    acc = " + fexpr(2) + ";\n";
+    }
+    return "double f(double* w, double* b, int n, double x) {\n"
+           "  int i;\n"
+           "  make_static(w, n, i : cache_all);\n"
+           "  double acc = 0.0;\n"
+           "  for (i = 0; i < n; i = i + 1) {\n" +
+           Body +
+           "  }\n"
+           "  return acc;\n"
+           "}\n";
+  }
+};
+
+class FloatFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatFuzz, FloatProgramsAgreeBitForBit) {
+  uint64_t Seed = 0xf10a7 + static_cast<uint64_t>(GetParam()) * 104729;
+  FloatGen Gen(Seed);
+  std::string Src = Gen.generate();
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors))
+      << Src << (Errors.empty() ? "" : Errors[0]);
+
+  auto Run = [&](core::Executable &E) {
+    vm::VM &M = *E.Machine;
+    int64_t W = M.allocMemory(8);
+    int64_t B = M.allocMemory(8);
+    DeterministicRNG In(Seed ^ 0x55);
+    for (int I = 0; I != 8; ++I) {
+      // Bias toward the special values 0.0 and 1.0.
+      switch (In.nextBelow(4)) {
+      case 0: M.memory()[W + I] = Word::fromFloat(0.0); break;
+      case 1: M.memory()[W + I] = Word::fromFloat(1.0); break;
+      default:
+        M.memory()[W + I] = Word::fromFloat(In.nextDouble() * 4 - 2);
+      }
+      M.memory()[B + I] = Word::fromFloat(In.nextDouble() * 10 - 5);
+    }
+    int F = E.findFunction("f");
+    Word R = M.run(F, {Word::fromInt(W), Word::fromInt(B),
+                       Word::fromInt(5), Word::fromFloat(1.25)});
+    // Normalize -0.0 to +0.0: floating zero/copy propagation replaces
+    // x * 0.0 with a clear, which loses the sign of zero. This is
+    // inherent to the paper's optimization (its annotations are
+    // "potentially unsafe" assertions); everything else must match
+    // bit-for-bit.
+    auto Norm = [](Word W2) {
+      return W2.Bits == 0x8000000000000000ull ? uint64_t(0) : W2.Bits;
+    };
+    std::vector<uint64_t> Out = {Norm(R)};
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(Norm(M.memory()[B + I]));
+    return Out;
+  };
+
+  auto SE = Ctx.buildStatic();
+  std::vector<uint64_t> Ref = Run(*SE);
+  for (unsigned T = 0; T <= OptFlags::NumToggles; ++T) {
+    OptFlags Fl;
+    if (T > 0)
+      Fl.toggle(T - 1) = false;
+    auto DE = Ctx.buildDynamic(Fl);
+    EXPECT_EQ(Run(*DE), Ref) << "config " << T << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FloatPrograms, FloatFuzz,
+                         ::testing::Range(0, 60));
+
+//===----------------------------------------------------------------------===//
+// Re-entry property: repeated invocations through the cache agree with a
+// fresh static run every time, for several promoted values.
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzReentry, ManyPromotedValuesThroughCacheAll) {
+  ProgramGen Gen(0x5eed);
+  std::string Src = "int f(int* a, int* b, int n, int x, int y) {\n"
+                    "  int i;\n"
+                    "  make_static(a, n, i : cache_all);\n"
+                    "  int s0 = 0;\n"
+                    "  int s1 = x;\n"
+                    "  for (i = 0; i < n; i = i + 1) {\n"
+                    "    s0 = s0 + a@[i] * b[i];\n"
+                    "    s1 = s1 ^ (s0 >> (i & 7));\n"
+                    "  }\n"
+                    "  return s0 + s1;\n"
+                    "}\n";
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors));
+
+  auto StaticE = Ctx.buildStatic();
+  auto DynE = Ctx.buildDynamic();
+  vm::VM &SM = *StaticE->Machine;
+  vm::VM &DM = *DynE->Machine;
+  int64_t A1 = SM.allocMemory(16), B1 = SM.allocMemory(16);
+  int64_t A2 = DM.allocMemory(16), B2 = DM.allocMemory(16);
+  ASSERT_EQ(A1, A2);
+  DeterministicRNG RNG(0x1234);
+  for (int I = 0; I != 16; ++I) {
+    int64_t AV = static_cast<int64_t>(RNG.nextBelow(10));
+    int64_t BV = static_cast<int64_t>(RNG.nextBelow(100)) - 50;
+    SM.memory()[A1 + I] = Word::fromInt(AV);
+    DM.memory()[A1 + I] = Word::fromInt(AV);
+    SM.memory()[B1 + I] = Word::fromInt(BV);
+    DM.memory()[B1 + I] = Word::fromInt(BV);
+  }
+  int F = StaticE->findFunction("f");
+  // Cycle through trip counts; the cache accumulates one version each.
+  for (int Round = 0; Round != 3; ++Round) {
+    for (int64_t N = 0; N <= 8; ++N) {
+      std::vector<Word> Args = {Word::fromInt(A1), Word::fromInt(B1),
+                                Word::fromInt(N), Word::fromInt(Round),
+                                Word::fromInt(7 - N)};
+      EXPECT_EQ(DM.run(F, Args).asInt(), SM.run(F, Args).asInt())
+          << "n=" << N << " round=" << Round;
+    }
+  }
+  // 9 distinct trip counts -> 9 specializations, reused across rounds.
+  EXPECT_EQ(DynE->RT->stats(0).SpecializationRuns, 9u);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/HarnessTest.cpp - measurement harness unit tests ---------------------===//
+
+#include "core/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+namespace {
+
+/// A tiny synthetic workload with a known shape: the region sums a static
+/// vector against a dynamic one.
+Workload makeToyWorkload() {
+  Workload W;
+  W.Name = "toy";
+  W.Description = "test workload";
+  W.Source = R"(
+int region(int* a, int* b, int n) {
+  int i;
+  make_static(a, n, i : cache_one_unchecked);
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + a@[i] * b[i];
+  }
+  return s;
+}
+
+int toymain(int* a, int* b, int n, int reps) {
+  int r;
+  int acc = 0;
+  for (r = 0; r < reps; r = r + 1) {
+    b[r % n] = b[r % n] + r;
+    acc = acc ^ region(a, b, n);
+  }
+  return acc;
+}
+)";
+  W.RegionFunc = "region";
+  W.MainFunc = "toymain";
+  W.RegionInvocations = 50;
+  W.Setup = [](vm::VM &M) {
+    WorkloadSetup S;
+    const int N = 24;
+    int64_t A = M.allocMemory(N);
+    int64_t B = M.allocMemory(N);
+    for (int I = 0; I != N; ++I) {
+      M.memory()[A + I] = Word::fromInt(I % 4); // zeroes and small values
+      M.memory()[B + I] = Word::fromInt(10 + I);
+    }
+    S.RegionArgs = {Word::fromInt(A), Word::fromInt(B), Word::fromInt(N)};
+    S.MainArgs = {Word::fromInt(A), Word::fromInt(B), Word::fromInt(N),
+                  Word::fromInt(40)};
+    S.UnitsPerInvocation = N;
+    S.UnitName = "elements";
+    S.OutBase = B;
+    S.OutLen = N;
+    return S;
+  };
+  return W;
+}
+
+TEST(Harness, RegionMetricsAreConsistent) {
+  Workload W = makeToyWorkload();
+  core::RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+  EXPECT_GT(P.StaticCyclesPerInvoke, 0.0);
+  EXPECT_GT(P.DynCyclesPerInvoke, 0.0);
+  // Speedup is the s/d ratio by definition.
+  EXPECT_NEAR(P.AsymptoticSpeedup,
+              P.StaticCyclesPerInvoke / P.DynCyclesPerInvoke, 1e-9);
+  ASSERT_GT(P.AsymptoticSpeedup, 1.0);
+  // Break-even is o/(s-d), in invocations and in domain units.
+  double Gain = P.StaticCyclesPerInvoke - P.DynCyclesPerInvoke;
+  EXPECT_NEAR(P.BreakEvenInvocations,
+              static_cast<double>(P.OverheadCycles) / Gain, 1e-9);
+  EXPECT_NEAR(P.BreakEvenUnits, P.BreakEvenInvocations * 24.0, 1e-6);
+  EXPECT_EQ(P.UnitName, "elements");
+  // Overhead per instruction divides evenly.
+  ASSERT_GT(P.InstructionsGenerated, 0u);
+  EXPECT_NEAR(P.OverheadPerInstr,
+              static_cast<double>(P.OverheadCycles) /
+                  static_cast<double>(P.InstructionsGenerated),
+              1e-9);
+}
+
+TEST(Harness, WholeProgramMetricsAreConsistent) {
+  Workload W = makeToyWorkload();
+  core::WholeProgramPerf P = core::measureWholeProgram(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+  EXPECT_GT(P.StaticSeconds, 0.0);
+  EXPECT_GT(P.DynSeconds, 0.0);
+  EXPECT_GT(P.PctInRegion, 0.0);
+  EXPECT_LE(P.PctInRegion, 100.0);
+  EXPECT_NEAR(P.Speedup, P.StaticSeconds / P.DynSeconds, 1e-9);
+}
+
+TEST(Harness, NoSpeedupYieldsNegativeBreakEven) {
+  // A region whose specialization cannot pay (nothing folds, hashed
+  // dispatch every call) must report break-even = -1, not nonsense.
+  Workload W = makeToyWorkload();
+  W.Source = R"(
+int region(int* a, int* b, int n) {
+  make_static(a : cache_all);
+  return a[0] + b[0] + n;
+}
+
+int toymain(int* a, int* b, int n, int reps) {
+  return region(a, b, n);
+}
+)";
+  core::RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+  if (P.AsymptoticSpeedup < 1.0)
+    EXPECT_EQ(P.BreakEvenInvocations, -1.0);
+}
+
+TEST(Harness, AblationConfigurationsStayCorrectOnTheToy) {
+  Workload W = makeToyWorkload();
+  for (unsigned T = 0; T != OptFlags::NumToggles; ++T) {
+    OptFlags Fl;
+    Fl.toggle(T) = false;
+    core::RegionPerf P = core::measureRegion(W, Fl);
+    EXPECT_TRUE(P.OutputsMatch) << "toggle " << OptFlags::toggleName(T);
+  }
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/ProfileTest.cpp - value profiler / annotation advisor tests ----------===//
+
+#include "core/DycContext.h"
+#include "profile/ValueProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+using profile::AdvisorPolicy;
+using profile::Suggestion;
+using profile::ValueProfiler;
+
+namespace {
+
+const char *HotspotSrc = R"(
+int checksum(int* table, int width, int* rec) {
+  int f;
+  int h = 0;
+  for (f = 0; f < width; f = f + 1) {
+    h = h * 31 + rec[f] * table[f];
+  }
+  return h;
+}
+
+int main(int* table, int* recs, int nrecs) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < nrecs; i = i + 1) {
+    acc = acc ^ checksum(table, 8, recs + (i % 8) * 8);
+  }
+  return acc;
+}
+)";
+
+struct HotspotSetupResult {
+  int64_t Table = 0, Recs = 0;
+};
+
+HotspotSetupResult setupHotspot(vm::VM &M) {
+  HotspotSetupResult S;
+  S.Table = M.allocMemory(8);
+  S.Recs = M.allocMemory(64);
+  DeterministicRNG RNG(5);
+  for (int I = 0; I != 8; ++I)
+    M.memory()[S.Table + I] = Word::fromInt(3 + I * I);
+  for (int I = 0; I != 64; ++I)
+    M.memory()[S.Recs + I] =
+        Word::fromInt(static_cast<int64_t>(RNG.nextBelow(97)));
+  return S;
+}
+
+TEST(ValueProfilerTest, RecordsPerParameterValues) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(HotspotSrc, Errors));
+  auto E = Ctx.buildStatic();
+  ValueProfiler P;
+  P.attach(*E->Machine);
+  HotspotSetupResult S = setupHotspot(*E->Machine);
+  int Main = E->findFunction("main");
+  int Check = E->findFunction("checksum");
+  E->Machine->run(Main, {Word::fromInt(S.Table), Word::fromInt(S.Recs),
+                         Word::fromInt(100)});
+  EXPECT_EQ(P.calls(static_cast<uint32_t>(Check)), 100u);
+  // table and width are invariant across all calls; rec varies (8 bases).
+  EXPECT_EQ(P.param(Check, 0).distinctValues(), 1u);
+  EXPECT_EQ(P.param(Check, 1).distinctValues(), 1u);
+  EXPECT_EQ(P.param(Check, 2).distinctValues(), 8u);
+  EXPECT_DOUBLE_EQ(P.param(Check, 0).dominance(), 1.0);
+}
+
+TEST(ValueProfilerTest, OverflowMarksVariableParams) {
+  ValueProfiler P(4);
+  // Drive the observer directly through a tiny program.
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile("int id(int x) { return x; }", Errors));
+  auto E = Ctx.buildStatic();
+  P.attach(*E->Machine);
+  int F = E->findFunction("id");
+  for (int64_t V = 0; V != 10; ++V)
+    E->Machine->run(F, {Word::fromInt(V)});
+  EXPECT_TRUE(P.param(static_cast<uint32_t>(F), 0).Overflowed);
+}
+
+TEST(AnnotationAdvisor, FindsTheHotInvariantParameters) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(HotspotSrc, Errors));
+  auto E = Ctx.buildStatic();
+  ValueProfiler P;
+  P.attach(*E->Machine);
+  HotspotSetupResult S = setupHotspot(*E->Machine);
+  E->Machine->run(E->findFunction("main"),
+                  {Word::fromInt(S.Table), Word::fromInt(S.Recs),
+                   Word::fromInt(100)});
+  std::vector<Suggestion> Sugg =
+      profile::adviseAnnotations(Ctx.module(), *E->Machine, P);
+  ASSERT_FALSE(Sugg.empty());
+  EXPECT_EQ(Sugg[0].FuncName, "checksum");
+  EXPECT_EQ(Sugg[0].Names,
+            (std::vector<std::string>{"table", "width"}));
+  EXPECT_GT(Sugg[0].CycleShare, 0.3);
+}
+
+TEST(AnnotationAdvisor, ActingOnTheSuggestionSpeedsThingsUp) {
+  // Close the loop: apply the advisor's suggestion (annotate table/width
+  // and the scan index) and verify the specialized version is faster and
+  // produces identical results.
+  const char *Annotated = R"(
+int checksum(int* table, int width, int* rec) {
+  int f;
+  make_static(table, width, f : cache_one_unchecked);
+  int h = 0;
+  for (f = 0; f < width; f = f + 1) {
+    h = h * 31 + rec[f] * table@[f];
+  }
+  return h;
+}
+
+int main(int* table, int* recs, int nrecs) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < nrecs; i = i + 1) {
+    acc = acc ^ checksum(table, 8, recs + (i % 8) * 8);
+  }
+  return acc;
+}
+)";
+  core::DycContext Plain, Spec;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Plain.compile(HotspotSrc, Errors));
+  ASSERT_TRUE(Spec.compile(Annotated, Errors));
+  auto PE = Plain.buildStatic();
+  auto SE = Spec.buildDynamic();
+  HotspotSetupResult P1 = setupHotspot(*PE->Machine);
+  HotspotSetupResult P2 = setupHotspot(*SE->Machine);
+  ASSERT_EQ(P1.Table, P2.Table);
+  std::vector<Word> Args = {Word::fromInt(P1.Table),
+                            Word::fromInt(P1.Recs), Word::fromInt(100)};
+  Word RPlain = PE->Machine->run(PE->findFunction("main"), Args);
+  Word RSpec = SE->Machine->run(SE->findFunction("main"), Args);
+  EXPECT_EQ(RPlain.asInt(), RSpec.asInt());
+  // Second run, post-specialization: the annotated build must be faster.
+  uint64_t C0 = PE->Machine->execCycles();
+  PE->Machine->run(PE->findFunction("main"), Args);
+  uint64_t PlainCost = PE->Machine->execCycles() - C0;
+  uint64_t C1 = SE->Machine->execCycles();
+  SE->Machine->run(SE->findFunction("main"), Args);
+  uint64_t SpecCost = SE->Machine->execCycles() - C1;
+  EXPECT_LT(SpecCost, PlainCost);
+}
+
+TEST(AnnotationAdvisor, SkipsColdAndAlreadyAnnotatedFunctions) {
+  const char *Src = R"(
+int hot(int* t, int x) {
+  int i;
+  make_static(t, i);
+  int s = 0;
+  for (i = 0; i < 4; i = i + 1) { s = s + t@[i] * x; }
+  return s;
+}
+
+int cold(int* t, int x) { return t[0] * x; }
+
+int main(int* t, int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) { acc = acc + hot(t, i); }
+  acc = acc + cold(t, 1);
+  return acc;
+}
+)";
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors));
+  auto E = Ctx.buildStatic();
+  ValueProfiler P;
+  P.attach(*E->Machine);
+  int64_t T = E->Machine->allocMemory(4);
+  for (int I = 0; I != 4; ++I)
+    E->Machine->memory()[T + I] = Word::fromInt(I + 1);
+  E->Machine->run(E->findFunction("main"),
+                  {Word::fromInt(T), Word::fromInt(50)});
+  std::vector<Suggestion> Sugg =
+      profile::adviseAnnotations(Ctx.module(), *E->Machine, P);
+  for (const Suggestion &S : Sugg) {
+    EXPECT_NE(S.FuncName, "hot") << "already annotated";
+    EXPECT_NE(S.FuncName, "cold") << "only called once";
+  }
+}
+
+} // namespace

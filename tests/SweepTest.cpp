@@ -1,0 +1,208 @@
+//===- tests/SweepTest.cpp - parameterized workload sweeps -------------------------===//
+//
+// Property-style sweeps over workload parameters: for every point in the
+// sweep, the dynamically compiled configuration must match the static
+// baseline bit-for-bit. These exercise the specializer under many
+// different static-value shapes (cache geometries, kernel sizes,
+// interpreted programs, query mixes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// dinero across cache geometries.
+//===----------------------------------------------------------------------===//
+
+struct CacheGeom {
+  int64_t BShift;   // log2(block size)
+  int64_t NSets;    // power of two
+  int64_t BWords;   // sub-blocks per block
+};
+
+class DineroSweep : public ::testing::TestWithParam<CacheGeom> {};
+
+TEST_P(DineroSweep, DynamicMatchesStaticForThisGeometry) {
+  CacheGeom G = GetParam();
+  workloads::Workload W = workloads::workloadByName("dinero");
+  auto Base = W.Setup;
+  W.RegionInvocations = 2;
+  W.Setup = [Base, G](vm::VM &M) {
+    workloads::WorkloadSetup S = Base(M);
+    int64_t Config = S.RegionArgs[0].asInt();
+    M.memory()[Config + 0] = Word::fromInt(G.BShift);
+    M.memory()[Config + 1] = Word::fromInt(G.NSets - 1);
+    M.memory()[Config + 2] = Word::fromInt(G.BShift);
+    M.memory()[Config + 3] = Word::fromInt(G.NSets - 1);
+    M.memory()[Config + 4] = Word::fromInt(int64_t(1) << G.BShift);
+    M.memory()[Config + 5] = Word::fromInt(G.BWords);
+    return S;
+  };
+  // NOTE: the tag/valid arrays in the base setup are sized for <= 256
+  // sets; geometries in this sweep stay within that.
+  core::DycContext Ctx;
+  core::compileWorkload(W, Ctx);
+  auto SE = Ctx.buildStatic();
+  auto DE = Ctx.buildDynamic();
+  auto SS = W.Setup(*SE->Machine);
+  auto DS = W.Setup(*DE->Machine);
+  int F = SE->findFunction(W.RegionFunc);
+  Word SR = SE->Machine->run(F, SS.RegionArgs);
+  Word DR = DE->Machine->run(F, DS.RegionArgs);
+  EXPECT_EQ(SR.asInt(), DR.asInt());
+  for (int64_t I = 0; I != SS.OutLen; ++I)
+    EXPECT_EQ(SE->Machine->memory()[SS.OutBase + I].Bits,
+              DE->Machine->memory()[DS.OutBase + I].Bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DineroSweep,
+    ::testing::Values(CacheGeom{5, 256, 4},   // the paper's 8KB/32B
+                      CacheGeom{5, 64, 4},    // 2KB
+                      CacheGeom{6, 128, 8},   // 8KB/64B
+                      CacheGeom{4, 256, 2},   // 4KB/16B
+                      CacheGeom{5, 16, 1}),   // 512B, no sub-blocking
+    [](const ::testing::TestParamInfo<CacheGeom> &Info) {
+      return formatString("b%lld_s%lld_w%lld",
+                          (long long)Info.param.BShift,
+                          (long long)Info.param.NSets,
+                          (long long)Info.param.BWords);
+    });
+
+//===----------------------------------------------------------------------===//
+// pnmconvol across kernel sizes and weight mixes.
+//===----------------------------------------------------------------------===//
+
+struct KernelShape {
+  int Rows, Cols;
+  int PctZero; // remaining split between ones and general weights
+};
+
+class ConvolSweep : public ::testing::TestWithParam<KernelShape> {};
+
+TEST_P(ConvolSweep, DynamicMatchesStaticForThisKernel) {
+  KernelShape K = GetParam();
+  workloads::Workload W = workloads::workloadByName("pnmconvol");
+  W.RegionInvocations = 1;
+  W.Setup = [K](vm::VM &M) {
+    workloads::WorkloadSetup S;
+    const int IRows = 10, ICols = 10;
+    int64_t Image = M.allocMemory(IRows * ICols);
+    int64_t CMat = M.allocMemory(K.Rows * K.Cols);
+    int64_t Out = M.allocMemory(IRows * ICols);
+    DeterministicRNG RNG(0xc0 + K.Rows * 100 + K.PctZero);
+    for (int I = 0; I != IRows * ICols; ++I)
+      M.memory()[Image + I] = Word::fromFloat(RNG.nextDouble());
+    for (int I = 0; I != K.Rows * K.Cols; ++I) {
+      double V;
+      unsigned R = static_cast<unsigned>(RNG.nextBelow(100));
+      if (R < static_cast<unsigned>(K.PctZero))
+        V = 0.0;
+      else if (R < static_cast<unsigned>(K.PctZero) + 10)
+        V = 1.0;
+      else
+        V = RNG.nextDouble() - 0.5;
+      M.memory()[CMat + I] = Word::fromFloat(V);
+    }
+    S.RegionArgs = {Word::fromInt(Image),  Word::fromInt(IRows),
+                    Word::fromInt(ICols),  Word::fromInt(CMat),
+                    Word::fromInt(K.Rows), Word::fromInt(K.Cols),
+                    Word::fromInt(Out)};
+    S.MainArgs = S.RegionArgs;
+    S.OutBase = Out;
+    S.OutLen = IRows * ICols;
+    return S;
+  };
+  core::WholeProgramPerf Unused; // silence -Wunused warnings pattern
+  (void)Unused;
+  core::RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ConvolSweep,
+    ::testing::Values(KernelShape{1, 1, 0}, KernelShape{3, 3, 50},
+                      KernelShape{5, 5, 83}, KernelShape{7, 3, 90},
+                      KernelShape{3, 7, 0}, KernelShape{5, 1, 100}),
+    [](const ::testing::TestParamInfo<KernelShape> &Info) {
+      return formatString("k%dx%d_z%d", Info.param.Rows, Info.param.Cols,
+                          Info.param.PctZero);
+    });
+
+//===----------------------------------------------------------------------===//
+// mipsi across interpreted inputs: the residual code is input-program-
+// specific, but the data it runs on is dynamic.
+//===----------------------------------------------------------------------===//
+
+class MipsiDataSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipsiDataSweep, SortsEveryInputShape) {
+  workloads::Workload W = workloads::workloadByName("mipsi");
+  int Shape = GetParam();
+  auto Base = W.Setup;
+  W.RegionInvocations = 1;
+  W.Setup = [Base, Shape](vm::VM &M) {
+    workloads::WorkloadSetup S = Base(M);
+    int64_t Init = S.RegionArgs[4].asInt();
+    int64_t N = S.RegionArgs[5].asInt();
+    for (int64_t I = 0; I != N; ++I) {
+      int64_t V;
+      switch (Shape) {
+      case 0: V = I; break;                  // already sorted
+      case 1: V = N - I; break;              // reverse sorted
+      case 2: V = I % 3; break;              // many duplicates
+      default: V = (I * 7919) % 101; break;  // scrambled
+      }
+      M.memory()[Init + I] = Word::fromInt(V);
+    }
+    return S;
+  };
+  core::RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+  // One specialization serves every data shape: the code depends only on
+  // the interpreted program.
+  EXPECT_EQ(P.Stats.SpecializationRuns, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataShapes, MipsiDataSweep,
+                         ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===//
+// query across operator mixes.
+//===----------------------------------------------------------------------===//
+
+class QuerySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuerySweep, EveryOperatorMixMatches) {
+  workloads::Workload W = workloads::workloadByName("query");
+  int Mix = GetParam();
+  auto Base = W.Setup;
+  W.RegionInvocations = 16;
+  W.Setup = [Base, Mix](vm::VM &M) {
+    workloads::WorkloadSetup S = Base(M);
+    int64_t Q = S.RegionArgs[0].asInt();
+    DeterministicRNG RNG(0x11 + Mix);
+    for (int F = 0; F != 7; ++F) {
+      M.memory()[Q + F * 2] =
+          Word::fromInt(static_cast<int64_t>(RNG.nextBelow(4)));
+      M.memory()[Q + F * 2 + 1] =
+          Word::fromInt(static_cast<int64_t>(RNG.nextBelow(100)));
+    }
+    return S;
+  };
+  core::RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch);
+  EXPECT_GT(P.AsymptoticSpeedup, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatorMixes, QuerySweep,
+                         ::testing::Range(0, 6));
+
+} // namespace

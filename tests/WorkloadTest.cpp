@@ -1,0 +1,60 @@
+//===- tests/WorkloadTest.cpp - Workload correctness and performance ----------------===//
+//
+// For every workload: the dynamically compiled configuration must produce
+// bit-identical outputs to the statically compiled one, and for each the
+// paper-documented optimizations must fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+using core::RegionPerf;
+using workloads::allWorkloads;
+using workloads::Workload;
+
+namespace {
+
+class WorkloadRegion : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRegion, DynamicMatchesStaticAndSpeedsUp) {
+  const Workload &W = workloads::workloadByName(GetParam());
+  RegionPerf P = core::measureRegion(W, OptFlags());
+  EXPECT_TRUE(P.OutputsMatch) << W.Name << ": outputs diverged";
+  EXPECT_GT(P.Stats.SpecializationRuns, 0u) << W.Name;
+  EXPECT_GT(P.InstructionsGenerated, 0u) << W.Name;
+  // Every workload in the paper achieves an asymptotic region speedup
+  // with all optimizations on (Table 3: 1.2x .. 6.3x).
+  EXPECT_GT(P.AsymptoticSpeedup, 1.0) << W.Name;
+  // Dynamic compilation must pay off in finite time.
+  EXPECT_GE(P.BreakEvenInvocations, 0.0) << W.Name;
+}
+
+std::vector<std::string> workloadNames() {
+  std::vector<std::string> Names;
+  for (const Workload &W : allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRegion, ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string N = Info.param;
+      for (char &C : N)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return N;
+    });
+
+TEST(WorkloadPrograms, WholeProgramsAgree) {
+  for (const Workload &W : allWorkloads()) {
+    core::WholeProgramPerf P = core::measureWholeProgram(W, OptFlags());
+    EXPECT_TRUE(P.OutputsMatch) << W.Name;
+    EXPECT_GT(P.PctInRegion, 0.0) << W.Name;
+  }
+}
+
+} // namespace

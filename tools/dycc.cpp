@@ -1,0 +1,215 @@
+//===- tools/dycc.cpp - Command-line driver for the DyC reproduction ----------------===//
+//
+// Compile an annotated MiniC file, inspect every stage of the staged
+// pipeline, and run it on the simulated machine:
+//
+//   dycc prog.minic --dump-ir                   # IR after static opts
+//   dycc prog.minic --dump-bta                  # binding-time analysis
+//   dycc prog.minic --dump-genext               # generating extensions
+//   dycc prog.minic --run f 3 4.5 --stats       # dynamic compile + run
+//   dycc prog.minic --run f 7 --static          # static baseline
+//   dycc prog.minic --run f 7 --dump-residual   # show generated code
+//   dycc prog.minic --run f 7 --no-dead-assignment-elim ...
+//   dycc prog.minic --run main --profile        # annotation advisor
+//
+//===----------------------------------------------------------------------===//
+
+#include "bta/BTAnalysis.h"
+#include "core/DycContext.h"
+#include "profile/ValueProfiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+using namespace dyc;
+
+namespace {
+
+void usage() {
+  fprintf(stderr,
+          "usage: dycc <file.minic> [options]\n"
+          "  --run FUNC [ARGS...]  call FUNC (integer or real arguments)\n"
+          "  --iterations N        repeat the call N times (default 1)\n"
+          "  --static              run the statically compiled baseline\n"
+          "  --dump-ir             print the optimized IR\n"
+          "  --dump-bta            print the binding-time analysis\n"
+          "  --dump-genext         print the generating extensions\n"
+          "  --dump-residual       disassemble generated code after a run\n"
+          "  --stats               print cycle counts and region stats\n"
+          "  --profile             value-profile the run and suggest\n"
+          "                        make_static annotations\n"
+          "  --icache KB           L1 I-cache size (default 8)\n");
+  for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
+    fprintf(stderr, "  --no-%-27s disable this optimization\n",
+            OptFlags::toggleName(T));
+}
+
+bool looksLikeNumber(const char *S) {
+  if (*S == '-' || *S == '+')
+    ++S;
+  return *S >= '0' && *S <= '9';
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string Path = argv[1];
+  std::string RunFunc;
+  std::vector<Word> RunArgs;
+  uint64_t Iterations = 1;
+  bool Static = false, DumpIR = false, DumpBTA = false, DumpGenExt = false,
+       DumpResidual = false, Stats = false, Profile = false;
+  OptFlags Flags;
+  vm::ICacheConfig ICCfg;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--run" && I + 1 < argc) {
+      RunFunc = argv[++I];
+      while (I + 1 < argc && looksLikeNumber(argv[I + 1])) {
+        std::string V = argv[++I];
+        if (V.find('.') != std::string::npos)
+          RunArgs.push_back(Word::fromFloat(strtod(V.c_str(), nullptr)));
+        else
+          RunArgs.push_back(
+              Word::fromInt(strtoll(V.c_str(), nullptr, 10)));
+      }
+    } else if (A == "--iterations" && I + 1 < argc) {
+      Iterations = strtoull(argv[++I], nullptr, 10);
+    } else if (A == "--static") {
+      Static = true;
+    } else if (A == "--dump-ir") {
+      DumpIR = true;
+    } else if (A == "--dump-bta") {
+      DumpBTA = true;
+    } else if (A == "--dump-genext") {
+      DumpGenExt = true;
+    } else if (A == "--dump-residual") {
+      DumpResidual = true;
+    } else if (A == "--stats") {
+      Stats = true;
+    } else if (A == "--profile") {
+      Profile = true;
+    } else if (A == "--icache" && I + 1 < argc) {
+      ICCfg.SizeBytes = strtoul(argv[++I], nullptr, 10) * 1024;
+    } else if (A.rfind("--no-", 0) == 0) {
+      bool Known = false;
+      for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
+        if (A.substr(5) == OptFlags::toggleName(T)) {
+          Flags.toggle(T) = false;
+          Known = true;
+        }
+      if (!Known) {
+        fprintf(stderr, "dycc: unknown optimization '%s'\n", A.c_str());
+        return 2;
+      }
+    } else {
+      fprintf(stderr, "dycc: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::string Source;
+  {
+    FILE *In = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+    if (!In) {
+      fprintf(stderr, "dycc: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Source.append(Buf, N);
+    if (In != stdin)
+      std::fclose(In);
+  }
+
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(Source, Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "dycc: error: %s\n", E.c_str());
+    return 1;
+  }
+
+  if (DumpIR)
+    printf("%s", ir::printModule(Ctx.module()).c_str());
+
+  if (DumpBTA) {
+    std::vector<bta::RegionInfo> Regions = Ctx.analyze(Flags);
+    for (const bta::RegionInfo &R : Regions)
+      if (!R.Contexts.empty())
+        printf("%s",
+               bta::printRegionInfo(R, Ctx.module().function(R.FuncIdx))
+                   .c_str());
+  }
+
+  std::unique_ptr<core::Executable> E =
+      Static ? Ctx.buildStatic(vm::CostModel(), ICCfg)
+             : Ctx.buildDynamic(Flags, vm::CostModel(), ICCfg);
+
+  if (DumpGenExt && E->RT) {
+    for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
+      printf("%s", E->RT->printRegion(Ord, Ctx.module()).c_str());
+  }
+
+  profile::ValueProfiler Prof;
+  if (Profile)
+    Prof.attach(*E->Machine);
+
+  if (!RunFunc.empty()) {
+    int F = E->findFunction(RunFunc);
+    if (F < 0) {
+      fprintf(stderr, "dycc: no function named '%s'\n", RunFunc.c_str());
+      return 1;
+    }
+    Word R;
+    for (uint64_t I = 0; I != Iterations; ++I)
+      R = E->Machine->run(static_cast<uint32_t>(F), RunArgs);
+    const ir::Function &Fn = Ctx.module().function(F);
+    if (Fn.RetTy == ir::Type::F64)
+      printf("%s => %.17g\n", RunFunc.c_str(), R.asFloat());
+    else
+      printf("%s => %lld\n", RunFunc.c_str(), (long long)R.asInt());
+  }
+
+  if (Stats) {
+    printf("execution cycles:           %llu\n",
+           (unsigned long long)E->Machine->execCycles());
+    printf("dynamic-compilation cycles: %llu\n",
+           (unsigned long long)E->Machine->dynCompCycles());
+    printf("instructions executed:      %llu\n",
+           (unsigned long long)E->Machine->instrsExecuted());
+    printf("I-cache: %llu hits, %llu misses\n",
+           (unsigned long long)E->Machine->icache().hits(),
+           (unsigned long long)E->Machine->icache().misses());
+    if (E->RT)
+      for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
+        printf("region %zu: %s\n", Ord,
+               E->RT->stats(Ord).toString().c_str());
+  }
+
+  if (DumpResidual && E->RT)
+    for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
+      printf("%s", E->RT->disassembleRegion(Ord).c_str());
+
+  if (Profile) {
+    std::vector<profile::Suggestion> Sugg = profile::adviseAnnotations(
+        Ctx.module(), *E->Machine, Prof);
+    if (Sugg.empty()) {
+      printf("annotation advisor: no promising make_static candidates\n");
+    } else {
+      printf("annotation advisor suggestions (best first):\n");
+      for (const profile::Suggestion &S : Sugg)
+        printf("  %s\n", S.toString().c_str());
+    }
+  }
+  return 0;
+}
