@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_cost.dir/DispatchCost.cpp.o"
+  "CMakeFiles/dispatch_cost.dir/DispatchCost.cpp.o.d"
+  "dispatch_cost"
+  "dispatch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

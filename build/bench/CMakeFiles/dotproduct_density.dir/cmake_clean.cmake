@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotproduct_density.dir/DotproductDensity.cpp.o"
+  "CMakeFiles/dotproduct_density.dir/DotproductDensity.cpp.o.d"
+  "dotproduct_density"
+  "dotproduct_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotproduct_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_dispatch.dir/IndexedDispatch.cpp.o"
+  "CMakeFiles/indexed_dispatch.dir/IndexedDispatch.cpp.o.d"
+  "indexed_dispatch"
+  "indexed_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

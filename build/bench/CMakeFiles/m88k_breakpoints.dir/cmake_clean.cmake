@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m88k_breakpoints.dir/M88kBreakpoints.cpp.o"
+  "CMakeFiles/m88k_breakpoints.dir/M88kBreakpoints.cpp.o.d"
+  "m88k_breakpoints"
+  "m88k_breakpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m88k_breakpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

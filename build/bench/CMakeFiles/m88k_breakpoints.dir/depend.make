@@ -1,0 +1,2 @@
+# Empty dependencies file for m88k_breakpoints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnmconvol_icache.dir/PnmconvolICache.cpp.o"
+  "CMakeFiles/pnmconvol_icache.dir/PnmconvolICache.cpp.o.d"
+  "pnmconvol_icache"
+  "pnmconvol_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnmconvol_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

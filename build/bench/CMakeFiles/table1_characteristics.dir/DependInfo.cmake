@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/Table1Characteristics.cpp" "bench/CMakeFiles/table1_characteristics.dir/Table1Characteristics.cpp.o" "gcc" "bench/CMakeFiles/table1_characteristics.dir/Table1Characteristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_cogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_bta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

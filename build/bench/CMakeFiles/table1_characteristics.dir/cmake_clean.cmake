@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_characteristics.dir/Table1Characteristics.cpp.o"
+  "CMakeFiles/table1_characteristics.dir/Table1Characteristics.cpp.o.d"
+  "table1_characteristics"
+  "table1_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimizations.dir/Table2Optimizations.cpp.o"
+  "CMakeFiles/table2_optimizations.dir/Table2Optimizations.cpp.o.d"
+  "table2_optimizations"
+  "table2_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

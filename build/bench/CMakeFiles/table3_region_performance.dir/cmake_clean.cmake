@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_region_performance.dir/Table3RegionPerformance.cpp.o"
+  "CMakeFiles/table3_region_performance.dir/Table3RegionPerformance.cpp.o.d"
+  "table3_region_performance"
+  "table3_region_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_region_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

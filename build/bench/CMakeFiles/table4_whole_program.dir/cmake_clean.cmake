@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_whole_program.dir/Table4WholeProgram.cpp.o"
+  "CMakeFiles/table4_whole_program.dir/Table4WholeProgram.cpp.o.d"
+  "table4_whole_program"
+  "table4_whole_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_whole_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

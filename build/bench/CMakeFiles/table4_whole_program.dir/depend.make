@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_whole_program.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_specialization.dir/conditional_specialization.cpp.o"
+  "CMakeFiles/conditional_specialization.dir/conditional_specialization.cpp.o.d"
+  "conditional_specialization"
+  "conditional_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter.dir/interpreter.cpp.o"
+  "CMakeFiles/interpreter.dir/interpreter.cpp.o.d"
+  "interpreter"
+  "interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

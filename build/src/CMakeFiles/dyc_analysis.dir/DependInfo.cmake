@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/CMakeFiles/dyc_analysis.dir/analysis/CFG.cpp.o" "gcc" "src/CMakeFiles/dyc_analysis.dir/analysis/CFG.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/dyc_analysis.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/dyc_analysis.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/dyc_analysis.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/dyc_analysis.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/dyc_analysis.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/dyc_analysis.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/CMakeFiles/dyc_analysis.dir/analysis/ReachingDefs.cpp.o" "gcc" "src/CMakeFiles/dyc_analysis.dir/analysis/ReachingDefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_analysis.dir/analysis/CFG.cpp.o"
+  "CMakeFiles/dyc_analysis.dir/analysis/CFG.cpp.o.d"
+  "CMakeFiles/dyc_analysis.dir/analysis/Dominators.cpp.o"
+  "CMakeFiles/dyc_analysis.dir/analysis/Dominators.cpp.o.d"
+  "CMakeFiles/dyc_analysis.dir/analysis/Liveness.cpp.o"
+  "CMakeFiles/dyc_analysis.dir/analysis/Liveness.cpp.o.d"
+  "CMakeFiles/dyc_analysis.dir/analysis/LoopInfo.cpp.o"
+  "CMakeFiles/dyc_analysis.dir/analysis/LoopInfo.cpp.o.d"
+  "CMakeFiles/dyc_analysis.dir/analysis/ReachingDefs.cpp.o"
+  "CMakeFiles/dyc_analysis.dir/analysis/ReachingDefs.cpp.o.d"
+  "libdyc_analysis.a"
+  "libdyc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

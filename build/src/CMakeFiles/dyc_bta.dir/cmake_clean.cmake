@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_bta.dir/bta/BTAnalysis.cpp.o"
+  "CMakeFiles/dyc_bta.dir/bta/BTAnalysis.cpp.o.d"
+  "libdyc_bta.a"
+  "libdyc_bta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_bta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dyc_bta.
+# This may be replaced when dependencies are built.

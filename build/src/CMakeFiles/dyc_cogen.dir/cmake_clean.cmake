@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_cogen.dir/cogen/CompilerGenerator.cpp.o"
+  "CMakeFiles/dyc_cogen.dir/cogen/CompilerGenerator.cpp.o.d"
+  "CMakeFiles/dyc_cogen.dir/cogen/Lowering.cpp.o"
+  "CMakeFiles/dyc_cogen.dir/cogen/Lowering.cpp.o.d"
+  "libdyc_cogen.a"
+  "libdyc_cogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_cogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

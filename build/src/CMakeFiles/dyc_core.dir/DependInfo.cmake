@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/DycContext.cpp" "src/CMakeFiles/dyc_core.dir/core/DycContext.cpp.o" "gcc" "src/CMakeFiles/dyc_core.dir/core/DycContext.cpp.o.d"
+  "/root/repo/src/core/Harness.cpp" "src/CMakeFiles/dyc_core.dir/core/Harness.cpp.o" "gcc" "src/CMakeFiles/dyc_core.dir/core/Harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_cogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_bta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_core.dir/core/DycContext.cpp.o"
+  "CMakeFiles/dyc_core.dir/core/DycContext.cpp.o.d"
+  "CMakeFiles/dyc_core.dir/core/Harness.cpp.o"
+  "CMakeFiles/dyc_core.dir/core/Harness.cpp.o.d"
+  "libdyc_core.a"
+  "libdyc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

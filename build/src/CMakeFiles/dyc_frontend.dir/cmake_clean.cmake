@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_frontend.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/dyc_frontend.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/dyc_frontend.dir/frontend/Lower.cpp.o"
+  "CMakeFiles/dyc_frontend.dir/frontend/Lower.cpp.o.d"
+  "CMakeFiles/dyc_frontend.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/dyc_frontend.dir/frontend/Parser.cpp.o.d"
+  "libdyc_frontend.a"
+  "libdyc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

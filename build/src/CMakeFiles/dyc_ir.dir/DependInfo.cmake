@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ConstEval.cpp" "src/CMakeFiles/dyc_ir.dir/ir/ConstEval.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/ConstEval.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/dyc_ir.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/dyc_ir.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/dyc_ir.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/dyc_ir.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/dyc_ir.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/dyc_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/dyc_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

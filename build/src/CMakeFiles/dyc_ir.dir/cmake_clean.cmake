@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_ir.dir/ir/ConstEval.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/ConstEval.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/IRBuilder.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/IRBuilder.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/IRPrinter.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/IRPrinter.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/Module.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/Module.cpp.o.d"
+  "CMakeFiles/dyc_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/dyc_ir.dir/ir/Verifier.cpp.o.d"
+  "libdyc_ir.a"
+  "libdyc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CoalesceMoves.cpp" "src/CMakeFiles/dyc_opt.dir/opt/CoalesceMoves.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/CoalesceMoves.cpp.o.d"
+  "/root/repo/src/opt/ConstantFold.cpp" "src/CMakeFiles/dyc_opt.dir/opt/ConstantFold.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/CopyPropagation.cpp" "src/CMakeFiles/dyc_opt.dir/opt/CopyPropagation.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/CopyPropagation.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/CMakeFiles/dyc_opt.dir/opt/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/CMakeFiles/dyc_opt.dir/opt/PassManager.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/PassManager.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/CMakeFiles/dyc_opt.dir/opt/SimplifyCFG.cpp.o" "gcc" "src/CMakeFiles/dyc_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

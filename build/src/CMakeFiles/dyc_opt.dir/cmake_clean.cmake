@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_opt.dir/opt/CoalesceMoves.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/CoalesceMoves.cpp.o.d"
+  "CMakeFiles/dyc_opt.dir/opt/ConstantFold.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/ConstantFold.cpp.o.d"
+  "CMakeFiles/dyc_opt.dir/opt/CopyPropagation.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/CopyPropagation.cpp.o.d"
+  "CMakeFiles/dyc_opt.dir/opt/DeadCodeElim.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/dyc_opt.dir/opt/PassManager.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/PassManager.cpp.o.d"
+  "CMakeFiles/dyc_opt.dir/opt/SimplifyCFG.cpp.o"
+  "CMakeFiles/dyc_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  "libdyc_opt.a"
+  "libdyc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_profile.dir/profile/ValueProfiler.cpp.o"
+  "CMakeFiles/dyc_profile.dir/profile/ValueProfiler.cpp.o.d"
+  "libdyc_profile.a"
+  "libdyc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

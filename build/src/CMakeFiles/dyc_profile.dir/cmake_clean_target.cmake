@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyc_profile.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_runtime.dir/runtime/CodeCache.cpp.o"
+  "CMakeFiles/dyc_runtime.dir/runtime/CodeCache.cpp.o.d"
+  "CMakeFiles/dyc_runtime.dir/runtime/RuntimeStats.cpp.o"
+  "CMakeFiles/dyc_runtime.dir/runtime/RuntimeStats.cpp.o.d"
+  "CMakeFiles/dyc_runtime.dir/runtime/Specializer.cpp.o"
+  "CMakeFiles/dyc_runtime.dir/runtime/Specializer.cpp.o.d"
+  "libdyc_runtime.a"
+  "libdyc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

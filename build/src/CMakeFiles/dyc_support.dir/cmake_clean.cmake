@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_support.dir/support/DoubleHashTable.cpp.o"
+  "CMakeFiles/dyc_support.dir/support/DoubleHashTable.cpp.o.d"
+  "CMakeFiles/dyc_support.dir/support/Support.cpp.o"
+  "CMakeFiles/dyc_support.dir/support/Support.cpp.o.d"
+  "libdyc_support.a"
+  "libdyc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Bytecode.cpp" "src/CMakeFiles/dyc_vm.dir/vm/Bytecode.cpp.o" "gcc" "src/CMakeFiles/dyc_vm.dir/vm/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/CostModel.cpp" "src/CMakeFiles/dyc_vm.dir/vm/CostModel.cpp.o" "gcc" "src/CMakeFiles/dyc_vm.dir/vm/CostModel.cpp.o.d"
+  "/root/repo/src/vm/ExternalFunctions.cpp" "src/CMakeFiles/dyc_vm.dir/vm/ExternalFunctions.cpp.o" "gcc" "src/CMakeFiles/dyc_vm.dir/vm/ExternalFunctions.cpp.o.d"
+  "/root/repo/src/vm/ICache.cpp" "src/CMakeFiles/dyc_vm.dir/vm/ICache.cpp.o" "gcc" "src/CMakeFiles/dyc_vm.dir/vm/ICache.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/CMakeFiles/dyc_vm.dir/vm/VM.cpp.o" "gcc" "src/CMakeFiles/dyc_vm.dir/vm/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

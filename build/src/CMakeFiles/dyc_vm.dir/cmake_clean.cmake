@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_vm.dir/vm/Bytecode.cpp.o"
+  "CMakeFiles/dyc_vm.dir/vm/Bytecode.cpp.o.d"
+  "CMakeFiles/dyc_vm.dir/vm/CostModel.cpp.o"
+  "CMakeFiles/dyc_vm.dir/vm/CostModel.cpp.o.d"
+  "CMakeFiles/dyc_vm.dir/vm/ExternalFunctions.cpp.o"
+  "CMakeFiles/dyc_vm.dir/vm/ExternalFunctions.cpp.o.d"
+  "CMakeFiles/dyc_vm.dir/vm/ICache.cpp.o"
+  "CMakeFiles/dyc_vm.dir/vm/ICache.cpp.o.d"
+  "CMakeFiles/dyc_vm.dir/vm/VM.cpp.o"
+  "CMakeFiles/dyc_vm.dir/vm/VM.cpp.o.d"
+  "libdyc_vm.a"
+  "libdyc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Dinero.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Dinero.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Dinero.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Kernels.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/M88ksim.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/M88ksim.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/M88ksim.cpp.o.d"
+  "/root/repo/src/workloads/Mipsi.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Mipsi.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Mipsi.cpp.o.d"
+  "/root/repo/src/workloads/Pnmconvol.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Pnmconvol.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Pnmconvol.cpp.o.d"
+  "/root/repo/src/workloads/Viewperf.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Viewperf.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Viewperf.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/dyc_workloads.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/dyc_workloads.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dyc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_cogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_bta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dyc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyc_workloads.dir/workloads/Dinero.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Dinero.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/Kernels.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Kernels.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/M88ksim.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/M88ksim.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/Mipsi.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Mipsi.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/Pnmconvol.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Pnmconvol.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/Viewperf.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Viewperf.cpp.o.d"
+  "CMakeFiles/dyc_workloads.dir/workloads/Workload.cpp.o"
+  "CMakeFiles/dyc_workloads.dir/workloads/Workload.cpp.o.d"
+  "libdyc_workloads.a"
+  "libdyc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

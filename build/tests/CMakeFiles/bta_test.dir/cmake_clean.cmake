@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bta_test.dir/BTATest.cpp.o"
+  "CMakeFiles/bta_test.dir/BTATest.cpp.o.d"
+  "bta_test"
+  "bta_test.pdb"
+  "bta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

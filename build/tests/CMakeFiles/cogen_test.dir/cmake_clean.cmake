@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cogen_test.dir/CogenTest.cpp.o"
+  "CMakeFiles/cogen_test.dir/CogenTest.cpp.o.d"
+  "cogen_test"
+  "cogen_test.pdb"
+  "cogen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cogen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dycc.dir/dycc.cpp.o"
+  "CMakeFiles/dycc.dir/dycc.cpp.o.d"
+  "dycc"
+  "dycc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dycc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dycc.
+# This may be replaced when dependencies are built.
