@@ -1,0 +1,140 @@
+//===- bench/ServerThroughput.cpp --------------------------------------------------===//
+//
+// Multi-client scaling of the SpecServer. Two experiments:
+//
+//  1. Client-thread sweep: a kernel workload dispatched through the
+//     service by 1/2/4/8 concurrent client VMs, reporting host wall-clock
+//     dispatch throughput. Hits probe a published immutable snapshot with
+//     no lock, so throughput should scale with clients; the single
+//     specialization lock is off the hot path once the cache is warm.
+//
+//  2. Capacity sweep: clients cycling through more distinct keys than the
+//     per-region budget admits, reporting how throughput degrades as the
+//     CLOCK policy thrashes (eviction -> re-dispatch -> respecialize).
+//
+// `--quick` (or DYC_BENCH_QUICK=1) shrinks both sweeps so the binary can
+// run under ThreadSanitizer in CI in seconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+#include "server/SpecServer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace dyc;
+
+namespace {
+
+bool quickMode(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      return true;
+  const char *Env = std::getenv("DYC_BENCH_QUICK");
+  return Env && Env[0] == '1';
+}
+
+void threadSweep(uint64_t InvocationsPerThread) {
+  const workloads::Workload &W = workloads::workloadByName("dotproduct");
+  std::printf("client-thread sweep: workload=%s, %llu invocations/thread\n",
+              W.Name.c_str(),
+              static_cast<unsigned long long>(InvocationsPerThread));
+  std::printf("  %-8s %12s %12s %10s %8s\n", "threads", "invocs/sec",
+              "wall-sec", "speedup", "match");
+
+  double Base = 0;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    core::ServerThroughputPerf P = core::measureServerThroughput(
+        W, OptFlags(), Threads, InvocationsPerThread);
+    if (Threads == 1)
+      Base = P.InvocationsPerSec;
+    std::printf("  %-8u %12.0f %12.4f %9.2fx %8s\n", Threads,
+                P.InvocationsPerSec, P.WallSeconds,
+                Base > 0 ? P.InvocationsPerSec / Base : 0.0,
+                P.OutputsMatch ? "yes" : "NO");
+  }
+}
+
+// A region with one specialization per distinct n; clients rotate through
+// `NumKeys` values so a small budget forces steady-state eviction.
+const char *SumSrc = "int f(int n) {\n"
+                     "  int i;\n"
+                     "  make_static(n, i : cache_all);\n"
+                     "  int s = 0;\n"
+                     "  for (i = 0; i < n; i = i + 1) { s = s + i; }\n"
+                     "  return s;\n"
+                     "}";
+
+void capacitySweep(uint64_t InvocationsPerThread) {
+  constexpr unsigned NumThreads = 4;
+  constexpr int64_t NumKeys = 16;
+  std::printf("\ncapacity sweep: %u threads rotating over %lld keys, "
+              "%llu invocations/thread\n",
+              NumThreads, static_cast<long long>(NumKeys),
+              static_cast<unsigned long long>(InvocationsPerThread));
+  std::printf("  %-10s %12s %10s %10s %10s\n", "budget", "invocs/sec",
+              "specruns", "evictions", "resident");
+
+  for (size_t MaxEntries : {size_t(0), size_t(16), size_t(8), size_t(4)}) {
+    core::DycContext Ctx;
+    std::vector<std::string> Errors;
+    if (!Ctx.compile(SumSrc, Errors))
+      fatal("capacity-sweep source failed to compile");
+
+    server::ServerConfig Cfg;
+    Cfg.Budget.MaxEntries = MaxEntries;
+    auto Server = Ctx.buildServer(OptFlags(), std::move(Cfg));
+    int F = Server->findFunction("f");
+
+    std::vector<std::unique_ptr<vm::VM>> Clients;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Clients.push_back(Server->makeClientVM());
+
+    auto Start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> Pool;
+      for (unsigned T = 0; T != NumThreads; ++T)
+        Pool.emplace_back([&, T] {
+          vm::VM &M = *Clients[T];
+          for (uint64_t I = 0; I != InvocationsPerThread; ++I) {
+            // Offset by thread id so clients are usually on different keys.
+            int64_t N = 2 + (I + T * 3) % NumKeys;
+            Word R = M.run(static_cast<uint32_t>(F), {Word::fromInt(N)});
+            if (R.asInt() != N * (N - 1) / 2)
+              fatal("capacity sweep produced a wrong sum");
+          }
+        });
+      for (std::thread &Th : Pool)
+        Th.join();
+    }
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    Server->drain();
+
+    server::ServerStatsSnapshot S = Server->stats();
+    char Budget[32];
+    if (MaxEntries)
+      std::snprintf(Budget, sizeof(Budget), "%zu", MaxEntries);
+    else
+      std::snprintf(Budget, sizeof(Budget), "unbounded");
+    std::printf("  %-10s %12.0f %10llu %10llu %10zu\n", Budget,
+                Wall > 0 ? NumThreads * InvocationsPerThread / Wall : 0.0,
+                static_cast<unsigned long long>(S.SpecRuns),
+                static_cast<unsigned long long>(S.Evictions),
+                Server->residentEntries(0));
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = quickMode(Argc, Argv);
+  threadSweep(Quick ? 50 : 2000);
+  capacitySweep(Quick ? 200 : 20000);
+  return 0;
+}

@@ -43,6 +43,12 @@ DycContext::analyze(const OptFlags &Flags) const {
   return Out;
 }
 
+std::unique_ptr<server::SpecServer>
+DycContext::buildServer(const OptFlags &Flags,
+                        server::ServerConfig Cfg) const {
+  return std::make_unique<server::SpecServer>(M, Flags, std::move(Cfg));
+}
+
 std::unique_ptr<Executable>
 DycContext::buildStatic(const vm::CostModel &CM,
                         const vm::ICacheConfig &IC) const {

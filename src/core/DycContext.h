@@ -29,6 +29,7 @@
 #include "bta/BTAnalysis.h"
 #include "cogen/CompilerGenerator.h"
 #include "runtime/Specializer.h"
+#include "server/SpecServer.h"
 #include "vm/VM.h"
 
 #include <memory>
@@ -81,6 +82,13 @@ public:
   buildDynamic(const OptFlags &Flags = OptFlags(),
                const vm::CostModel &CM = vm::CostModel(),
                const vm::ICacheConfig &IC = vm::ICacheConfig()) const;
+
+  /// Builds the concurrent specialization service over this module. The
+  /// context must outlive the server (the server keeps a reference to the
+  /// module, as Executable's runtime does).
+  std::unique_ptr<server::SpecServer>
+  buildServer(const OptFlags &Flags = OptFlags(),
+              server::ServerConfig Cfg = server::ServerConfig()) const;
 
   /// Runs BTA only (no code generation); one RegionInfo per function.
   std::vector<bta::RegionInfo> analyze(const OptFlags &Flags) const;

@@ -2,6 +2,9 @@
 
 #include "core/Harness.h"
 
+#include <chrono>
+#include <thread>
+
 namespace dyc {
 namespace core {
 
@@ -147,6 +150,82 @@ WholeProgramPerf measureWholeProgram(const Workload &W, const OptFlags &Flags,
   P.DynSeconds = static_cast<double>(DTotal) / ClockHz;
   P.Speedup = DTotal ? static_cast<double>(STotal) / DTotal : 0;
   P.OutputsMatch = outputsEqual(*StaticE, *DynE, SS, SRes, DRes);
+  return P;
+}
+
+ServerThroughputPerf
+measureServerThroughput(const Workload &W, const OptFlags &Flags,
+                        unsigned Threads, uint64_t InvocationsPerThread,
+                        server::ServerConfig Cfg) {
+  if (Threads == 0)
+    Threads = 1;
+  DycContext Ctx;
+  compileWorkload(W, Ctx);
+
+  ServerThroughputPerf P;
+  P.Threads = Threads;
+
+  // Reference: the same per-client sequence on the inline runtime.
+  auto RefE = Ctx.buildDynamic(Flags, Cfg.CM, Cfg.IC);
+  WorkloadSetup RefS = W.Setup(*RefE->Machine);
+  int RefF = RefE->findFunction(W.RegionFunc);
+  if (RefF < 0)
+    fatal("workload '" + W.Name + "': region function not found");
+  Word RefRes;
+  for (uint64_t I = 0; I != InvocationsPerThread; ++I)
+    RefRes = RefE->Machine->run(static_cast<uint32_t>(RefF), RefS.RegionArgs);
+
+  // The workload Setup is deterministic, so applying it to the server VM
+  // and to every client VM yields bit-identical memory images — the
+  // precondition for the server specializing on the clients' behalf.
+  WorkloadSetup ClientS;
+  Cfg.MemoryImage = [&W, &ClientS](vm::VM &M) { ClientS = W.Setup(M); };
+  auto Server = Ctx.buildServer(Flags, std::move(Cfg));
+
+  int F = Server->findFunction(W.RegionFunc);
+  std::vector<std::unique_ptr<vm::VM>> Clients;
+  for (unsigned T = 0; T != Threads; ++T)
+    Clients.push_back(Server->makeClientVM());
+
+  std::vector<Word> Results(Threads);
+  auto Start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&, T] {
+        vm::VM &M = *Clients[T];
+        for (uint64_t I = 0; I != InvocationsPerThread; ++I)
+          Results[T] = M.run(static_cast<uint32_t>(F), ClientS.RegionArgs);
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  P.Invocations = static_cast<uint64_t>(Threads) * InvocationsPerThread;
+  P.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  P.InvocationsPerSec =
+      P.WallSeconds > 0 ? static_cast<double>(P.Invocations) / P.WallSeconds
+                        : 0;
+
+  P.OutputsMatch = true;
+  for (unsigned T = 0; T != Threads; ++T) {
+    if (Results[T] != RefRes) {
+      P.OutputsMatch = false;
+      break;
+    }
+    for (int64_t I = 0; I != RefS.OutLen; ++I)
+      if (Clients[T]->memory()[static_cast<size_t>(RefS.OutBase + I)] !=
+          RefE->Machine->memory()[static_cast<size_t>(RefS.OutBase + I)]) {
+        P.OutputsMatch = false;
+        break;
+      }
+    if (!P.OutputsMatch)
+      break;
+  }
+
+  Server->drain();
+  P.Stats = Server->stats();
   return P;
 }
 

@@ -62,6 +62,27 @@ measureWholeProgram(const workloads::Workload &W, const OptFlags &Flags,
                     const vm::CostModel &CM = vm::CostModel(),
                     const vm::ICacheConfig &IC = vm::ICacheConfig());
 
+/// Multi-client throughput through the SpecServer. Host wall-clock, not
+/// simulated cycles: the question is how the service scales with client
+/// threads, which the single-machine cycle model cannot express.
+struct ServerThroughputPerf {
+  unsigned Threads = 0;
+  uint64_t Invocations = 0;      ///< total region invocations completed
+  double WallSeconds = 0;
+  double InvocationsPerSec = 0;
+  bool OutputsMatch = false;     ///< every client matched the inline run
+  server::ServerStatsSnapshot Stats;
+};
+
+/// Runs \p W's region function \p InvocationsPerThread times on each of
+/// \p Threads concurrent client VMs against one SpecServer, and checks
+/// every client's outputs (result word and validated memory range)
+/// against a single-threaded inline-runtime run of the same sequence.
+ServerThroughputPerf
+measureServerThroughput(const workloads::Workload &W, const OptFlags &Flags,
+                        unsigned Threads, uint64_t InvocationsPerThread,
+                        server::ServerConfig Cfg = server::ServerConfig());
+
 /// Compiles \p W into a fresh context; aborts with the compile errors on
 /// failure (workload sources are part of this repository and must build).
 void compileWorkload(const workloads::Workload &W, DycContext &Ctx);

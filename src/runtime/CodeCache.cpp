@@ -5,19 +5,39 @@
 namespace dyc {
 namespace runtime {
 
+CodeCache::CodeCache(const CodeCache &O)
+    : Policy(O.Policy), IndexPos(O.IndexPos), Table(O.Table),
+      HasOne(O.HasOne), OneKey(O.OneKey), OneValue(O.OneValue),
+      Indexed(O.Indexed), IndexedCount(O.IndexedCount),
+      Lookups(O.Lookups.load(std::memory_order_relaxed)) {}
+
+CodeCache &CodeCache::operator=(const CodeCache &O) {
+  Policy = O.Policy;
+  IndexPos = O.IndexPos;
+  Table = O.Table;
+  HasOne = O.HasOne;
+  OneKey = O.OneKey;
+  OneValue = O.OneValue;
+  Indexed = O.Indexed;
+  IndexedCount = O.IndexedCount;
+  Lookups.store(O.Lookups.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
 size_t CodeCache::entries() const {
   switch (Policy) {
   case ir::CachePolicy::CacheAll:
     return Table.size();
   case ir::CachePolicy::CacheIndexed:
-    return IndexedCount;
+    return IndexedCount + Table.size();
   default:
     return HasOne ? 1 : 0;
   }
 }
 
 CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
-  ++Lookups;
+  Lookups.fetch_add(1, std::memory_order_relaxed);
   CacheResult R;
   switch (Policy) {
   case ir::CachePolicy::CacheAll: {
@@ -38,8 +58,14 @@ CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
   case ir::CachePolicy::CacheIndexed: {
     assert(IndexPos < Key.size() && "indexed cache needs its index key");
     uint64_t Idx = Key[IndexPos].Bits;
-    if (Idx >= MaxIndexedKey)
-      fatal("cache_indexed key outside the supported small range");
+    if (Idx >= MaxIndexedKey) {
+      // Out-of-range index value: safe fallback to the checked hash path
+      // (full-key comparison, cache_all dispatch cost).
+      uint32_t V = Table.lookup(Key, &R.Probes);
+      R.Hit = V != DoubleHashTable::NotFound;
+      R.Value = R.Hit ? V : 0;
+      return R;
+    }
     if (Idx >= Indexed.size() || Indexed[Idx] == NotPresent)
       return R;
     R.Hit = true;
@@ -50,25 +76,29 @@ CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
   return R;
 }
 
-void CodeCache::insert(const std::vector<Word> &Key, uint32_t Value) {
+bool CodeCache::insert(const std::vector<Word> &Key, uint32_t Value) {
   if (Policy == ir::CachePolicy::CacheAll) {
     Table.insert(Key, Value);
-    return;
+    return false;
   }
   if (Policy == ir::CachePolicy::CacheIndexed) {
     uint64_t Idx = Key[IndexPos].Bits;
-    if (Idx >= MaxIndexedKey)
-      fatal("cache_indexed key outside the supported small range");
+    if (Idx >= MaxIndexedKey) {
+      Table.insert(Key, Value);
+      return false;
+    }
     if (Idx >= Indexed.size())
       Indexed.resize(Idx + 1, NotPresent);
     if (Indexed[Idx] == NotPresent)
       ++IndexedCount;
     Indexed[Idx] = Value;
-    return;
+    return false;
   }
+  bool Evicted = HasOne && OneKey != Key;
   HasOne = true;
   OneKey = Key;
   OneValue = Value;
+  return Evicted;
 }
 
 } // namespace runtime

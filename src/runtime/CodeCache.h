@@ -18,7 +18,10 @@
 ///  * cache_indexed: the section-3.1 extension — the last key word
 ///    directly indexes an array (valid for small value ranges); other key
 ///    words are unchecked invariants. This is what makes byte-keyed
-///    regions (decompressors, grep) profitable.
+///    regions (decompressors, grep) profitable. Keys at or above the
+///    supported index range fall back to the checked double-hash table
+///    instead of aborting, so an occasional out-of-range value degrades to
+///    cache_all cost rather than killing the process.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +30,8 @@
 
 #include "ir/Instruction.h"
 #include "support/DoubleHashTable.h"
+
+#include <atomic>
 
 namespace dyc {
 namespace runtime {
@@ -44,6 +49,8 @@ public:
   explicit CodeCache(ir::CachePolicy Policy = ir::CachePolicy::CacheAll,
                      uint32_t IndexPos = 0)
       : Policy(Policy), IndexPos(IndexPos) {}
+  CodeCache(const CodeCache &O);
+  CodeCache &operator=(const CodeCache &O);
 
   ir::CachePolicy policy() const { return Policy; }
 
@@ -52,26 +59,33 @@ public:
   CacheResult lookup(const std::vector<Word> &Key) const;
 
   /// Installs \p Key -> \p Value (replaces the resident entry under the
-  /// one-slot policies).
-  void insert(const std::vector<Word> &Key, uint32_t Value);
+  /// one-slot policies). Returns true if a live entry with a *different*
+  /// key was evicted to make room (cache_one mismatch replacement); the
+  /// run-time counts these in RegionStats.
+  bool insert(const std::vector<Word> &Key, uint32_t Value);
 
-  uint64_t lookups() const { return Lookups; }
+  uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
   uint64_t totalProbes() const { return Table.totalProbes(); }
   size_t entries() const;
+
+  /// cache_indexed keys below this index the direct array; larger keys use
+  /// the double-hash fallback path.
+  static constexpr size_t MaxIndexedKey = 65536;
 
 private:
   ir::CachePolicy Policy;
   uint32_t IndexPos;
-  DoubleHashTable Table; // cache_all
+  DoubleHashTable Table; // cache_all, and cache_indexed overflow keys
   bool HasOne = false;   // one-slot policies
   std::vector<Word> OneKey;
   uint32_t OneValue = 0;
   std::vector<uint32_t> Indexed; // cache_indexed (sentinel = NotPresent)
   size_t IndexedCount = 0;
-  mutable uint64_t Lookups = 0;
+  /// Relaxed atomic: concurrent readers (the SpecServer's dispatch layer)
+  /// may count lookups while a stats reader aggregates them.
+  mutable std::atomic<uint64_t> Lookups{0};
 
   static constexpr uint32_t NotPresent = 0xffffffffu;
-  static constexpr size_t MaxIndexedKey = 65536;
 };
 
 } // namespace runtime

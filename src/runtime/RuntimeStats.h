@@ -41,6 +41,9 @@ struct RegionStats {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t DispatchSitesCreated = 0; ///< internal promotion sites emitted
+  /// Cached specializations displaced: cache_one key mismatches inline,
+  /// plus capacity-manager evictions when serving through the SpecServer.
+  uint64_t Evictions = 0;
 
   uint64_t MaxBlockInstances = 0; ///< max specializations of one context —
                                   ///< >1 is loop-unrolling evidence

@@ -144,9 +144,16 @@ bool isUnaryOp(Opcode Op) {
 
 class SpecializeRun {
 public:
+  /// Emits into \p Buf, sharing stubs through \p ExitStubs /
+  /// \p DispatchStubs. The inline runtime passes the region's persistent
+  /// buffer and stub maps; the SpecServer passes a fresh chain buffer and
+  /// fresh maps so every run is self-contained.
   SpecializeRun(DycRuntime::RegionRT &R, DycRuntime &RT, vm::VM &M,
-                const OptFlags &Flags)
-      : R(R), RT(RT), M(M), Flags(Flags), CM(M.costModel()), GX(R.GX) {}
+                const OptFlags &Flags, vm::CodeObject &Buf,
+                std::map<ir::BlockId, uint32_t> &ExitStubs,
+                std::map<uint32_t, uint32_t> &DispatchStubs)
+      : R(R), RT(RT), M(M), Flags(Flags), CM(M.costModel()), GX(R.GX),
+        Buf(Buf), ExitStubs(ExitStubs), DispatchStubs(DispatchStubs) {}
 
   uint32_t run(uint32_t Ctx0, std::vector<Word> Vals0) {
     charge(CM.SpecInvoke);
@@ -178,7 +185,7 @@ public:
       auto It = Memo.find(P.Key);
       if (It == Memo.end() || It->second < 0)
         fatal("specializer left an unresolved branch target");
-      v::Instr &I = R.Buffer.Code[P.PC];
+      v::Instr &I = Buf.Code[P.PC];
       if (P.FieldC)
         I.C = static_cast<uint32_t>(It->second);
       else
@@ -216,7 +223,7 @@ private:
 
   void charge(uint64_t Cycles) { M.chargeDynComp(Cycles); }
   uint32_t bufSize() const {
-    return static_cast<uint32_t>(R.Buffer.Code.size());
+    return static_cast<uint32_t>(Buf.Code.size());
   }
 
   std::vector<uint64_t> keyOf(const Item &It) const {
@@ -232,10 +239,9 @@ private:
   // --- Emission primitives ---------------------------------------------------
 
   void emitRaw(v::Instr I) {
-    if (R.Buffer.Code.size() >= MaxRegionInstrs)
-      fatal("generated-code buffer overflow in region '" +
-            R.Buffer.Name + "'");
-    R.Buffer.Code.push_back(I);
+    if (Buf.Code.size() >= MaxRegionInstrs)
+      fatal("generated-code buffer overflow in region '" + Buf.Name + "'");
+    Buf.Code.push_back(I);
     ++R.Stats.InstructionsGenerated;
     charge(CM.SpecEmit);
   }
@@ -812,11 +818,11 @@ private:
     case bta::Edge::None:
       fatal("missing edge on a conditional branch");
     case bta::Edge::Exit: {
-      auto It = R.ExitStubs.find(E.Block);
-      if (It == R.ExitStubs.end()) {
+      auto It = ExitStubs.find(E.Block);
+      if (It == ExitStubs.end()) {
         uint32_t PC = bufSize();
         emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[E.Block]});
-        It = R.ExitStubs.emplace(E.Block, PC).first;
+        It = ExitStubs.emplace(E.Block, PC).first;
       }
       L.Known = true;
       L.PC = It->second;
@@ -824,12 +830,12 @@ private:
     }
     case bta::Edge::Promo: {
       uint32_t Site = makeSite(E.PromoIdx, Vals);
-      auto It = R.DispatchStubs.find(Site);
-      if (It == R.DispatchStubs.end()) {
+      auto It = DispatchStubs.find(Site);
+      if (It == DispatchStubs.end()) {
         uint32_t PC = bufSize();
         emitRaw({v::Op::Dispatch, 0, 0, 0,
                  -(static_cast<int64_t>(Site) + 1)});
-        It = R.DispatchStubs.emplace(Site, PC).first;
+        It = DispatchStubs.emplace(Site, PC).first;
       }
       L.Known = true;
       L.PC = It->second;
@@ -919,13 +925,13 @@ private:
 
       std::optional<Item> Fall;
       if (TL.Known)
-        R.Buffer.Code[BranchPC].B = TL.PC;
+        Buf.Code[BranchPC].B = TL.PC;
       if (FL.Known)
-        R.Buffer.Code[BranchPC].C = FL.PC;
+        Buf.Code[BranchPC].C = FL.PC;
 
       if (TL.FreshCtx) {
         // Fall through into the true side.
-        R.Buffer.Code[BranchPC].B = bufSize();
+        Buf.Code[BranchPC].B = bufSize();
         Fall = Item{T.TrueE.Target, Cur.Vals};
         if (FL.FreshCtx) {
           Item Other{T.FalseE.Target, Cur.Vals};
@@ -935,7 +941,7 @@ private:
           Queue.push_back(std::move(Other));
         }
       } else if (FL.FreshCtx) {
-        R.Buffer.Code[BranchPC].C = bufSize();
+        Buf.Code[BranchPC].C = bufSize();
         Fall = Item{T.FalseE.Target, std::move(Cur.Vals)};
       }
       return Fall;
@@ -950,6 +956,9 @@ private:
   const OptFlags &Flags;
   const vm::CostModel &CM;
   const GenExtFunction &GX;
+  vm::CodeObject &Buf;
+  std::map<ir::BlockId, uint32_t> &ExitStubs;
+  std::map<uint32_t, uint32_t> &DispatchStubs;
   uint32_t Ordinal = 0;
 
   std::deque<Item> Queue;
@@ -981,6 +990,7 @@ void DycRuntime::addRegion(cogen::GenExtFunction GX) {
 }
 
 uint32_t DycRuntime::internSite(DispatchSite S) {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
   for (size_t I = 0; I != Sites.size(); ++I) {
     const DispatchSite &E = Sites[I];
     if (E.RegionOrd == S.RegionOrd && E.PromoId == S.PromoId &&
@@ -993,26 +1003,82 @@ uint32_t DycRuntime::internSite(DispatchSite S) {
 
 uint32_t DycRuntime::specialize(RegionRT &R, vm::VM &VMRef,
                                 uint32_t TargetCtx, std::vector<Word> Vals) {
-  SpecializeRun Run(R, *this, VMRef, Flags);
+  SpecializeRun Run(R, *this, VMRef, Flags, R.Buffer, R.ExitStubs,
+                    R.DispatchStubs);
   for (size_t I = 0; I != Regions.size(); ++I)
     if (Regions[I].get() == &R)
       Run.setOrdinal(static_cast<uint32_t>(I));
   return Run.run(TargetCtx, std::move(Vals));
 }
 
+uint32_t DycRuntime::specializeInto(size_t Ordinal, vm::VM &VMRef,
+                                    uint32_t TargetCtx, std::vector<Word> Vals,
+                                    vm::CodeObject &Buf,
+                                    std::map<ir::BlockId, uint32_t> &ExitStubs,
+                                    std::map<uint32_t, uint32_t> &DispatchStubs) {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  RegionRT &R = *Regions[Ordinal];
+  SpecializeRun Run(R, *this, VMRef, Flags, Buf, ExitStubs, DispatchStubs);
+  Run.setOrdinal(static_cast<uint32_t>(Ordinal));
+  return Run.run(TargetCtx, std::move(Vals));
+}
+
+DycRuntime::SiteInfo DycRuntime::siteInfo(size_t Idx) const {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
+  assert(Idx < Sites.size() && "bad dispatch site");
+  const DispatchSite &S = Sites[Idx];
+  return {S.RegionOrd, S.PromoId, S.BakedVals};
+}
+
+size_t DycRuntime::numSites() const {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
+  return Sites.size();
+}
+
+const bta::PromoPoint &DycRuntime::promo(size_t Ordinal,
+                                         size_t PromoId) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  const auto &Promos = Regions[Ordinal]->GX.Region.Promos;
+  assert(PromoId < Promos.size() && "bad promotion point");
+  return Promos[PromoId];
+}
+
+size_t DycRuntime::numPromos(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.Region.Promos.size();
+}
+
+uint32_t DycRuntime::regionNumRegs(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.NumRegs;
+}
+
+int DycRuntime::regionFuncIdx(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.FuncIdx;
+}
+
+const bta::RegionInfo &DycRuntime::regionInfo(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.Region;
+}
+
 vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
                                              std::vector<Word> &Regs) {
   uint32_t Ord, PromoId;
-  const DispatchSite *Site = nullptr;
+  bool HaveSite = false;
+  SiteInfo Site;
   if (PointId >= 0) {
     Ord = static_cast<uint32_t>(PointId >> 16);
     PromoId = static_cast<uint32_t>(PointId & 0xffff);
   } else {
+    // Copy the site under the lock: background specialization may be
+    // interning new sites (growing the vector) concurrently.
     size_t SiteIdx = static_cast<size_t>(-(PointId + 1));
-    assert(SiteIdx < Sites.size() && "bad dispatch site");
-    Site = &Sites[SiteIdx];
-    Ord = Site->RegionOrd;
-    PromoId = Site->PromoId;
+    Site = siteInfo(SiteIdx);
+    HaveSite = true;
+    Ord = Site.RegionOrd;
+    PromoId = Site.PromoId;
   }
   assert(Ord < Regions.size() && "bad region ordinal");
   RegionRT &R = *Regions[Ord];
@@ -1021,8 +1087,8 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
   // Compose the cache key: baked specialize-time values, then the
   // promoted variables' current run-time values.
   std::vector<Word> Key;
-  if (Site)
-    Key = Site->BakedVals;
+  if (HaveSite)
+    Key = Site.BakedVals;
   for (ir::Reg Rg : P.KeyRegs)
     Key.push_back(Regs[Rg]);
 
@@ -1056,13 +1122,14 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
 
   std::vector<Word> Vals(R.GX.NumRegs);
   for (size_t I = 0; I != P.BakedRegs.size(); ++I)
-    Vals[P.BakedRegs[I]] = Site ? Site->BakedVals[I] : Word();
+    Vals[P.BakedRegs[I]] = HaveSite ? Site.BakedVals[I] : Word();
   for (ir::Reg Rg : P.KeyRegs)
     Vals[Rg] = Regs[Rg];
 
   uint32_t PC = specialize(R, VMRef, P.TargetCtx, std::move(Vals));
   VMRef.chargeDynComp(CM.SpecCacheInsert);
-  Cache.insert(Key, PC);
+  if (Cache.insert(Key, PC))
+    ++R.Stats.Evictions;
   return {&R.Buffer, PC};
 }
 

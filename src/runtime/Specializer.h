@@ -23,6 +23,14 @@
 ///    block-dead are deferred; if nothing reads them before the end of the
 ///    specialized block, they are never emitted.
 ///
+/// The runtime itself is single-threaded (one client, inline
+/// specialization on the dispatch path). The SpecServer (src/server/)
+/// layers a concurrent front end on top; to support it, specialization can
+/// emit into a caller-provided buffer with caller-provided stub maps
+/// (specializeInto), and the dispatch-site table is guarded so site
+/// interning during background specialization never races site resolution
+/// on client threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYC_RUNTIME_SPECIALIZER_H
@@ -36,6 +44,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace dyc {
 namespace runtime {
@@ -73,6 +82,43 @@ public:
   /// points (dispatch-cost reporting).
   double avgCacheProbes(size_t Ordinal) const;
 
+  // --- SpecServer interface ---------------------------------------------------
+  // The server front end performs its own cache lookups, buffer management
+  // and locking; it uses the runtime for region metadata and for running
+  // the generating extension.
+
+  /// A copy of one run-time dispatch site (thread-safe snapshot).
+  struct SiteInfo {
+    uint32_t RegionOrd = 0;
+    uint32_t PromoId = 0;
+    std::vector<Word> BakedVals;
+  };
+  SiteInfo siteInfo(size_t Idx) const;
+  size_t numSites() const;
+
+  const bta::PromoPoint &promo(size_t Ordinal, size_t PromoId) const;
+  size_t numPromos(size_t Ordinal) const;
+  uint32_t regionNumRegs(size_t Ordinal) const;
+  int regionFuncIdx(size_t Ordinal) const;
+  const bta::RegionInfo &regionInfo(size_t Ordinal) const;
+
+  /// Runs the generating extension for region \p Ordinal, emitting into
+  /// \p Buf using \p ExitStubs / \p DispatchStubs for shared
+  /// single-instruction stubs, and returns the entry PC within \p Buf.
+  /// Unlike the inline path (which appends every run to the region's one
+  /// buffer and shares stubs across runs), a SpecServer run passes a fresh
+  /// buffer and fresh stub maps, making each specialization a
+  /// self-contained, immutable-after-publication code chain — eviction
+  /// then cannot leave another chain's branch dangling.
+  ///
+  /// Callers must serialize invocations (region stats, the static-call
+  /// memo, and placement counters are shared); the SpecServer holds its
+  /// global specialization lock across this call.
+  uint32_t specializeInto(size_t Ordinal, vm::VM &M, uint32_t TargetCtx,
+                          std::vector<Word> Vals, vm::CodeObject &Buf,
+                          std::map<ir::BlockId, uint32_t> &ExitStubs,
+                          std::map<uint32_t, uint32_t> &DispatchStubs);
+
 private:
   struct RegionRT {
     cogen::GenExtFunction GX;
@@ -97,11 +143,12 @@ private:
 
   friend class SpecializeRun;
 
-  /// Runs the specializer; returns the entry PC in the region's buffer.
+  /// Runs the specializer inline; returns the entry PC in the region's
+  /// buffer.
   uint32_t specialize(RegionRT &R, vm::VM &M, uint32_t TargetCtx,
                       std::vector<Word> Vals);
 
-  /// Finds or creates a dispatch site; returns its index.
+  /// Finds or creates a dispatch site; returns its index. Thread-safe.
   uint32_t internSite(DispatchSite S);
 
   const ir::Module &M;
@@ -109,6 +156,9 @@ private:
   OptFlags Flags;
   std::vector<std::unique_ptr<RegionRT>> Regions;
   std::vector<DispatchSite> Sites;
+  /// Guards Sites: background specialization interns sites while client
+  /// threads resolve them.
+  mutable std::mutex SitesMutex;
 };
 
 } // namespace runtime

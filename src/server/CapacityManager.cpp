@@ -1,0 +1,72 @@
+//===- server/CapacityManager.cpp --------------------------------------------------===//
+
+#include "server/CapacityManager.h"
+
+#include <algorithm>
+
+namespace dyc {
+namespace server {
+
+std::vector<std::shared_ptr<CacheRecord>>
+CapacityManager::admit(size_t Region, std::shared_ptr<CacheRecord> Rec,
+                       ShardedCache &Cache) {
+  assert(Region < PerRegion.size() && "bad region");
+  RegionBook &B = PerRegion[Region];
+  const CacheRecord *Fresh = Rec.get();
+  B.Instrs += Rec->Chain ? Rec->Chain->Instrs : 0;
+  B.Records.push_back(std::move(Rec));
+
+  std::vector<std::shared_ptr<CacheRecord>> Evicted;
+  // CLOCK sweep: clear set reference bits; evict the first clear record
+  // that is not the one just admitted. Two full laps guarantee a victim
+  // (after one lap every bit is clear).
+  size_t Guard = 2 * B.Records.size() + 2;
+  while (overBudget(B) && B.Records.size() > 1 && Guard--) {
+    if (B.Hand >= B.Records.size())
+      B.Hand = 0;
+    std::shared_ptr<CacheRecord> &Cand = B.Records[B.Hand];
+    if (Cand.get() == Fresh) {
+      ++B.Hand;
+      continue;
+    }
+    if (Cand->Use && Cand->Use->RefBit.exchange(false,
+                                                std::memory_order_acq_rel)) {
+      ++B.Hand; // recently used: second chance
+      continue;
+    }
+    Cache.erase(Cand.get());
+    B.Instrs -= Cand->Chain ? Cand->Chain->Instrs : 0;
+    Evicted.push_back(std::move(Cand));
+    B.Records.erase(B.Records.begin() + static_cast<long>(B.Hand));
+    // Hand stays: it now points at the next record.
+  }
+  return Evicted;
+}
+
+void CapacityManager::forget(size_t Region, const CacheRecord *Rec) {
+  assert(Region < PerRegion.size() && "bad region");
+  RegionBook &B = PerRegion[Region];
+  auto It = std::find_if(
+      B.Records.begin(), B.Records.end(),
+      [&](const std::shared_ptr<CacheRecord> &R) { return R.get() == Rec; });
+  if (It == B.Records.end())
+    return;
+  B.Instrs -= (*It)->Chain ? (*It)->Chain->Instrs : 0;
+  size_t Idx = static_cast<size_t>(It - B.Records.begin());
+  B.Records.erase(It);
+  if (B.Hand > Idx)
+    --B.Hand;
+}
+
+size_t CapacityManager::residentEntries(size_t Region) const {
+  assert(Region < PerRegion.size() && "bad region");
+  return PerRegion[Region].Records.size();
+}
+
+uint64_t CapacityManager::residentInstrs(size_t Region) const {
+  assert(Region < PerRegion.size() && "bad region");
+  return PerRegion[Region].Instrs;
+}
+
+} // namespace server
+} // namespace dyc

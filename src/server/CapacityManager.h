@@ -1,0 +1,84 @@
+//===- server/CapacityManager.h - Generated-code capacity bounds -----------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounds the generated code a region may accumulate, per entry count and
+/// per total emitted instructions (0 = unbounded, the paper's behavior —
+/// DyC never freed dynamically generated code). Victims are chosen by the
+/// CLOCK approximation of LRU over each region's records: a hit sets the
+/// record's reference bit; the hand clears set bits and evicts the first
+/// clear one it finds.
+///
+/// Eviction removes the record from the sharded cache (so the next
+/// dispatch on that key misses and respecializes) and marks its chain
+/// evicted; the chain itself stays alive until every client inside it has
+/// left, which the chain registry observes through the VM's exit callback.
+///
+/// All methods run under the server's specialization lock — mutation is
+/// single-threaded; only the reference bits are set concurrently (by
+/// readers, atomically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SERVER_CAPACITYMANAGER_H
+#define DYC_SERVER_CAPACITYMANAGER_H
+
+#include "server/ShardedCache.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dyc {
+namespace server {
+
+/// Per-region generated-code budget. Zeros mean unbounded.
+struct CapacityBudget {
+  size_t MaxEntries = 0;   ///< cached specializations per region
+  uint64_t MaxInstrs = 0;  ///< total emitted instructions per region
+};
+
+class CapacityManager {
+public:
+  CapacityManager(size_t NumRegions, CapacityBudget Budget)
+      : Budget(Budget), PerRegion(NumRegions) {}
+
+  /// Accounts the just-inserted \p Rec and evicts CLOCK victims (never
+  /// \p Rec itself) until the region fits its budget again. Returns the
+  /// evicted records; the caller erases nothing — eviction here already
+  /// removed them from \p Cache — but must mark their chains evicted and
+  /// bump its counters.
+  std::vector<std::shared_ptr<CacheRecord>>
+  admit(size_t Region, std::shared_ptr<CacheRecord> Rec,
+        ShardedCache &Cache);
+
+  /// Drops a record displaced by the cache itself (one-slot or indexed
+  /// replacement) from the books.
+  void forget(size_t Region, const CacheRecord *Rec);
+
+  size_t residentEntries(size_t Region) const;
+  uint64_t residentInstrs(size_t Region) const;
+
+private:
+  struct RegionBook {
+    std::vector<std::shared_ptr<CacheRecord>> Records;
+    size_t Hand = 0; ///< CLOCK hand
+    uint64_t Instrs = 0;
+  };
+
+  bool overBudget(const RegionBook &B) const {
+    return (Budget.MaxEntries && B.Records.size() > Budget.MaxEntries) ||
+           (Budget.MaxInstrs && B.Instrs > Budget.MaxInstrs);
+  }
+
+  CapacityBudget Budget;
+  std::vector<RegionBook> PerRegion;
+};
+
+} // namespace server
+} // namespace dyc
+
+#endif // DYC_SERVER_CAPACITYMANAGER_H

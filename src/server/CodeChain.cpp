@@ -1,0 +1,50 @@
+//===- server/CodeChain.cpp --------------------------------------------------------===//
+
+#include "server/CodeChain.h"
+
+#include <mutex>
+
+namespace dyc {
+namespace server {
+
+void ChainRegistry::add(std::shared_ptr<CodeChain> Chain) {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  Map[&Chain->CO] = std::move(Chain);
+}
+
+std::shared_ptr<CodeChain> ChainRegistry::find(const vm::CodeObject *CO) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Map.find(CO);
+  return It == Map.end() ? nullptr : It->second;
+}
+
+void ChainRegistry::releaseExecutor(const vm::CodeObject *CO) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Map.find(CO);
+  if (It != Map.end())
+    It->second->ActiveRefs.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+size_t ChainRegistry::collect() {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  size_t Freed = 0;
+  for (auto It = Map.begin(); It != Map.end();) {
+    CodeChain &C = *It->second;
+    if (C.Evicted.load(std::memory_order_acquire) &&
+        C.ActiveRefs.load(std::memory_order_acquire) == 0) {
+      It = Map.erase(It);
+      ++Freed;
+    } else {
+      ++It;
+    }
+  }
+  return Freed;
+}
+
+size_t ChainRegistry::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Map.size();
+}
+
+} // namespace server
+} // namespace dyc

@@ -1,0 +1,87 @@
+//===- server/CodeChain.h - Self-contained generated-code chains -----------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In the inline runtime every specialization run appends to one
+/// per-region buffer and shares exit/dispatch stubs across runs; eviction
+/// would have to prove no surviving run branches into the evicted range.
+/// The SpecServer instead gives every run its own chain: a fresh
+/// CodeObject plus fresh stub maps, immutable once published. Chains never
+/// branch into each other — cross-version control flow always goes through
+/// a Dispatch trap — so evicting a chain can never leave a dangling jump.
+///
+/// A chain may still be *executing* when it is evicted (some client is in
+/// the middle of it). The registry keeps evicted chains alive until their
+/// active-executor count — maintained from the VM's onDynamicCodeExit
+/// callback — drains to zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SERVER_CODECHAIN_H
+#define DYC_SERVER_CODECHAIN_H
+
+#include "ir/Instruction.h"
+#include "vm/Bytecode.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace dyc {
+namespace server {
+
+/// One specialization run's output: code plus the stub maps that run
+/// created. Immutable after the run completes (publication happens-before
+/// any client execution via the cache's release store).
+struct CodeChain {
+  vm::CodeObject CO;
+  /// Stubs created by this run only (exit block -> PC, site -> PC).
+  std::map<ir::BlockId, uint32_t> ExitStubs;
+  std::map<uint32_t, uint32_t> DispatchStubs;
+  /// Clients currently executing inside CO.
+  std::atomic<uint32_t> ActiveRefs{0};
+  /// Set (under the server's specialization lock) when the capacity
+  /// manager removes the chain's cache entry.
+  std::atomic<bool> Evicted{false};
+  uint64_t Ordinal = 0; ///< creation order, for diagnostics
+  uint32_t Instrs = 0;  ///< CO.Code.size() at publication
+};
+
+/// Maps a CodeObject back to its owning chain so onDynamicCodeExit — which
+/// only sees the CodeObject pointer — can drop the executor count.
+/// Readers (every dispatch and every exit callback) take the shared lock;
+/// chain registration and collection take it exclusively.
+class ChainRegistry {
+public:
+  void add(std::shared_ptr<CodeChain> Chain);
+
+  /// Chain owning \p CO, or null (e.g. the inline runtime's buffer).
+  std::shared_ptr<CodeChain> find(const vm::CodeObject *CO) const;
+
+  /// Convenience for the exit callback: decrement without copying the
+  /// shared_ptr. No-op for unknown CodeObjects.
+  void releaseExecutor(const vm::CodeObject *CO) const;
+
+  /// Frees evicted chains whose executor count has drained. Returns how
+  /// many were collected. Safe to call at any time: a chain with
+  /// ActiveRefs == 0 and Evicted set can no longer be entered (its cache
+  /// entry is gone, and entry only happens through the cache).
+  size_t collect();
+
+  size_t size() const;
+
+private:
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<const vm::CodeObject *, std::shared_ptr<CodeChain>> Map;
+};
+
+} // namespace server
+} // namespace dyc
+
+#endif // DYC_SERVER_CODECHAIN_H

@@ -1,0 +1,44 @@
+//===- server/ServerStats.cpp ------------------------------------------------------===//
+
+#include "server/ServerStats.h"
+
+#include "support/Support.h"
+
+namespace dyc {
+namespace server {
+
+ServerStatsSnapshot ServerStats::snapshot() const {
+  ServerStatsSnapshot S;
+  S.Dispatches = Dispatches.load(std::memory_order_relaxed);
+  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.CacheMisses = CacheMisses.load(std::memory_order_relaxed);
+  S.Fallbacks = Fallbacks.load(std::memory_order_relaxed);
+  S.JobsEnqueued = JobsEnqueued.load(std::memory_order_relaxed);
+  S.JobsCoalesced = JobsCoalesced.load(std::memory_order_relaxed);
+  S.InlineSpecs = InlineSpecs.load(std::memory_order_relaxed);
+  S.SpecRuns = SpecRuns.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.ChainsCreated = ChainsCreated.load(std::memory_order_relaxed);
+  S.ChainsCollected = ChainsCollected.load(std::memory_order_relaxed);
+  S.SnapshotsRetired = SnapshotsRetired.load(std::memory_order_relaxed);
+  S.SnapshotsFreed = SnapshotsFreed.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string ServerStatsSnapshot::toString() const {
+  return formatString(
+      "disp=%llu hit=%llu miss=%llu fallback=%llu enq=%llu coalesced=%llu "
+      "inline=%llu runs=%llu evict=%llu chains=%llu collected=%llu "
+      "snaps=%llu/%llu",
+      (unsigned long long)Dispatches, (unsigned long long)CacheHits,
+      (unsigned long long)CacheMisses, (unsigned long long)Fallbacks,
+      (unsigned long long)JobsEnqueued, (unsigned long long)JobsCoalesced,
+      (unsigned long long)InlineSpecs, (unsigned long long)SpecRuns,
+      (unsigned long long)Evictions, (unsigned long long)ChainsCreated,
+      (unsigned long long)ChainsCollected,
+      (unsigned long long)SnapshotsFreed,
+      (unsigned long long)SnapshotsRetired);
+}
+
+} // namespace server
+} // namespace dyc

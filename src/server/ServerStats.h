@@ -1,0 +1,69 @@
+//===- server/ServerStats.h - SpecServer counters ---------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Service-level counters for the SpecServer. Unlike RegionStats (owned by
+/// the single-threaded runtime and mutated only under the server's
+/// specialization lock), these are touched on every client dispatch, so
+/// every field is a relaxed atomic. snapshot() flattens them into plain
+/// integers for reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SERVER_SERVERSTATS_H
+#define DYC_SERVER_SERVERSTATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dyc {
+namespace server {
+
+/// Plain-integer copy of the counters at one instant.
+struct ServerStatsSnapshot {
+  uint64_t Dispatches = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t Fallbacks = 0;      ///< misses served by the static path
+  uint64_t JobsEnqueued = 0;
+  uint64_t JobsCoalesced = 0;  ///< misses that joined an in-flight job
+  uint64_t InlineSpecs = 0;    ///< nested misses specialized on a worker
+  uint64_t SpecRuns = 0;       ///< generating-extension invocations
+  uint64_t Evictions = 0;      ///< capacity-manager evictions
+  uint64_t ChainsCreated = 0;
+  uint64_t ChainsCollected = 0; ///< evicted chains freed after draining
+  uint64_t SnapshotsRetired = 0;
+  uint64_t SnapshotsFreed = 0;
+
+  std::string toString() const;
+};
+
+/// The live counters. Relaxed ordering throughout: these are statistics,
+/// not synchronization; publication of code and cache state is ordered by
+/// the cache's release stores and the specialization lock.
+struct ServerStats {
+  std::atomic<uint64_t> Dispatches{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> Fallbacks{0};
+  std::atomic<uint64_t> JobsEnqueued{0};
+  std::atomic<uint64_t> JobsCoalesced{0};
+  std::atomic<uint64_t> InlineSpecs{0};
+  std::atomic<uint64_t> SpecRuns{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> ChainsCreated{0};
+  std::atomic<uint64_t> ChainsCollected{0};
+  std::atomic<uint64_t> SnapshotsRetired{0};
+  std::atomic<uint64_t> SnapshotsFreed{0};
+
+  ServerStatsSnapshot snapshot() const;
+};
+
+} // namespace server
+} // namespace dyc
+
+#endif // DYC_SERVER_SERVERSTATS_H

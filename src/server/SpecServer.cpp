@@ -1,0 +1,373 @@
+//===- server/SpecServer.cpp -------------------------------------------------------===//
+
+#include "server/SpecServer.h"
+
+#include "bta/BTAnalysis.h"
+#include "cogen/CompilerGenerator.h"
+
+namespace dyc {
+namespace server {
+
+namespace {
+
+/// Simulated address space reserved per chain (mirrors the inline
+/// runtime's per-region reservation) so the I-cache model sees disjoint
+/// footprints for distinct chains.
+constexpr uint64_t ChainAddrReserve = (1ull << 20) * 4;
+
+/// Set while this thread is inside a specialization run. A nested miss
+/// (the generating extension executing a static call that enters another
+/// region) must specialize inline under the already-held recursive lock —
+/// handing it to the worker pool could deadlock a full queue against the
+/// very worker that is waiting.
+thread_local bool InSpecWorkerFlag = false;
+
+} // namespace
+
+SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
+                       ServerConfig Cfg)
+    : M(M), Flags(Flags), Cfg(std::move(Cfg)), Queue(this->Cfg.QueueCapacity) {
+  cogen::bindExternals(M, Prog);
+
+  std::vector<bta::RegionInfo> Regions;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Regions.push_back(
+        bta::analyzeFunction(M.function(static_cast<int>(I)), M, Flags));
+    Regions.back().FuncIdx = static_cast<int>(I);
+  }
+  AnnotatedOrdinal.assign(M.numFunctions(), -1);
+  int Next = 0;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    if (!Regions[I].Contexts.empty())
+      AnnotatedOrdinal[I] = Next++;
+
+  Lowered = cogen::lowerModule(M, Prog, /*WithRegions=*/true, Regions,
+                               AnnotatedOrdinal);
+
+  // Fallback program: the statically compiled module (annotations
+  // ignored), lowered at a disjoint simulated address base so the two
+  // programs' code never aliases in the I-cache model. Lowering preserves
+  // IR register numbers, so a frame mid-flight in the dynamic lowering
+  // can jump straight into this code at the region head.
+  cogen::bindExternals(M, FallbackProg);
+  FallbackProg.allocCodeAddr(1ull << 24);
+  std::vector<bta::RegionInfo> Empty(M.numFunctions());
+  std::vector<int> NoOrd(M.numFunctions(), -1);
+  FallbackLowered =
+      cogen::lowerModule(M, FallbackProg, /*WithRegions=*/false, Empty, NoOrd);
+
+  RT = std::make_unique<runtime::DycRuntime>(M, Prog, Flags);
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    if (AnnotatedOrdinal[I] < 0)
+      continue;
+    RT->addRegion(cogen::buildGenExt(M.function(static_cast<int>(I)), M,
+                                     std::move(Regions[I]), Lowered[I],
+                                     Flags));
+  }
+
+  PointBase.resize(RT->numRegions());
+  for (size_t Ord = 0; Ord != RT->numRegions(); ++Ord) {
+    PointBase[Ord] = Cache.numPoints();
+    for (size_t P = 0; P != RT->numPromos(Ord); ++P) {
+      const bta::PromoPoint &PP = RT->promo(Ord, P);
+      Cache.addPoint(PP.Policy, PP.IndexKeyPos);
+    }
+  }
+
+  Capacity =
+      std::make_unique<CapacityManager>(RT->numRegions(), this->Cfg.Budget);
+
+  SpecVM = std::make_unique<vm::VM>(Prog, this->Cfg.CM, this->Cfg.IC);
+  SpecVM->Hook = this;
+  if (this->Cfg.MemoryImage)
+    this->Cfg.MemoryImage(*SpecVM);
+
+  unsigned N = this->Cfg.NumWorkers ? this->Cfg.NumWorkers : 1;
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back(&SpecServer::workerLoop, this);
+}
+
+SpecServer::~SpecServer() {
+  Queue.shutdown();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+std::unique_ptr<vm::VM> SpecServer::makeClientVM() {
+  auto V = std::make_unique<vm::VM>(Prog, Cfg.CM, Cfg.IC);
+  V->Hook = this;
+  if (Cfg.MemoryImage)
+    Cfg.MemoryImage(*V);
+  return V;
+}
+
+int SpecServer::regionOrdinalOf(const std::string &Name) const {
+  int Idx = findFunction(Name);
+  if (Idx < 0 || static_cast<size_t>(Idx) >= AnnotatedOrdinal.size())
+    return -1;
+  return AnnotatedOrdinal[static_cast<size_t>(Idx)];
+}
+
+void SpecServer::chargeDispatch(vm::VM &VMRef, ir::CachePolicy Policy,
+                                size_t KeyWords, unsigned Probes) const {
+  const vm::CostModel &CM = VMRef.costModel();
+  switch (Policy) {
+  case ir::CachePolicy::CacheAll:
+    VMRef.chargeExec(
+        CM.hashedDispatchCost(static_cast<unsigned>(KeyWords), Probes));
+    break;
+  case ir::CachePolicy::CacheOne:
+    VMRef.chargeExec(CM.DispatchUnchecked +
+                     2 * static_cast<unsigned>(KeyWords));
+    break;
+  case ir::CachePolicy::CacheOneUnchecked:
+    VMRef.chargeExec(CM.DispatchUnchecked);
+    break;
+  case ir::CachePolicy::CacheIndexed:
+    VMRef.chargeExec(CM.DispatchIndexed);
+    break;
+  }
+}
+
+vm::RuntimeHook::Target SpecServer::enterChain(const CacheRecord &Rec) {
+  // Count the executor in before handing out the chain: the capacity
+  // manager may evict it at any time, and collection waits for this
+  // count — dropped again by onDynamicCodeExit — to drain.
+  Rec.Chain->ActiveRefs.fetch_add(1, std::memory_order_acq_rel);
+  return {&Rec.Chain->CO, Rec.EntryPC};
+}
+
+vm::RuntimeHook::Target
+SpecServer::fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
+                           std::vector<Word> &Regs,
+                           const std::vector<Word> &BakedVals) {
+  int FuncIdx = RT->regionFuncIdx(Ord);
+  const cogen::LoweredFunction &LF =
+      FallbackLowered[static_cast<size_t>(FuncIdx)];
+  const vm::CodeObject &CO = FallbackProg.function(LF.VMIndex);
+  if (Regs.size() < CO.NumRegs)
+    Regs.resize(CO.NumRegs);
+  // Complete the static state: key registers are already live in the
+  // frame; baked values (earlier promotions' static values) are not —
+  // transfer them. StaticIn at the region head is covered by the union.
+  for (size_t I = 0; I != P.BakedRegs.size(); ++I)
+    Regs[P.BakedRegs[I]] = I < BakedVals.size() ? BakedVals[I] : Word();
+  assert(P.Block < LF.BlockPC.size() && "promo block missing from lowering");
+  return {&CO, LF.BlockPC[P.Block]};
+}
+
+vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
+                                             int64_t PointId,
+                                             std::vector<Word> &Regs) {
+  // Readers hold the gate shared for the whole dispatch so reclamation
+  // (which try-locks it exclusively) can never free a snapshot or chain
+  // out from under a probe.
+  std::shared_lock<std::shared_mutex> Gate(DispatchGate);
+  St.Dispatches.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Now = Tick.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  uint32_t Ord, PromoId;
+  std::vector<Word> Baked;
+  if (PointId >= 0) {
+    Ord = static_cast<uint32_t>(PointId >> 16);
+    PromoId = static_cast<uint32_t>(PointId & 0xffff);
+  } else {
+    runtime::DycRuntime::SiteInfo S =
+        RT->siteInfo(static_cast<size_t>(-(PointId + 1)));
+    Ord = S.RegionOrd;
+    PromoId = S.PromoId;
+    Baked = std::move(S.BakedVals);
+  }
+  const bta::PromoPoint &P = RT->promo(Ord, PromoId);
+  size_t Point = PointBase[Ord] + PromoId;
+
+  std::vector<Word> Key = Baked;
+  for (ir::Reg Rg : P.KeyRegs)
+    Key.push_back(Regs[Rg]);
+
+  ShardedCache::Lookup L = Cache.lookup(Point, Key);
+  chargeDispatch(ClientVM, P.Policy, Key.size(), L.Probes);
+  if (L.Rec) {
+    St.CacheHits.fetch_add(1, std::memory_order_relaxed);
+    L.Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+    L.Rec->Use->LastUse.store(Now, std::memory_order_relaxed);
+    L.Rec->Use->RefBit.store(true, std::memory_order_release);
+    return enterChain(*L.Rec);
+  }
+  St.CacheMisses.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Word> KeyVals;
+  for (ir::Reg Rg : P.KeyRegs)
+    KeyVals.push_back(Regs[Rg]);
+
+  if (InSpecWorkerFlag) {
+    // Nested miss during a specialization run: specialize inline on this
+    // thread (the recursive lock is already held).
+    St.InlineSpecs.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<CacheRecord> Rec =
+        specializeAndPublish(Ord, PromoId, Point, Key, Baked, KeyVals);
+    return enterChain(*Rec);
+  }
+
+  auto Job = std::make_unique<SpecJob>();
+  Job->Id.Point = Point;
+  Job->Id.Key = Key;
+  Job->RegionOrd = Ord;
+  Job->PromoId = PromoId;
+  Job->BakedVals = Baked;
+  Job->KeyVals = KeyVals;
+  bool Created = false;
+  std::shared_ptr<SpecJob> Shared = Queue.submit(std::move(Job), Created);
+  if (Created) {
+    St.JobsEnqueued.fetch_add(1, std::memory_order_relaxed);
+  } else if (Shared) {
+    St.JobsCoalesced.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (Shared && Cfg.OnMiss == MissPolicy::Block) {
+    // The insert itself is work done on the client's behalf; the
+    // specialization cycles land on the server's VM.
+    ClientVM.chargeDynComp(ClientVM.costModel().SpecCacheInsert);
+    std::shared_ptr<CacheRecord> Rec = Shared->Future.get();
+    if (Rec) {
+      Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+      Rec->Use->LastUse.store(Now, std::memory_order_relaxed);
+      Rec->Use->RefBit.store(true, std::memory_order_release);
+      return enterChain(*Rec);
+    }
+  }
+  // Fallback policy, queue shutdown, or a job abandoned at shutdown: run
+  // the statically compiled region.
+  St.Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return fallbackTarget(Ord, P, Regs, Baked);
+}
+
+std::shared_ptr<CacheRecord>
+SpecServer::specializeAndPublish(uint32_t Ord, uint32_t PromoId, size_t Point,
+                                 const std::vector<Word> &Key,
+                                 const std::vector<Word> &BakedVals,
+                                 const std::vector<Word> &KeyVals) {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  // Recheck under the lock: the key may have been published while this
+  // request sat in the queue (or by a concurrent nested run).
+  if (std::shared_ptr<CacheRecord> Existing = Cache.findRecord(Point, Key))
+    return Existing;
+
+  const bta::PromoPoint &P = RT->promo(Ord, PromoId);
+  uint32_t NumRegs = RT->regionNumRegs(Ord);
+  std::vector<Word> Vals(NumRegs);
+  for (size_t I = 0; I != P.BakedRegs.size(); ++I)
+    Vals[P.BakedRegs[I]] = I < BakedVals.size() ? BakedVals[I] : Word();
+  for (size_t I = 0; I != P.KeyRegs.size(); ++I)
+    Vals[P.KeyRegs[I]] = KeyVals[I];
+
+  auto Chain = std::make_shared<CodeChain>();
+  Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  Chain->CO.NumRegs = NumRegs;
+  Chain->CO.IsDynamicCode = true;
+  Chain->CO.BaseAddr = Prog.allocCodeAddr(ChainAddrReserve);
+  Chain->CO.Name =
+      M.function(RT->regionFuncIdx(Ord)).Name + ".chain" +
+      std::to_string(Chain->Ordinal);
+
+  bool Prev = InSpecWorkerFlag;
+  InSpecWorkerFlag = true;
+  uint32_t Entry =
+      RT->specializeInto(Ord, *SpecVM, P.TargetCtx, std::move(Vals),
+                         Chain->CO, Chain->ExitStubs, Chain->DispatchStubs);
+  InSpecWorkerFlag = Prev;
+  St.SpecRuns.fetch_add(1, std::memory_order_relaxed);
+  Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
+  Chains.add(Chain);
+  St.ChainsCreated.fetch_add(1, std::memory_order_relaxed);
+
+  auto Rec = std::make_shared<CacheRecord>();
+  Rec->Key = Key;
+  Rec->Hash = ShardedCache::hashKey(Key);
+  Rec->Point = Point;
+  Rec->EntryPC = Entry;
+  Rec->Chain = Chain;
+  Rec->Use = std::make_shared<EntryStats>();
+  Rec->Ordinal = Chain->Ordinal;
+
+  for (const auto &D : Cache.insert(Rec)) {
+    // One-slot (or indexed same-slot) replacement displaced an older
+    // version; its chain is now unreachable from the cache.
+    D->Chain->Evicted.store(true, std::memory_order_release);
+    Capacity->forget(Ord, D.get());
+    if (P.Policy == ir::CachePolicy::CacheOne ||
+        P.Policy == ir::CachePolicy::CacheOneUnchecked)
+      ++RT->statsMutable(Ord).Evictions;
+  }
+  for (const auto &E : Capacity->admit(Ord, Rec, Cache)) {
+    E->Chain->Evicted.store(true, std::memory_order_release);
+    St.Evictions.fetch_add(1, std::memory_order_relaxed);
+    ++RT->statsMutable(Ord).Evictions;
+  }
+  return Rec;
+}
+
+void SpecServer::workerLoop() {
+  while (std::shared_ptr<SpecJob> Job = Queue.pop()) {
+    std::shared_ptr<CacheRecord> Rec =
+        specializeAndPublish(Job->RegionOrd, Job->PromoId, Job->Id.Point,
+                             Job->Id.Key, Job->BakedVals, Job->KeyVals);
+    // Publish before unregistering: a misser either finds the job
+    // in-flight (and joins this future) or misses it and re-probes the
+    // cache, which already holds the record.
+    Job->Result.set_value(Rec);
+    Queue.finish(Job->Id);
+    {
+      std::lock_guard<std::mutex> L(DrainMutex);
+    }
+    DrainCV.notify_all();
+  }
+}
+
+void SpecServer::drain() {
+  std::unique_lock<std::mutex> Lock(DrainMutex);
+  DrainCV.wait(Lock, [&] { return Queue.pending() == 0; });
+}
+
+bool SpecServer::trimQuiescent(size_t *SnapshotsFreed, size_t *ChainsFreed) {
+  std::unique_lock<std::shared_mutex> Gate(DispatchGate, std::try_to_lock);
+  if (!Gate.owns_lock())
+    return false; // dispatches in flight; reclamation must wait
+  size_t Snaps = Cache.trimGraveyard();
+  size_t Freed = Chains.collect();
+  St.SnapshotsFreed.fetch_add(Snaps, std::memory_order_relaxed);
+  St.ChainsCollected.fetch_add(Freed, std::memory_order_relaxed);
+  if (SnapshotsFreed)
+    *SnapshotsFreed = Snaps;
+  if (ChainsFreed)
+    *ChainsFreed = Freed;
+  return true;
+}
+
+void SpecServer::onDynamicCodeExit(vm::VM &, const vm::CodeObject *CO) {
+  Chains.releaseExecutor(CO);
+}
+
+runtime::RegionStats SpecServer::regionStats(size_t Ordinal) const {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  return RT->stats(Ordinal);
+}
+
+size_t SpecServer::residentEntries(size_t Ordinal) const {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  return Capacity->residentEntries(Ordinal);
+}
+
+uint64_t SpecServer::residentInstrs(size_t Ordinal) const {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  return Capacity->residentInstrs(Ordinal);
+}
+
+uint64_t SpecServer::specOverheadCycles() const {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  return SpecVM->dynCompCycles();
+}
+
+} // namespace server
+} // namespace dyc

@@ -1,0 +1,190 @@
+//===- server/SpecServer.h - Concurrent specialization service -------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, capacity-bounded front end over the DyC runtime. The
+/// inline runtime (runtime::DycRuntime driven directly by one VM) is
+/// single-threaded: dispatch, specialization, and cache mutation all
+/// happen on the one client's thread. The SpecServer serves many client
+/// VMs concurrently:
+///
+///  * Dispatch: clients trap into the server; cache hits probe an
+///    immutable published snapshot with no lock (ShardedCache) and jump
+///    straight into generated code.
+///  * Miss path: the miss becomes a SpecJob on a bounded queue, deduped
+///    against in-flight jobs so concurrent misses on one key specialize
+///    exactly once. The client either blocks on the job's future
+///    (MissPolicy::Block) or immediately executes the statically compiled
+///    version of the region (MissPolicy::Fallback) while the worker
+///    specializes in the background.
+///  * Specialization: a worker pool runs the generating extension on the
+///    server's own VM (whose memory image must equal the clients' — the
+///    workload Setup functions are deterministic for exactly this
+///    reason). Every run emits into a fresh CodeChain, so published code
+///    is immutable and eviction can never dangle a branch.
+///  * Capacity: per-region entry/instruction budgets with CLOCK eviction
+///    (CapacityManager). Evicted chains drain via the VM's
+///    onDynamicCodeExit callback before they are freed.
+///
+/// All specialization serializes on one recursive mutex: the generating
+/// extension may re-enter the server (static calls at specialize time can
+/// enter other regions), and a recursive lock turns that into an inline
+/// nested specialization instead of a self-deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SERVER_SPECSERVER_H
+#define DYC_SERVER_SPECSERVER_H
+
+#include "bta/OptFlags.h"
+#include "cogen/Lowering.h"
+#include "runtime/Specializer.h"
+#include "server/CapacityManager.h"
+#include "server/CodeChain.h"
+#include "server/ServerStats.h"
+#include "server/ShardedCache.h"
+#include "server/SpecJob.h"
+#include "vm/VM.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+namespace dyc {
+namespace server {
+
+/// What a client does on a cache miss.
+enum class MissPolicy {
+  Block,    ///< wait for the specialization worker's result
+  Fallback, ///< run the statically compiled region; specialize in background
+};
+
+struct ServerConfig {
+  unsigned NumWorkers = 2;
+  size_t QueueCapacity = 64; ///< pending jobs before producers block
+  MissPolicy OnMiss = MissPolicy::Block;
+  CapacityBudget Budget; ///< per-region generated-code bounds (0 = unbounded)
+  /// Applied to the server's specialization VM at construction and to
+  /// every VM from makeClientVM(). Must be deterministic: specialize-time
+  /// static loads read the server VM's memory, so its image must be
+  /// bit-identical to the clients'.
+  std::function<void(vm::VM &)> MemoryImage;
+  vm::CostModel CM;
+  vm::ICacheConfig IC;
+};
+
+/// The service. Construct from a compiled module; make client VMs; run
+/// them from any threads. The module must outlive the server.
+class SpecServer : public vm::RuntimeHook {
+public:
+  SpecServer(const ir::Module &M, const OptFlags &Flags, ServerConfig Cfg);
+  ~SpecServer() override;
+
+  SpecServer(const SpecServer &) = delete;
+  SpecServer &operator=(const SpecServer &) = delete;
+
+  /// A fresh VM over the shared program, hooked to this server, with the
+  /// configured memory image applied. Callable from any thread.
+  std::unique_ptr<vm::VM> makeClientVM();
+
+  int findFunction(const std::string &Name) const {
+    return Prog.findFunction(Name);
+  }
+  /// Region ordinal of function \p Name, or -1 if unannotated.
+  int regionOrdinalOf(const std::string &Name) const;
+  size_t numRegions() const { return RT->numRegions(); }
+
+  // RuntimeHook:
+  Target dispatch(vm::VM &M, int64_t PointId,
+                  std::vector<Word> &Regs) override;
+  void onDynamicCodeExit(vm::VM &M, const vm::CodeObject *CO) override;
+
+  /// Blocks until the job queue is empty and no worker is mid-job.
+  void drain();
+
+  /// Reclaims retired cache snapshots and drained evicted chains. Refuses
+  /// (returns false) if any dispatch is in flight — reclamation requires
+  /// quiescence. Outputs are optional counts.
+  bool trimQuiescent(size_t *SnapshotsFreed = nullptr,
+                     size_t *ChainsFreed = nullptr);
+
+  ServerStatsSnapshot stats() const {
+    ServerStatsSnapshot S = St.snapshot();
+    S.SnapshotsRetired = Cache.retiredSnapshots(); // currently in graveyard
+    return S;
+  }
+  /// Copy of the runtime's per-region specializer counters.
+  runtime::RegionStats regionStats(size_t Ordinal) const;
+  size_t residentEntries(size_t Ordinal) const;
+  uint64_t residentInstrs(size_t Ordinal) const;
+  size_t liveChains() const { return Chains.size(); }
+  size_t retiredSnapshots() const { return Cache.retiredSnapshots(); }
+  /// Cycles the server spent specializing (its VM's dynamic-compilation
+  /// account); the per-client cost of a hit is charged to the client.
+  uint64_t specOverheadCycles() const;
+
+private:
+  /// Specializes (point, key) and publishes the result, rechecking the
+  /// cache first. Runs under SpecMutex; reentrant for nested misses.
+  std::shared_ptr<CacheRecord>
+  specializeAndPublish(uint32_t Ord, uint32_t PromoId, size_t Point,
+                       const std::vector<Word> &Key,
+                       const std::vector<Word> &BakedVals,
+                       const std::vector<Word> &KeyVals);
+
+  Target enterChain(const CacheRecord &Rec);
+  Target fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
+                        std::vector<Word> &Regs,
+                        const std::vector<Word> &BakedVals);
+  void chargeDispatch(vm::VM &M, ir::CachePolicy Policy, size_t KeyWords,
+                      unsigned Probes) const;
+  void workerLoop();
+
+  const ir::Module &M;
+  OptFlags Flags;
+  ServerConfig Cfg;
+
+  vm::Program Prog; ///< shared by the server VM and every client VM
+  std::vector<cogen::LoweredFunction> Lowered;
+  std::vector<int> AnnotatedOrdinal; ///< function index -> region ordinal
+
+  /// Statically compiled copy of the module (regions ignored) for the
+  /// fallback miss path. Lowered at a disjoint simulated address base so
+  /// the I-cache model doesn't alias the two programs.
+  vm::Program FallbackProg;
+  std::vector<cogen::LoweredFunction> FallbackLowered;
+
+  std::unique_ptr<runtime::DycRuntime> RT;
+  std::unique_ptr<vm::VM> SpecVM; ///< runs generating extensions; under SpecMutex
+  std::vector<size_t> PointBase;  ///< region ordinal -> first cache point
+
+  ShardedCache Cache;
+  ChainRegistry Chains;
+  std::unique_ptr<CapacityManager> Capacity;
+  JobQueue Queue;
+  std::vector<std::thread> Workers;
+
+  /// Serializes all specialization (workers and nested re-entry).
+  mutable std::recursive_mutex SpecMutex;
+  /// Readers hold this shared for the duration of a dispatch; reclamation
+  /// try-locks it exclusively, so it only proceeds at quiescence.
+  std::shared_mutex DispatchGate;
+
+  std::atomic<uint64_t> Tick{0};       ///< global dispatch clock (recency)
+  std::atomic<uint64_t> ChainCounter{0};
+  std::mutex DrainMutex;
+  std::condition_variable DrainCV;
+
+  ServerStats St;
+};
+
+} // namespace server
+} // namespace dyc
+
+#endif // DYC_SERVER_SPECSERVER_H

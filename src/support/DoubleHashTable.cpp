@@ -31,6 +31,21 @@ uint64_t secondaryHash(uint64_t H) {
 
 DoubleHashTable::DoubleHashTable() { Slots.resize(PrimeCaps[0]); }
 
+DoubleHashTable::DoubleHashTable(const DoubleHashTable &O)
+    : Slots(O.Slots), NumEntries(O.NumEntries),
+      TotalProbes(O.TotalProbes.load(std::memory_order_relaxed)),
+      TotalLookups(O.TotalLookups.load(std::memory_order_relaxed)) {}
+
+DoubleHashTable &DoubleHashTable::operator=(const DoubleHashTable &O) {
+  Slots = O.Slots;
+  NumEntries = O.NumEntries;
+  TotalProbes.store(O.TotalProbes.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  TotalLookups.store(O.TotalLookups.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  return *this;
+}
+
 uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
                                  unsigned *ProbesOut) const {
   uint64_t H = hashWords(Key);
@@ -38,21 +53,21 @@ uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
   size_t Idx = H % Cap;
   size_t Step = 1 + secondaryHash(H) % (Cap - 1);
   unsigned Probes = 0;
-  ++TotalLookups;
+  TotalLookups.fetch_add(1, std::memory_order_relaxed);
   for (size_t I = 0; I != Cap; ++I) {
     ++Probes;
     const Slot &S = Slots[Idx];
     if (!S.Occupied)
       break;
     if (S.Hash == H && S.Key == Key) {
-      TotalProbes += Probes;
+      TotalProbes.fetch_add(Probes, std::memory_order_relaxed);
       if (ProbesOut)
         *ProbesOut = Probes;
       return S.Value;
     }
     Idx = (Idx + Step) % Cap;
   }
-  TotalProbes += Probes;
+  TotalProbes.fetch_add(Probes, std::memory_order_relaxed);
   if (ProbesOut)
     *ProbesOut = Probes;
   return NotFound;

@@ -21,6 +21,7 @@
 
 #include "support/Support.h"
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,8 @@ public:
   static constexpr uint32_t NotFound = 0xffffffffu;
 
   DoubleHashTable();
+  DoubleHashTable(const DoubleHashTable &O);
+  DoubleHashTable &operator=(const DoubleHashTable &O);
 
   /// Looks up \p Key. Returns the stored handle or NotFound. \p ProbesOut,
   /// if non-null, receives the number of slots inspected (>= 1), which the
@@ -47,9 +50,15 @@ public:
   bool empty() const { return NumEntries == 0; }
 
   /// Total probes performed by all lookups since construction; used by the
-  /// dispatch-cost micro-benchmark to report average probe lengths.
-  uint64_t totalProbes() const { return TotalProbes; }
-  uint64_t totalLookups() const { return TotalLookups; }
+  /// dispatch-cost micro-benchmark to report average probe lengths. The
+  /// counters are relaxed atomics so concurrent readers probing a published
+  /// table (the SpecServer's sharded dispatch layer) stay race-free.
+  uint64_t totalProbes() const {
+    return TotalProbes.load(std::memory_order_relaxed);
+  }
+  uint64_t totalLookups() const {
+    return TotalLookups.load(std::memory_order_relaxed);
+  }
 
 private:
   struct Slot {
@@ -64,8 +73,8 @@ private:
 
   std::vector<Slot> Slots;
   size_t NumEntries = 0;
-  mutable uint64_t TotalProbes = 0;
-  mutable uint64_t TotalLookups = 0;
+  mutable std::atomic<uint64_t> TotalProbes{0};
+  mutable std::atomic<uint64_t> TotalLookups{0};
 };
 
 } // namespace dyc

@@ -7,6 +7,8 @@ namespace vm {
 
 RuntimeHook::~RuntimeHook() = default;
 
+void RuntimeHook::onDynamicCodeExit(VM &, const CodeObject *) {}
+
 uint32_t Program::addFunction(CodeObject CO) {
   CO.BaseAddr = allocCodeAddr(CO.Code.size() * 4 + 64);
   Funcs.push_back(std::move(CO));
@@ -265,6 +267,8 @@ Word VM::run(uint32_t FuncIdx, const std::vector<Word> &Args) {
       Word Res = I.A == NoReg ? Word() : R[I.A];
       FuncStats[Fr.FuncIdx].InclusiveCycles += ExecCycles - Fr.StartCycles;
       uint32_t RetReg = Fr.RetReg;
+      if (Hook && Fr.CurCode->IsDynamicCode)
+        Hook->onDynamicCodeExit(*this, Fr.CurCode);
       Frames.pop_back();
       if (Frames.size() == BaseDepth) {
         LastResult = Res;
@@ -279,6 +283,8 @@ Word VM::run(uint32_t FuncIdx, const std::vector<Word> &Args) {
     case Op::Dispatch: {
       if (!Hook)
         machineError("region trap with no run-time attached", Fr);
+      if (Fr.CurCode->IsDynamicCode)
+        Hook->onDynamicCodeExit(*this, Fr.CurCode);
       RuntimeHook::Target T = Hook->dispatch(*this, I.Imm, Fr.Regs);
       if (!T.CO)
         machineError("run-time returned no target", Fr);
@@ -291,6 +297,8 @@ Word VM::run(uint32_t FuncIdx, const std::vector<Word> &Args) {
     }
 
     case Op::ExitRegion: {
+      if (Hook && Fr.CurCode->IsDynamicCode)
+        Hook->onDynamicCodeExit(*this, Fr.CurCode);
       Fr.CurCode = Fr.FuncCode;
       Fr.PC = I.B;
       continue;

@@ -84,6 +84,15 @@ public:
   /// it). Implementations charge dispatch cycles via VM::chargeExec and
   /// compilation cycles via VM::chargeDynComp.
   virtual Target dispatch(VM &M, int64_t PointId, std::vector<Word> &Regs) = 0;
+
+  /// Invoked whenever control durably leaves a dynamically generated code
+  /// object \p CO: at ExitRegion, at a Ret executed from generated code,
+  /// and immediately before a Dispatch trap taken from generated code.
+  /// Nested Calls made *from* generated code do not notify — the frame
+  /// resumes in \p CO afterwards. The SpecServer uses this to keep
+  /// active-executor reference counts on code chains so the capacity
+  /// manager can tell when evicted code has drained. Default: no-op.
+  virtual void onDynamicCodeExit(VM &M, const CodeObject *CO);
 };
 
 /// Per-function execution statistics (inclusive cycles let the harness

@@ -62,6 +62,23 @@ TEST(CodeCacheTest, CacheOneUncheckedNeverChecks) {
   EXPECT_EQ(R.Value, 100u);
 }
 
+TEST(CodeCacheTest, CacheIndexedOverflowFallsBackToHash) {
+  CodeCache C(ir::CachePolicy::CacheIndexed, 1);
+  C.insert(key(7, 3), 300);
+  // An index value at or past MaxIndexedKey cannot address the direct
+  // array; it degrades to the checked double-hash path instead of dying.
+  const int64_t Big = static_cast<int64_t>(CodeCache::MaxIndexedKey);
+  EXPECT_FALSE(C.lookup(key(7, Big)).Hit);
+  C.insert(key(7, Big), 700);
+  C.insert(key(7, Big + 12345), 800);
+  EXPECT_EQ(C.lookup(key(7, Big)).Value, 700u);
+  EXPECT_EQ(C.lookup(key(7, Big + 12345)).Value, 800u);
+  EXPECT_EQ(C.lookup(key(7, 3)).Value, 300u); // in-range entry unaffected
+  // Unlike in-range probes, the fallback compares the whole key.
+  EXPECT_FALSE(C.lookup(key(8, Big)).Hit);
+  EXPECT_EQ(C.entries(), 3u);
+}
+
 //===----------------------------------------------------------------------===//
 // Specializer behavior through the public pipeline.
 //===----------------------------------------------------------------------===//
@@ -109,6 +126,27 @@ TEST(Specializer, UncheckedPolicyRunsStaleCode) {
   EXPECT_EQ(E->Machine->run(F, {Word::fromInt(3)}).asInt(), 3);
   EXPECT_EQ(E->Machine->run(F, {Word::fromInt(5)}).asInt(), 3); // stale!
   EXPECT_EQ(E->RT->stats(0).SpecializationRuns, 1u);
+}
+
+TEST(Specializer, CacheOneCountsEvictions) {
+  // cache_one keeps a single checked version; every key mismatch evicts
+  // the resident entry and respecializes, and RegionStats records it.
+  auto Ctx = compile("int f(int n) {\n"
+                     "  int i;\n"
+                     "  make_static(n, i : cache_one);\n"
+                     "  int s = 0;\n"
+                     "  for (i = 0; i < n; i = i + 1) { s = s + i; }\n"
+                     "  return s;\n"
+                     "}");
+  auto E = Ctx->buildDynamic();
+  int F = E->findFunction("f");
+  for (int64_t N : {3, 5, 3, 3, 5}) // evicting transitions: 3->5, 5->3, 3->5
+    EXPECT_EQ(E->Machine->run(F, {Word::fromInt(N)}).asInt(),
+              N * (N - 1) / 2);
+  const runtime::RegionStats &St = E->RT->stats(0);
+  EXPECT_EQ(St.SpecializationRuns, 4u);
+  EXPECT_EQ(St.Evictions, 3u);
+  EXPECT_EQ(St.CacheHits, 1u); // only the back-to-back 3
 }
 
 TEST(Specializer, CacheIndexedSpecializesPerByteValue) {
