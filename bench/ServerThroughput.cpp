@@ -13,7 +13,9 @@
 //     CLOCK policy thrashes (eviction -> re-dispatch -> respecialize).
 //
 // `--quick` (or DYC_BENCH_QUICK=1) shrinks both sweeps so the binary can
-// run under ThreadSanitizer in CI in seconds.
+// run under ThreadSanitizer in CI in seconds. `--json FILE` additionally
+// writes the measurements as a JSON document (the CI BENCH_server.json
+// artifact).
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,7 +40,29 @@ bool quickMode(int Argc, char **Argv) {
   return Env && Env[0] == '1';
 }
 
-void threadSweep(uint64_t InvocationsPerThread) {
+const char *jsonPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+struct ThreadRow {
+  unsigned Threads = 0;
+  double InvocationsPerSec = 0;
+  double WallSeconds = 0;
+  bool OutputsMatch = false;
+};
+
+struct CapacityRow {
+  size_t MaxEntries = 0; ///< 0 = unbounded
+  double InvocationsPerSec = 0;
+  uint64_t SpecRuns = 0;
+  uint64_t Evictions = 0;
+  size_t Resident = 0;
+};
+
+std::vector<ThreadRow> threadSweep(uint64_t InvocationsPerThread) {
   const workloads::Workload &W = workloads::workloadByName("dotproduct");
   std::printf("client-thread sweep: workload=%s, %llu invocations/thread\n",
               W.Name.c_str(),
@@ -46,6 +70,7 @@ void threadSweep(uint64_t InvocationsPerThread) {
   std::printf("  %-8s %12s %12s %10s %8s\n", "threads", "invocs/sec",
               "wall-sec", "speedup", "match");
 
+  std::vector<ThreadRow> Rows;
   double Base = 0;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     core::ServerThroughputPerf P = core::measureServerThroughput(
@@ -56,7 +81,10 @@ void threadSweep(uint64_t InvocationsPerThread) {
                 P.InvocationsPerSec, P.WallSeconds,
                 Base > 0 ? P.InvocationsPerSec / Base : 0.0,
                 P.OutputsMatch ? "yes" : "NO");
+    Rows.push_back({Threads, P.InvocationsPerSec, P.WallSeconds,
+                    P.OutputsMatch});
   }
+  return Rows;
 }
 
 // A region with one specialization per distinct n; clients rotate through
@@ -69,7 +97,7 @@ const char *SumSrc = "int f(int n) {\n"
                      "  return s;\n"
                      "}";
 
-void capacitySweep(uint64_t InvocationsPerThread) {
+std::vector<CapacityRow> capacitySweep(uint64_t InvocationsPerThread) {
   constexpr unsigned NumThreads = 4;
   constexpr int64_t NumKeys = 16;
   std::printf("\ncapacity sweep: %u threads rotating over %lld keys, "
@@ -79,6 +107,7 @@ void capacitySweep(uint64_t InvocationsPerThread) {
   std::printf("  %-10s %12s %10s %10s %10s\n", "budget", "invocs/sec",
               "specruns", "evictions", "resident");
 
+  std::vector<CapacityRow> Rows;
   for (size_t MaxEntries : {size_t(0), size_t(16), size_t(8), size_t(4)}) {
     core::DycContext Ctx;
     std::vector<std::string> Errors;
@@ -122,19 +151,60 @@ void capacitySweep(uint64_t InvocationsPerThread) {
       std::snprintf(Budget, sizeof(Budget), "%zu", MaxEntries);
     else
       std::snprintf(Budget, sizeof(Budget), "unbounded");
-    std::printf("  %-10s %12.0f %10llu %10llu %10zu\n", Budget,
-                Wall > 0 ? NumThreads * InvocationsPerThread / Wall : 0.0,
+    double PerSec = Wall > 0 ? NumThreads * InvocationsPerThread / Wall : 0.0;
+    std::printf("  %-10s %12.0f %10llu %10llu %10zu\n", Budget, PerSec,
                 static_cast<unsigned long long>(S.SpecRuns),
                 static_cast<unsigned long long>(S.Evictions),
                 Server->residentEntries(0));
+    Rows.push_back(
+        {MaxEntries, PerSec, S.SpecRuns, S.Evictions,
+         Server->residentEntries(0)});
   }
+  return Rows;
+}
+
+void writeJson(const char *Path, bool Quick,
+               const std::vector<ThreadRow> &Threads,
+               const std::vector<CapacityRow> &Capacity) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    fatal("cannot open --json output file");
+  std::fprintf(F, "{\n  \"bench\": \"server_throughput\",\n");
+  std::fprintf(F, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(F, "  \"thread_sweep\": [\n");
+  for (size_t I = 0; I != Threads.size(); ++I) {
+    const ThreadRow &R = Threads[I];
+    std::fprintf(F,
+                 "    {\"threads\": %u, \"invocations_per_sec\": %.1f, "
+                 "\"wall_seconds\": %.6f, \"outputs_match\": %s}%s\n",
+                 R.Threads, R.InvocationsPerSec, R.WallSeconds,
+                 R.OutputsMatch ? "true" : "false",
+                 I + 1 == Threads.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n  \"capacity_sweep\": [\n");
+  for (size_t I = 0; I != Capacity.size(); ++I) {
+    const CapacityRow &R = Capacity[I];
+    std::fprintf(F,
+                 "    {\"max_entries\": %zu, \"invocations_per_sec\": %.1f, "
+                 "\"spec_runs\": %llu, \"evictions\": %llu, "
+                 "\"resident\": %zu}%s\n",
+                 R.MaxEntries, R.InvocationsPerSec,
+                 static_cast<unsigned long long>(R.SpecRuns),
+                 static_cast<unsigned long long>(R.Evictions), R.Resident,
+                 I + 1 == Capacity.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Path);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Quick = quickMode(Argc, Argv);
-  threadSweep(Quick ? 50 : 2000);
-  capacitySweep(Quick ? 200 : 20000);
+  std::vector<ThreadRow> Threads = threadSweep(Quick ? 50 : 2000);
+  std::vector<CapacityRow> Capacity = capacitySweep(Quick ? 200 : 20000);
+  if (const char *Path = jsonPath(Argc, Argv))
+    writeJson(Path, Quick, Threads, Capacity);
   return 0;
 }

@@ -34,6 +34,8 @@
 #ifndef DYC_BTA_OPTFLAGS_H
 #define DYC_BTA_OPTFLAGS_H
 
+#include <cstddef>
+
 namespace dyc {
 
 /// DyC optimization toggles (all on by default, the paper's "with all
@@ -48,6 +50,11 @@ struct OptFlags {
   bool StrengthReduction = true;
   bool InternalPromotions = true;
   bool PolyvariantDivision = true;
+
+  /// Per-region code cap: instructions emitted past this limit are counted
+  /// in RegionStats::CodeCapHits (soft limit) rather than aborting. Also
+  /// sizes the simulated address reservation per code chain.
+  size_t MaxRegionInstrs = 1u << 20;
 
   /// Named accessors for the ablation harness (Table 5 columns).
   static constexpr unsigned NumToggles = 9;

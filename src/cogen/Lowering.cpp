@@ -127,14 +127,14 @@ struct FunctionLowering {
   const bta::RegionInfo *Region;
   int Ordinal;
 
-  v::CodeObject CO;
-  std::vector<uint32_t> BlockPC;
+  v::CodeObject CO = {};
+  std::vector<uint32_t> BlockPC = {};
   struct Patch {
     size_t PC;
     BlockId Target;
     bool FieldC; // patch Instr.C instead of Instr.B
   };
-  std::vector<Patch> Patches;
+  std::vector<Patch> Patches = {};
 
   uint32_t StageBase = 0, Scratch0 = 0, Scratch1 = 0;
 

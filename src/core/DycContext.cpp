@@ -65,7 +65,8 @@ DycContext::buildStatic(const vm::CostModel &CM,
 
 std::unique_ptr<Executable>
 DycContext::buildDynamic(const OptFlags &Flags, const vm::CostModel &CM,
-                         const vm::ICacheConfig &IC) const {
+                         const vm::ICacheConfig &IC,
+                         runtime::ChainBudget Budget) const {
   auto E = std::make_unique<Executable>();
   cogen::bindExternals(M, E->Prog);
 
@@ -80,7 +81,7 @@ DycContext::buildDynamic(const OptFlags &Flags, const vm::CostModel &CM,
                                   Ordinals);
   E->AnnotatedOrdinal = Ordinals;
 
-  E->RT = std::make_unique<runtime::DycRuntime>(M, E->Prog, Flags);
+  E->RT = std::make_unique<runtime::DycRuntime>(M, E->Prog, Flags, Budget);
   for (size_t I = 0; I != M.numFunctions(); ++I) {
     if (Ordinals[I] < 0)
       continue;

@@ -78,10 +78,13 @@ public:
               const vm::ICacheConfig &IC = vm::ICacheConfig()) const;
 
   /// Builds the dynamically compiled configuration under \p Flags.
+  /// \p Budget bounds resident generated code per region (zeros mean
+  /// unbounded, the paper's behavior).
   std::unique_ptr<Executable>
   buildDynamic(const OptFlags &Flags = OptFlags(),
                const vm::CostModel &CM = vm::CostModel(),
-               const vm::ICacheConfig &IC = vm::ICacheConfig()) const;
+               const vm::ICacheConfig &IC = vm::ICacheConfig(),
+               runtime::ChainBudget Budget = {}) const;
 
   /// Builds the concurrent specialization service over this module. The
   /// context must outlive the server (the server keeps a reference to the

@@ -76,29 +76,70 @@ CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
   return R;
 }
 
-bool CodeCache::insert(const std::vector<Word> &Key, uint32_t Value) {
+bool CodeCache::insert(const std::vector<Word> &Key, uint32_t Value,
+                       uint32_t *DisplacedOut) {
+  if (DisplacedOut)
+    *DisplacedOut = NoValue;
   if (Policy == ir::CachePolicy::CacheAll) {
-    Table.insert(Key, Value);
+    uint32_t Old = DoubleHashTable::NotFound;
+    Table.insert(Key, Value, &Old);
+    if (DisplacedOut && Old != DoubleHashTable::NotFound)
+      *DisplacedOut = Old;
     return false;
   }
   if (Policy == ir::CachePolicy::CacheIndexed) {
     uint64_t Idx = Key[IndexPos].Bits;
     if (Idx >= MaxIndexedKey) {
-      Table.insert(Key, Value);
+      uint32_t Old = DoubleHashTable::NotFound;
+      Table.insert(Key, Value, &Old);
+      if (DisplacedOut && Old != DoubleHashTable::NotFound)
+        *DisplacedOut = Old;
       return false;
     }
     if (Idx >= Indexed.size())
       Indexed.resize(Idx + 1, NotPresent);
     if (Indexed[Idx] == NotPresent)
       ++IndexedCount;
+    else if (DisplacedOut)
+      *DisplacedOut = Indexed[Idx];
     Indexed[Idx] = Value;
     return false;
   }
   bool Evicted = HasOne && OneKey != Key;
+  if (HasOne && DisplacedOut)
+    *DisplacedOut = OneValue;
   HasOne = true;
   OneKey = Key;
   OneValue = Value;
   return Evicted;
+}
+
+void CodeCache::erase(const std::vector<Word> &Key) {
+  switch (Policy) {
+  case ir::CachePolicy::CacheAll:
+    Table.erase(Key);
+    return;
+  case ir::CachePolicy::CacheIndexed: {
+    uint64_t Idx = Key[IndexPos].Bits;
+    if (Idx >= MaxIndexedKey) {
+      Table.erase(Key);
+      return;
+    }
+    if (Idx < Indexed.size() && Indexed[Idx] != NotPresent) {
+      Indexed[Idx] = NotPresent;
+      --IndexedCount;
+    }
+    return;
+  }
+  case ir::CachePolicy::CacheOne:
+  case ir::CachePolicy::CacheOneUnchecked:
+    if (HasOne && OneKey == Key) {
+      HasOne = false;
+      OneKey.clear();
+      OneValue = 0;
+    }
+    return;
+  }
 }
 
 } // namespace runtime

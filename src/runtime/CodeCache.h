@@ -61,8 +61,17 @@ public:
   /// Installs \p Key -> \p Value (replaces the resident entry under the
   /// one-slot policies). Returns true if a live entry with a *different*
   /// key was evicted to make room (cache_one mismatch replacement); the
-  /// run-time counts these in RegionStats.
-  bool insert(const std::vector<Word> &Key, uint32_t Value);
+  /// run-time counts these in RegionStats. \p DisplacedOut, if non-null,
+  /// receives the value any pre-existing entry was displaced from (one-slot
+  /// replacement, same-key rebinding, or same-index overwrite) or NoValue —
+  /// the run-time uses it to retire the displaced chain.
+  bool insert(const std::vector<Word> &Key, uint32_t Value,
+              uint32_t *DisplacedOut = nullptr);
+
+  /// Removes \p Key so the next lookup misses (capacity eviction
+  /// unpublishing an entry). Under the one-slot policies the resident entry
+  /// is dropped only if its key matches.
+  void erase(const std::vector<Word> &Key);
 
   uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
   uint64_t totalProbes() const { return Table.totalProbes(); }
@@ -71,6 +80,9 @@ public:
   /// cache_indexed keys below this index the direct array; larger keys use
   /// the double-hash fallback path.
   static constexpr size_t MaxIndexedKey = 65536;
+
+  /// Sentinel for insert's DisplacedOut: nothing was displaced.
+  static constexpr uint32_t NoValue = 0xffffffffu;
 
 private:
   ir::CachePolicy Policy;

@@ -1,0 +1,115 @@
+//===- runtime/Deferral.h - Staged ZCP + dead-assignment engine -------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The middle layer of the specializer: staged zero/copy propagation and
+/// dead-assignment elimination (paper section 2.2.7) over the emitter.
+/// Dynamic instructions whose results are block-dead by the static plan
+/// are *deferred* into a table instead of being emitted. Reads resolve
+/// through the table — pending moves are chased (copy propagation),
+/// pending constants are returned as values (zero propagation) — and a
+/// pending entry is only materialized if emitted code actually consumes
+/// its result. An entry overwritten before any consumer is dropped, never
+/// emitted: dead-assignment elimination at specialize time.
+///
+/// emitDynamic() is the engine's front door: it resolves a planned
+/// dynamic instruction's operands, applies dynamic constant folding, the
+/// zero/copy rewrites, and power-of-two strength reduction, then defers or
+/// emits the result.
+///
+/// The table is per specialized block: the unroll driver resets it at
+/// every block boundary (deferrable results are block-dead by the plan).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_DEFERRAL_H
+#define DYC_RUNTIME_DEFERRAL_H
+
+#include "bta/OptFlags.h"
+#include "runtime/Emitter.h"
+
+#include <map>
+#include <vector>
+
+namespace dyc {
+namespace runtime {
+
+class DeferralEngine {
+public:
+  DeferralEngine(Emitter &E, RegionStats &Stats, vm::VM &M,
+                 const OptFlags &Flags, const cogen::GenExtFunction &GX)
+      : E(E), Stats(Stats), M(M), CM(M.costModel()), Flags(Flags), GX(GX) {}
+
+  /// Block boundary: forget pending entries without emitting (the caller
+  /// uses dropAllPending() first when the drops must be counted).
+  void reset() {
+    Defer.clear();
+    LatestDef.clear();
+  }
+
+  /// Resolves a run-time register through the deferral table.
+  RVal readResolve(uint32_t Reg);
+
+  RVal resolveOperand(const cogen::Operand &O, const std::vector<Word> &Vals);
+
+  /// If \p A references a still-pending deferred producer, emit it (and,
+  /// recursively, its dependencies).
+  void forceOperand(const RVal &A);
+
+  /// Before an instruction writes \p Dst: pending readers of Dst must be
+  /// materialized (they captured the old value's register); a pending
+  /// producer of Dst is dead and is dropped — dead-assignment elimination.
+  void writeEvent(uint32_t Dst);
+
+  /// Memory is about to be written or a call made: pending loads must be
+  /// emitted first.
+  void memoryClobber();
+
+  /// Drops every still-pending entry (block boundary; deferrable results
+  /// are block-dead by the static plan).
+  void dropAllPending();
+
+  /// Resolves, optimizes, and defers-or-emits one planned dynamic
+  /// instruction (SetupOp::EmitInstr).
+  void emitDynamic(const cogen::SetupOp &Op, const std::vector<Word> &Vals);
+
+private:
+  /// A deferred (not yet emitted) pure instruction.
+  struct DeferredInstr {
+    ir::Opcode Op = ir::Opcode::Mov;
+    ir::Type Ty = ir::Type::I64;
+    uint32_t Dst = vm::NoReg;
+    RVal A, B;
+    int64_t Imm = 0;
+    bool FromZcp = false;
+    bool Pending = true;
+  };
+
+  void charge(uint64_t Cycles) { M.chargeDynComp(Cycles); }
+
+  /// Emits a pending entry now ("the move is materialized"), after any
+  /// still-pending producers of its operands.
+  void materializeEntry(size_t Idx);
+
+  void deferOrEmit(const cogen::SetupOp &Op, ir::Opcode FormOp, ir::Type Ty,
+                   uint32_t Dst, const RVal &A, const RVal &B, int64_t Imm,
+                   bool FromZcp);
+
+  Emitter &E;
+  RegionStats &Stats;
+  vm::VM &M;
+  const vm::CostModel &CM;
+  const OptFlags &Flags;
+  const cogen::GenExtFunction &GX;
+
+  std::vector<DeferredInstr> Defer;
+  std::map<uint32_t, size_t> LatestDef;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_DEFERRAL_H

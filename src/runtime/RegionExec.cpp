@@ -1,0 +1,298 @@
+//===- runtime/RegionExec.cpp - Shared region-execution core -----------------------===//
+
+#include "runtime/RegionExec.h"
+
+#include "runtime/UnrollDriver.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+namespace dyc {
+namespace runtime {
+
+//===----------------------------------------------------------------------===//
+// ChainRegistry
+//===----------------------------------------------------------------------===//
+
+void ChainRegistry::add(std::shared_ptr<CodeChain> Chain) {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  Map[&Chain->CO] = std::move(Chain);
+}
+
+std::shared_ptr<CodeChain> ChainRegistry::find(const vm::CodeObject *CO) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Map.find(CO);
+  return It == Map.end() ? nullptr : It->second;
+}
+
+void ChainRegistry::releaseExecutor(const vm::CodeObject *CO) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Map.find(CO);
+  if (It != Map.end())
+    It->second->ActiveRefs.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+size_t ChainRegistry::collect() {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  size_t Freed = 0;
+  for (auto It = Map.begin(); It != Map.end();) {
+    CodeChain &C = *It->second;
+    if (C.Evicted.load(std::memory_order_acquire) &&
+        C.ActiveRefs.load(std::memory_order_acquire) == 0) {
+      It = Map.erase(It);
+      ++Freed;
+    } else {
+      ++It;
+    }
+  }
+  return Freed;
+}
+
+size_t ChainRegistry::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Map.size();
+}
+
+std::vector<std::shared_ptr<CodeChain>>
+ChainRegistry::chainsOfRegion(uint32_t Region) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  std::vector<std::shared_ptr<CodeChain>> Out;
+  for (const auto &KV : Map)
+    if (KV.second->Region == Region)
+      Out.push_back(KV.second);
+  std::sort(Out.begin(), Out.end(),
+            [](const std::shared_ptr<CodeChain> &A,
+               const std::shared_ptr<CodeChain> &B) {
+              return A->Ordinal < B->Ordinal;
+            });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RegionExecutionCore: regions and metadata
+//===----------------------------------------------------------------------===//
+
+void RegionExecutionCore::addRegion(cogen::GenExtFunction GX) {
+  auto R = std::make_unique<RegionState>();
+  R->CtxPlacements.assign(GX.Region.Contexts.size(), 0);
+  R->GX = std::move(GX);
+  Regions.push_back(std::move(R));
+  Books.emplace_back();
+}
+
+const bta::PromoPoint &RegionExecutionCore::promo(size_t Ordinal,
+                                                  size_t PromoId) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  const auto &Promos = Regions[Ordinal]->GX.Region.Promos;
+  assert(PromoId < Promos.size() && "bad promotion point");
+  return Promos[PromoId];
+}
+
+size_t RegionExecutionCore::numPromos(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.Region.Promos.size();
+}
+
+uint32_t RegionExecutionCore::regionNumRegs(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.NumRegs;
+}
+
+int RegionExecutionCore::regionFuncIdx(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.FuncIdx;
+}
+
+const bta::RegionInfo &RegionExecutionCore::regionInfo(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->GX.Region;
+}
+
+const RegionStats &RegionExecutionCore::stats(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->Stats;
+}
+
+RegionStats &RegionExecutionCore::statsMutable(size_t Ordinal) {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  return Regions[Ordinal]->Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch sites
+//===----------------------------------------------------------------------===//
+
+DispatchSite RegionExecutionCore::siteInfo(size_t Idx) const {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
+  assert(Idx < Sites.size() && "bad dispatch site");
+  return Sites[Idx];
+}
+
+size_t RegionExecutionCore::numSites() const {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
+  return Sites.size();
+}
+
+uint32_t RegionExecutionCore::internSite(DispatchSite S, bool *Created) {
+  std::lock_guard<std::mutex> Lock(SitesMutex);
+  for (size_t I = 0; I != Sites.size(); ++I) {
+    const DispatchSite &E = Sites[I];
+    if (E.RegionOrd == S.RegionOrd && E.PromoId == S.PromoId &&
+        E.BakedVals == S.BakedVals) {
+      if (Created)
+        *Created = false;
+      return static_cast<uint32_t>(I);
+    }
+  }
+  Sites.push_back(std::move(S));
+  if (Created)
+    *Created = true;
+  return static_cast<uint32_t>(Sites.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Specialization
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
+    size_t Ordinal, vm::VM &VMRef, uint32_t PromoId, std::vector<Word> Key,
+    const std::vector<Word> &BakedVals, const std::vector<Word> &KeyVals) {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  RegionState &R = *Regions[Ordinal];
+  const bta::PromoPoint &P = R.GX.Region.Promos[PromoId];
+
+  std::vector<Word> Vals(R.GX.NumRegs);
+  for (size_t I = 0; I != P.BakedRegs.size(); ++I)
+    Vals[P.BakedRegs[I]] = I < BakedVals.size() ? BakedVals[I] : Word();
+  for (size_t I = 0; I != P.KeyRegs.size(); ++I)
+    Vals[P.KeyRegs[I]] = KeyVals[I];
+
+  auto Chain = std::make_shared<CodeChain>();
+  Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  Chain->Region = static_cast<uint32_t>(Ordinal);
+  Chain->CO.NumRegs = R.GX.NumRegs;
+  Chain->CO.IsDynamicCode = true;
+  // The simulated address reservation covers the region code cap so
+  // distinct chains' I-cache footprints never alias.
+  Chain->CO.BaseAddr =
+      Prog.allocCodeAddr(static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
+  Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
+                   std::to_string(Chain->Ordinal);
+
+  UnrollDriver Driver(*this, R, static_cast<uint32_t>(Ordinal), VMRef, Flags,
+                      Chain->CO, Chain->ExitStubs, Chain->DispatchStubs);
+  uint32_t Entry = Driver.run(P.TargetCtx, std::move(Vals));
+  Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
+  Chains.add(Chain);
+
+  auto E = std::make_shared<SpecEntry>();
+  E->Key = std::move(Key);
+  E->Hash = hashWords(E->Key.data(), E->Key.size());
+  E->Point = PromoId; // front ends with their own numbering overwrite this
+  E->Region = static_cast<uint32_t>(Ordinal);
+  E->PromoId = PromoId;
+  E->EntryPC = Entry;
+  E->Chain = std::move(Chain);
+  E->Use = std::make_shared<EntryStats>();
+  E->Ordinal = E->Chain->Ordinal;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Capacity + eviction
+//===----------------------------------------------------------------------===//
+
+void RegionExecutionCore::admit(std::shared_ptr<SpecEntry> E,
+                                const UnpublishFn &Unpublish) {
+  assert(E->Region < Books.size() && "bad region ordinal");
+  RegionBook &B = Books[E->Region];
+  const SpecEntry *Fresh = E.get();
+  B.Instrs += E->Chain ? E->Chain->Instrs : 0;
+  B.Records.push_back(std::move(E));
+
+  // CLOCK sweep: clear set reference bits; evict the first clear record
+  // that is not the one just admitted. Two full laps guarantee a victim
+  // (after one lap every bit is clear).
+  size_t Guard = 2 * B.Records.size() + 2;
+  while (overBudget(B) && B.Records.size() > 1 && Guard--) {
+    if (B.Hand >= B.Records.size())
+      B.Hand = 0;
+    std::shared_ptr<SpecEntry> &Cand = B.Records[B.Hand];
+    if (Cand.get() == Fresh) {
+      ++B.Hand;
+      continue;
+    }
+    if (Cand->Use && Cand->Use->RefBit.exchange(false,
+                                                std::memory_order_acq_rel)) {
+      ++B.Hand; // recently used: second chance
+      continue;
+    }
+    if (Unpublish)
+      Unpublish(*Cand);
+    if (Cand->Chain) {
+      Cand->Chain->Evicted.store(true, std::memory_order_release);
+      B.Instrs -= Cand->Chain->Instrs;
+    }
+    ++Regions[Cand->Region]->Stats.Evictions;
+    B.Records.erase(B.Records.begin() + static_cast<long>(B.Hand));
+    // Hand stays: it now points at the next record.
+  }
+}
+
+void RegionExecutionCore::displaced(const std::shared_ptr<SpecEntry> &E,
+                                    ir::CachePolicy Policy) {
+  assert(E->Region < Books.size() && "bad region ordinal");
+  if (E->Chain)
+    E->Chain->Evicted.store(true, std::memory_order_release);
+  // One-slot mismatch replacement is the inline runtime's historical
+  // eviction event; hashed/indexed displacement (same key or same index
+  // word) replaces rather than evicts.
+  if (Policy == ir::CachePolicy::CacheOne ||
+      Policy == ir::CachePolicy::CacheOneUnchecked)
+    ++Regions[E->Region]->Stats.Evictions;
+
+  RegionBook &B = Books[E->Region];
+  auto It = std::find_if(
+      B.Records.begin(), B.Records.end(),
+      [&](const std::shared_ptr<SpecEntry> &R) { return R.get() == E.get(); });
+  if (It == B.Records.end())
+    return;
+  B.Instrs -= (*It)->Chain ? (*It)->Chain->Instrs : 0;
+  size_t Idx = static_cast<size_t>(It - B.Records.begin());
+  B.Records.erase(It);
+  if (B.Hand > Idx)
+    --B.Hand;
+}
+
+size_t RegionExecutionCore::residentEntries(size_t Ordinal) const {
+  assert(Ordinal < Books.size() && "bad region ordinal");
+  return Books[Ordinal].Records.size();
+}
+
+uint64_t RegionExecutionCore::residentInstrs(size_t Ordinal) const {
+  assert(Ordinal < Books.size() && "bad region ordinal");
+  return Books[Ordinal].Instrs;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+std::string RegionExecutionCore::disassembleRegion(size_t Ordinal) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  std::string Out;
+  for (const std::shared_ptr<CodeChain> &C :
+       Chains.chainsOfRegion(static_cast<uint32_t>(Ordinal)))
+    Out += vm::disassemble(C->CO);
+  return Out;
+}
+
+std::string RegionExecutionCore::printRegion(size_t Ordinal,
+                                             const ir::Module &Mod) const {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  const cogen::GenExtFunction &GX = Regions[Ordinal]->GX;
+  return cogen::printGenExt(GX, Mod.function(GX.FuncIdx));
+}
+
+} // namespace runtime
+} // namespace dyc

@@ -1,0 +1,282 @@
+//===- runtime/RegionExec.h - Shared region-execution core ------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single backend both front ends (the inline runtime::DycRuntime and
+/// the concurrent server::SpecServer) build on. There is ONE
+/// representation of generated code everywhere: the immutable, per-run
+/// code chain. Every specialization run emits into a fresh CodeObject with
+/// fresh stub maps; chains never branch into each other — cross-version
+/// control flow always goes through a Dispatch trap — so evicting a chain
+/// can never leave a dangling jump, inline or in the server.
+///
+/// The core owns, per region: the generating extension and its metadata,
+/// the run-time statistics, the specialize-time static-call memo, the
+/// dispatch-site table, and the capacity book (CLOCK eviction against a
+/// ChainBudget). It owns globally: the chain registry that keeps evicted
+/// chains alive until their active-executor count — maintained from the
+/// VM's onDynamicCodeExit callback — drains to zero.
+///
+/// What the core does NOT own is the dispatch cache: each front end maps
+/// keys to published SpecEntries its own way (per-promotion CodeCache
+/// inline; lock-free ShardedCache snapshots in the server) and tells the
+/// core about displacements so eviction bookkeeping stays identical.
+///
+/// Concurrency contract: specializeInto / admit / displaced and the
+/// resident/disassembly accessors must be serialized by the caller (the
+/// server holds its specialization lock; the inline runtime is
+/// single-threaded). internSite / siteInfo and the chain registry are
+/// internally thread-safe — clients resolve sites and release executors
+/// while workers specialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_REGIONEXEC_H
+#define DYC_RUNTIME_REGIONEXEC_H
+
+#include "bta/OptFlags.h"
+#include "cogen/CompilerGenerator.h"
+#include "runtime/RuntimeStats.h"
+#include "vm/VM.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dyc {
+namespace runtime {
+
+/// Generated-code budget per region. Zeros mean unbounded, the paper's
+/// behavior — DyC never freed dynamically generated code.
+struct ChainBudget {
+  size_t MaxEntries = 0;  ///< cached specializations per region
+  uint64_t MaxInstrs = 0; ///< total emitted instructions per region
+};
+
+/// One specialization run's output: code plus the stub maps that run
+/// created. Immutable after the run completes (publication happens-before
+/// any client execution via the front end's cache publication).
+struct CodeChain {
+  vm::CodeObject CO;
+  /// Stubs created by this run only (exit block -> PC, site -> PC).
+  std::map<ir::BlockId, uint32_t> ExitStubs;
+  std::map<uint32_t, uint32_t> DispatchStubs;
+  /// Clients currently executing inside CO.
+  std::atomic<uint32_t> ActiveRefs{0};
+  /// Set (under the owner's serialization) when the chain's cache entry is
+  /// removed — by capacity eviction or one-slot displacement.
+  std::atomic<bool> Evicted{false};
+  uint64_t Ordinal = 0; ///< creation order across all regions
+  uint32_t Region = 0;  ///< owning region ordinal
+  uint32_t Instrs = 0;  ///< CO.Code.size() at publication
+};
+
+/// Maps a CodeObject back to its owning chain so onDynamicCodeExit — which
+/// only sees the CodeObject pointer — can drop the executor count.
+/// Readers (every dispatch and every exit callback) take the shared lock;
+/// chain registration and collection take it exclusively.
+class ChainRegistry {
+public:
+  void add(std::shared_ptr<CodeChain> Chain);
+
+  /// Chain owning \p CO, or null.
+  std::shared_ptr<CodeChain> find(const vm::CodeObject *CO) const;
+
+  /// Convenience for the exit callback: decrement without copying the
+  /// shared_ptr. No-op for unknown CodeObjects.
+  void releaseExecutor(const vm::CodeObject *CO) const;
+
+  /// Frees evicted chains whose executor count has drained. Returns how
+  /// many were collected. Safe to call at any time: a chain with
+  /// ActiveRefs == 0 and Evicted set can no longer be entered (its cache
+  /// entry is gone, and entry only happens through a cache).
+  size_t collect();
+
+  size_t size() const;
+
+  /// Live chains of one region, sorted by creation ordinal (for region
+  /// disassembly).
+  std::vector<std::shared_ptr<CodeChain>> chainsOfRegion(uint32_t Region) const;
+
+private:
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<const vm::CodeObject *, std::shared_ptr<CodeChain>> Map;
+};
+
+/// Per-entry usage counters, shared so hit counts and recency survive the
+/// server's snapshot rebuilds. Touched by concurrent readers.
+struct EntryStats {
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> LastUse{0}; ///< global dispatch tick of last hit
+  std::atomic<bool> RefBit{false};  ///< CLOCK reference bit
+};
+
+/// One published specialization: key -> (chain, entry PC). This is the
+/// unit both front-end caches store and the capacity book evicts.
+struct SpecEntry {
+  std::vector<Word> Key;
+  uint64_t Hash = 0;
+  size_t Point = 0;     ///< front-end cache point (server: global point id)
+  uint32_t Region = 0;  ///< owning region ordinal
+  uint32_t PromoId = 0; ///< promotion point within the region
+  uint32_t EntryPC = 0; ///< entry offset within Chain->CO
+  std::shared_ptr<CodeChain> Chain;
+  std::shared_ptr<EntryStats> Use;
+  uint64_t Ordinal = 0; ///< == Chain->Ordinal
+};
+
+/// Everything the specializer shares across one region's runs.
+struct RegionState {
+  cogen::GenExtFunction GX;
+  RegionStats Stats;
+  /// Memo for static calls executed at specialize time.
+  std::map<std::vector<uint64_t>, Word> CallMemo;
+  /// Per-context placement counts (unrolling evidence).
+  std::vector<uint32_t> CtxPlacements;
+};
+
+/// A run-time dispatch site (emitted Dispatch instruction payload), also
+/// returned as the thread-safe snapshot form.
+struct DispatchSite {
+  uint32_t RegionOrd = 0;
+  uint32_t PromoId = 0;
+  std::vector<Word> BakedVals; ///< values of the promo's BakedRegs
+};
+
+/// The shared region-execution core.
+class RegionExecutionCore {
+public:
+  RegionExecutionCore(const ir::Module &M, vm::Program &Prog,
+                      const OptFlags &Flags, ChainBudget Budget = {})
+      : M(M), Prog(Prog), Flags(Flags), Budget(Budget) {}
+
+  /// Registers the generating extension for the next annotated function.
+  /// Must be called in annotated-ordinal order (the order lowerModule
+  /// encoded into EnterRegion instructions), before any client runs.
+  void addRegion(cogen::GenExtFunction GX);
+
+  size_t numRegions() const { return Regions.size(); }
+  const OptFlags &flags() const { return Flags; }
+
+  // --- Region metadata --------------------------------------------------------
+
+  const bta::PromoPoint &promo(size_t Ordinal, size_t PromoId) const;
+  size_t numPromos(size_t Ordinal) const;
+  uint32_t regionNumRegs(size_t Ordinal) const;
+  int regionFuncIdx(size_t Ordinal) const;
+  const bta::RegionInfo &regionInfo(size_t Ordinal) const;
+
+  const RegionStats &stats(size_t Ordinal) const;
+  RegionStats &statsMutable(size_t Ordinal);
+
+  // --- Dispatch sites (thread-safe) -------------------------------------------
+
+  DispatchSite siteInfo(size_t Idx) const;
+  size_t numSites() const;
+
+  /// Finds or creates a dispatch site; returns its index. \p Created, if
+  /// non-null, reports whether a new site was interned.
+  uint32_t internSite(DispatchSite S, bool *Created = nullptr);
+
+  // --- Specialization (caller-serialized) -------------------------------------
+
+  /// THE specialization entry point: runs the generating extension for
+  /// promotion point \p PromoId of region \p Ordinal into a fresh code
+  /// chain and returns the published entry. \p BakedVals are the site's
+  /// specialize-time values (may be empty for a native entry), \p KeyVals
+  /// the promoted registers' current values; \p Key is the front end's
+  /// cache key, stored on the entry for later unpublication. The entry's
+  /// Point is the promo id; a front end with its own point numbering
+  /// overwrites it before inserting.
+  std::shared_ptr<SpecEntry> specializeInto(size_t Ordinal, vm::VM &M,
+                                            uint32_t PromoId,
+                                            std::vector<Word> Key,
+                                            const std::vector<Word> &BakedVals,
+                                            const std::vector<Word> &KeyVals);
+
+  // --- Capacity + eviction (caller-serialized) --------------------------------
+
+  /// Removes an entry from the front end's cache so the next dispatch on
+  /// its key misses. Called by the core during capacity eviction, once per
+  /// victim, before the victim's chain is marked evicted.
+  using UnpublishFn = std::function<void(const SpecEntry &)>;
+
+  /// Accounts the just-published \p E against its region's budget and
+  /// evicts CLOCK victims (never \p E itself) until the region fits again.
+  /// Victims are unpublished via \p Unpublish, their chains marked
+  /// evicted, and the region's Evictions counter bumped.
+  void admit(std::shared_ptr<SpecEntry> E, const UnpublishFn &Unpublish);
+
+  /// The front end's cache displaced \p E on insert (one-slot or indexed
+  /// same-slot replacement): drop it from the capacity book and mark its
+  /// chain evicted. One-slot policies count this as a region eviction
+  /// (cache_one mismatch replacement), matching the inline runtime's
+  /// historical accounting.
+  void displaced(const std::shared_ptr<SpecEntry> &E, ir::CachePolicy Policy);
+
+  size_t residentEntries(size_t Ordinal) const;
+  uint64_t residentInstrs(size_t Ordinal) const;
+
+  // --- Chain lifecycle --------------------------------------------------------
+
+  void releaseExecutor(const vm::CodeObject *CO) const {
+    Chains.releaseExecutor(CO);
+  }
+  std::shared_ptr<CodeChain> findChain(const vm::CodeObject *CO) const {
+    return Chains.find(CO);
+  }
+  /// Frees drained evicted chains; the caller must guarantee no client can
+  /// be entering them (inline: between VM runs; server: dispatch gate).
+  size_t collectChains() { return Chains.collect(); }
+  size_t liveChains() const { return Chains.size(); }
+
+  // --- Reporting --------------------------------------------------------------
+
+  /// Disassembles every live chain of a region in creation order.
+  std::string disassembleRegion(size_t Ordinal) const;
+
+  /// Renders a region's generating extension (set-up/emit programs).
+  std::string printRegion(size_t Ordinal, const ir::Module &Mod) const;
+
+private:
+  /// CLOCK book of resident entries for one region.
+  struct RegionBook {
+    std::vector<std::shared_ptr<SpecEntry>> Records;
+    size_t Hand = 0; ///< CLOCK hand
+    uint64_t Instrs = 0;
+  };
+
+  bool overBudget(const RegionBook &B) const {
+    return (Budget.MaxEntries && B.Records.size() > Budget.MaxEntries) ||
+           (Budget.MaxInstrs && B.Instrs > Budget.MaxInstrs);
+  }
+
+  const ir::Module &M;
+  vm::Program &Prog;
+  OptFlags Flags;
+  ChainBudget Budget;
+
+  std::vector<std::unique_ptr<RegionState>> Regions;
+  std::vector<RegionBook> Books; ///< parallel to Regions
+
+  ChainRegistry Chains;
+  std::atomic<uint64_t> ChainCounter{0};
+
+  std::vector<DispatchSite> Sites;
+  /// Guards Sites: background specialization interns sites while client
+  /// threads resolve them.
+  mutable std::mutex SitesMutex;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_REGIONEXEC_H

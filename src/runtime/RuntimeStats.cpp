@@ -11,7 +11,8 @@ std::string RegionStats::toString() const {
   return formatString(
       "runs=%llu items=%llu gen=%llu sloads=%llu scalls=%llu(memo %llu) "
       "zcp=%llu dae=%llu mat=%llu sr=%llu folded-br=%llu dyn-br=%llu "
-      "disp=%llu hit=%llu miss=%llu sites=%llu evict=%llu max-copies=%llu",
+      "disp=%llu hit=%llu miss=%llu sites=%llu evict=%llu cap-hits=%llu "
+      "max-copies=%llu",
       (unsigned long long)SpecializationRuns, (unsigned long long)WorkItems,
       (unsigned long long)InstructionsGenerated,
       (unsigned long long)StaticLoadsExecuted,
@@ -25,7 +26,7 @@ std::string RegionStats::toString() const {
       (unsigned long long)Dispatches, (unsigned long long)CacheHits,
       (unsigned long long)CacheMisses,
       (unsigned long long)DispatchSitesCreated,
-      (unsigned long long)Evictions,
+      (unsigned long long)Evictions, (unsigned long long)CodeCapHits,
       (unsigned long long)MaxBlockInstances);
 }
 

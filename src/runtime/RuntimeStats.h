@@ -41,9 +41,11 @@ struct RegionStats {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t DispatchSitesCreated = 0; ///< internal promotion sites emitted
-  /// Cached specializations displaced: cache_one key mismatches inline,
-  /// plus capacity-manager evictions when serving through the SpecServer.
+  /// Cached specializations displaced: cache_one key mismatches, plus
+  /// capacity (CLOCK) evictions against a ChainBudget.
   uint64_t Evictions = 0;
+  /// Instructions emitted past OptFlags::MaxRegionInstrs (soft cap).
+  uint64_t CodeCapHits = 0;
 
   uint64_t MaxBlockInstances = 0; ///< max specializations of one context —
                                   ///< >1 is loop-unrolling evidence

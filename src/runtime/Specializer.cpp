@@ -1,1088 +1,45 @@
-//===- runtime/Specializer.cpp - Memoized polyvariant specialization ---------------===//
+//===- runtime/Specializer.cpp - The inline DyC run-time ---------------------------===//
 
 #include "runtime/Specializer.h"
-
-#include "ir/ConstEval.h"
-
-#include <deque>
-#include <optional>
 
 namespace dyc {
 namespace runtime {
 
-using cogen::GenBlock;
-using cogen::GenExtFunction;
-using cogen::Operand;
-using cogen::SetupOp;
-using ir::Opcode;
-namespace v = vm;
-
-namespace {
-
-/// Maximum generated code per region (instructions); the address space
-/// reserved for a buffer must cover it so I-cache footprints stay honest.
-constexpr size_t MaxRegionInstrs = 1u << 20;
-
-/// A resolved operand: either a known constant (a hole to fill) or a
-/// run-time register.
-struct RVal {
-  bool IsConst = false;
-  Word C;
-  uint32_t R = v::NoReg;
-  /// Index of a still-pending deferred entry producing R, or -1. The
-  /// producer is materialized only if this operand is actually consumed by
-  /// emitted code — the laziness that lets zero/copy propagation kill
-  /// whole dead chains (address arithmetic feeding a load feeding a
-  /// multiply by zero).
-  int32_t Dep = -1;
-
-  static RVal reg(uint32_t R, int32_t Dep = -1) {
-    return {false, Word(), R, Dep};
-  }
-  static RVal cst(Word W) { return {true, W, v::NoReg, -1}; }
-};
-
-v::Op vmOpOf(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add: return v::Op::Add;
-  case Opcode::Sub: return v::Op::Sub;
-  case Opcode::Mul: return v::Op::Mul;
-  case Opcode::Div: return v::Op::Div;
-  case Opcode::Rem: return v::Op::Rem;
-  case Opcode::And: return v::Op::And;
-  case Opcode::Or: return v::Op::Or;
-  case Opcode::Xor: return v::Op::Xor;
-  case Opcode::Shl: return v::Op::Shl;
-  case Opcode::Shr: return v::Op::Shr;
-  case Opcode::Neg: return v::Op::Neg;
-  case Opcode::FAdd: return v::Op::FAdd;
-  case Opcode::FSub: return v::Op::FSub;
-  case Opcode::FMul: return v::Op::FMul;
-  case Opcode::FDiv: return v::Op::FDiv;
-  case Opcode::FNeg: return v::Op::FNeg;
-  case Opcode::CmpEq: return v::Op::CmpEq;
-  case Opcode::CmpNe: return v::Op::CmpNe;
-  case Opcode::CmpLt: return v::Op::CmpLt;
-  case Opcode::CmpLe: return v::Op::CmpLe;
-  case Opcode::CmpGt: return v::Op::CmpGt;
-  case Opcode::CmpGe: return v::Op::CmpGe;
-  case Opcode::FCmpEq: return v::Op::FCmpEq;
-  case Opcode::FCmpNe: return v::Op::FCmpNe;
-  case Opcode::FCmpLt: return v::Op::FCmpLt;
-  case Opcode::FCmpLe: return v::Op::FCmpLe;
-  case Opcode::FCmpGt: return v::Op::FCmpGt;
-  case Opcode::FCmpGe: return v::Op::FCmpGe;
-  case Opcode::IToF: return v::Op::IToF;
-  case Opcode::FToI: return v::Op::FToI;
-  default:
-    fatal("opcode has no reg-reg VM form in the emitter");
-  }
-}
-
-v::Op immFormOf(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add: return v::Op::AddI;
-  case Opcode::Sub: return v::Op::SubI;
-  case Opcode::Mul: return v::Op::MulI;
-  case Opcode::Div: return v::Op::DivI;
-  case Opcode::Rem: return v::Op::RemI;
-  case Opcode::And: return v::Op::AndI;
-  case Opcode::Or: return v::Op::OrI;
-  case Opcode::Xor: return v::Op::XorI;
-  case Opcode::Shl: return v::Op::ShlI;
-  case Opcode::Shr: return v::Op::ShrI;
-  case Opcode::CmpEq: return v::Op::CmpEqI;
-  case Opcode::CmpNe: return v::Op::CmpNeI;
-  case Opcode::CmpLt: return v::Op::CmpLtI;
-  case Opcode::CmpLe: return v::Op::CmpLeI;
-  case Opcode::CmpGt: return v::Op::CmpGtI;
-  case Opcode::CmpGe: return v::Op::CmpGeI;
-  case Opcode::FAdd: return v::Op::FAddI;
-  case Opcode::FSub: return v::Op::FSubI;
-  case Opcode::FMul: return v::Op::FMulI;
-  case Opcode::FDiv: return v::Op::FDivI;
-  default: return v::Op::Halt;
-  }
-}
-
-bool isCommutative(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add: case Opcode::Mul: case Opcode::And: case Opcode::Or:
-  case Opcode::Xor: case Opcode::FAdd: case Opcode::FMul:
-  case Opcode::CmpEq: case Opcode::CmpNe:
-    return true;
-  default:
-    return false;
-  }
-}
-
-Opcode mirrorCompare(Opcode Op) {
-  switch (Op) {
-  case Opcode::CmpLt: return Opcode::CmpGt;
-  case Opcode::CmpLe: return Opcode::CmpGe;
-  case Opcode::CmpGt: return Opcode::CmpLt;
-  case Opcode::CmpGe: return Opcode::CmpLe;
-  default: return Op;
-  }
-}
-
-bool isUnaryOp(Opcode Op) {
-  switch (Op) {
-  case Opcode::Mov: case Opcode::Neg: case Opcode::FNeg:
-  case Opcode::IToF: case Opcode::FToI:
-    return true;
-  default:
-    return false;
-  }
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// SpecializeRun: one invocation of the dynamic compiler.
-//===----------------------------------------------------------------------===//
-
-class SpecializeRun {
-public:
-  /// Emits into \p Buf, sharing stubs through \p ExitStubs /
-  /// \p DispatchStubs. The inline runtime passes the region's persistent
-  /// buffer and stub maps; the SpecServer passes a fresh chain buffer and
-  /// fresh maps so every run is self-contained.
-  SpecializeRun(DycRuntime::RegionRT &R, DycRuntime &RT, vm::VM &M,
-                const OptFlags &Flags, vm::CodeObject &Buf,
-                std::map<ir::BlockId, uint32_t> &ExitStubs,
-                std::map<uint32_t, uint32_t> &DispatchStubs)
-      : R(R), RT(RT), M(M), Flags(Flags), CM(M.costModel()), GX(R.GX),
-        Buf(Buf), ExitStubs(ExitStubs), DispatchStubs(DispatchStubs) {}
-
-  uint32_t run(uint32_t Ctx0, std::vector<Word> Vals0) {
-    charge(CM.SpecInvoke);
-    ++R.Stats.SpecializationRuns;
-    uint32_t Entry = bufSize();
-
-    Item Cur{Ctx0, std::move(Vals0)};
-    markQueued(keyOf(Cur));
-    bool HaveCur = true;
-    while (HaveCur || !Queue.empty()) {
-      if (!HaveCur) {
-        Cur = std::move(Queue.front());
-        Queue.pop_front();
-      }
-      HaveCur = false;
-      // Place this item, then follow fall-through chains (the paper's
-      // linear chain of unrolled loop bodies).
-      while (true) {
-        std::optional<Item> Next = place(Cur);
-        if (!Next)
-          break;
-        markQueued(keyOf(*Next));
-        Cur = std::move(*Next);
-      }
-    }
-
-    // Resolve pending branch patches.
-    for (const Patch &P : Patches) {
-      auto It = Memo.find(P.Key);
-      if (It == Memo.end() || It->second < 0)
-        fatal("specializer left an unresolved branch target");
-      v::Instr &I = Buf.Code[P.PC];
-      if (P.FieldC)
-        I.C = static_cast<uint32_t>(It->second);
-      else
-        I.B = static_cast<uint32_t>(It->second);
-      charge(CM.SpecPatch);
-    }
-
-    M.flushICache(); // coherence after code generation
-    return Entry;
-  }
-
-private:
-  struct Item {
-    uint32_t Ctx = 0;
-    std::vector<Word> Vals;
-  };
-
-  struct Patch {
-    size_t PC = 0;
-    bool FieldC = false;
-    std::vector<uint64_t> Key;
-  };
-
-  /// A deferred (not yet emitted) pure instruction; the mechanism behind
-  /// staged zero/copy propagation and dead-assignment elimination.
-  struct DeferredInstr {
-    Opcode Op = Opcode::Mov;
-    ir::Type Ty = ir::Type::I64;
-    uint32_t Dst = v::NoReg;
-    RVal A, B;
-    int64_t Imm = 0;
-    bool FromZcp = false;
-    bool Pending = true;
-  };
-
-  void charge(uint64_t Cycles) { M.chargeDynComp(Cycles); }
-  uint32_t bufSize() const {
-    return static_cast<uint32_t>(Buf.Code.size());
-  }
-
-  std::vector<uint64_t> keyOf(const Item &It) const {
-    std::vector<uint64_t> K;
-    K.push_back(It.Ctx);
-    GX.Region.context(It.Ctx).StaticIn.forEachSetBit(
-        [&](size_t Reg) { K.push_back(It.Vals[Reg].Bits); });
-    return K;
-  }
-
-  void markQueued(const std::vector<uint64_t> &K) { Memo.emplace(K, -1); }
-
-  // --- Emission primitives ---------------------------------------------------
-
-  void emitRaw(v::Instr I) {
-    if (Buf.Code.size() >= MaxRegionInstrs)
-      fatal("generated-code buffer overflow in region '" + Buf.Name + "'");
-    Buf.Code.push_back(I);
-    ++R.Stats.InstructionsGenerated;
-    charge(CM.SpecEmit);
-  }
-
-  void emitConst(uint32_t Dst, Word C, ir::Type Ty) {
-    charge(CM.SpecEmitHole);
-    if (Ty == ir::Type::F64)
-      emitRaw({v::Op::ConstF, Dst, 0, 0, static_cast<int64_t>(C.Bits)});
-    else
-      emitRaw({v::Op::ConstI, Dst, 0, 0, C.asInt()});
-  }
-
-  /// Ensures \p A is in a register, materializing constants into \p
-  /// Scratch; returns the register.
-  uint32_t regOf(const RVal &A, ir::Type Ty, uint32_t Scratch) {
-    if (!A.IsConst)
-      return A.R;
-    emitConst(Scratch, A.C, Ty);
-    return Scratch;
-  }
-
-  /// Emits one resolved instruction (the low-level encoder: immediate
-  /// packing, commutation, scratch materialization).
-  void emitResolved(Opcode Op, ir::Type Ty, uint32_t Dst, RVal A, RVal B,
-                    int64_t Imm) {
-    forceOperand(A);
-    forceOperand(B);
-    switch (Op) {
-    case Opcode::ConstI:
-    case Opcode::ConstF:
-      emitConst(Dst, Word{static_cast<uint64_t>(Imm)}, Ty);
-      return;
-    case Opcode::Mov:
-      if (A.IsConst) {
-        emitConst(Dst, A.C, Ty);
-      } else if (A.R != Dst) {
-        emitRaw({Ty == ir::Type::F64 ? v::Op::FMov : v::Op::Mov, Dst, A.R});
-      }
-      return;
-    case Opcode::Neg:
-    case Opcode::FNeg:
-    case Opcode::IToF:
-    case Opcode::FToI: {
-      if (A.IsConst) {
-        Word Out;
-        if (ir::evalPureOp(Op, A.C, Word(), Out)) {
-          emitConst(Dst, Out, Ty);
-          return;
-        }
-      }
-      emitRaw({vmOpOf(Op), Dst,
-               regOf(A, Ty == ir::Type::F64 && Op != Opcode::FToI
-                            ? ir::Type::F64
-                            : ir::Type::I64,
-                     GX.Scratch0)});
-      return;
-    }
-    case Opcode::Load:
-      if (A.IsConst) {
-        charge(CM.SpecEmitHole);
-        emitRaw({v::Op::LoadAbs, Dst, 0, 0, A.C.asInt() + Imm});
-      } else {
-        emitRaw({v::Op::Load, Dst, A.R, 0, Imm});
-      }
-      return;
-    case Opcode::Store: {
-      // A = address, B = value.
-      uint32_t ValReg = regOf(B, ir::Type::I64, GX.Scratch0);
-      if (A.IsConst) {
-        charge(CM.SpecEmitHole);
-        emitRaw({v::Op::StoreAbs, ValReg, 0, 0, A.C.asInt() + Imm});
-      } else {
-        emitRaw({v::Op::Store, ValReg, A.R, 0, Imm});
-      }
-      return;
-    }
-    default:
-      break;
-    }
-
-    // Binary arithmetic / comparison.
-    if (A.IsConst && B.IsConst) {
-      Word Out;
-      if (ir::evalPureOp(Op, A.C, B.C, Out)) {
-        emitConst(Dst, Out, Ty);
-        return;
-      }
-      // Unfoldable (division by zero): emit faithfully so the fault
-      // happens at run time, as it would have in static code.
-      uint32_t RA = regOf(A, ir::Type::I64, GX.Scratch0);
-      uint32_t RB = regOf(B, ir::Type::I64, GX.Scratch1);
-      emitRaw({vmOpOf(Op), Dst, RA, RB});
-      return;
-    }
-    if (!A.IsConst && B.IsConst) {
-      v::Op IF = immFormOf(Op);
-      if (IF != v::Op::Halt) {
-        charge(CM.SpecEmitHole);
-        emitRaw({IF, Dst, A.R, 0, static_cast<int64_t>(B.C.Bits)});
-        return;
-      }
-      bool FloatOperand = Op == Opcode::FCmpEq || Op == Opcode::FCmpNe ||
-                          Op == Opcode::FCmpLt || Op == Opcode::FCmpLe ||
-                          Op == Opcode::FCmpGt || Op == Opcode::FCmpGe;
-      uint32_t RB = regOf(B, FloatOperand ? ir::Type::F64 : ir::Type::I64,
-                          GX.Scratch1);
-      emitRaw({vmOpOf(Op), Dst, A.R, RB});
-      return;
-    }
-    if (A.IsConst && !B.IsConst) {
-      if (isCommutative(Op)) {
-        emitResolved(Op, Ty, Dst, B, A, Imm);
-        return;
-      }
-      Opcode Mirrored = mirrorCompare(Op);
-      if (Mirrored != Op) {
-        emitResolved(Mirrored, Ty, Dst, B, A, Imm);
-        return;
-      }
-      bool FloatOperand = Op == Opcode::FSub || Op == Opcode::FDiv;
-      uint32_t RA = regOf(A, FloatOperand ? ir::Type::F64 : ir::Type::I64,
-                          GX.Scratch0);
-      emitRaw({vmOpOf(Op), Dst, RA, B.R});
-      return;
-    }
-    emitRaw({vmOpOf(Op), Dst, A.R, B.R});
-  }
-
-  // --- Deferral machinery (staged ZCP + DAE) ---------------------------------
-
-  /// Emits a pending entry now ("the move is materialized"), after any
-  /// still-pending producers of its operands.
-  void materializeEntry(size_t Idx) {
-    DeferredInstr &D = Defer[Idx];
-    if (!D.Pending)
-      return;
-    D.Pending = false;
-    auto It = LatestDef.find(D.Dst);
-    if (It != LatestDef.end() && It->second == Idx)
-      LatestDef.erase(It);
-    ++R.Stats.MaterializedDeferred;
-    emitResolved(D.Op, D.Ty, D.Dst, D.A, D.B, D.Imm);
-  }
-
-  /// If \p A references a still-pending deferred producer, emit it (and,
-  /// recursively, its dependencies).
-  void forceOperand(const RVal &A) {
-    if (A.Dep >= 0 && Defer[static_cast<size_t>(A.Dep)].Pending)
-      materializeEntry(static_cast<size_t>(A.Dep));
-  }
-
-  /// Resolves a run-time register through the deferral table: pending
-  /// moves are chased (copy propagation) and pending constants returned as
-  /// values (zero propagation); any other pending producer is recorded as
-  /// a lazy dependency, materialized only if the operand is consumed.
-  RVal readResolve(uint32_t Reg) {
-    uint32_t Cur = Reg;
-    while (true) {
-      auto It = LatestDef.find(Cur);
-      if (It == LatestDef.end())
-        return RVal::reg(Cur);
-      DeferredInstr &D = Defer[It->second];
-      charge(CM.SpecZcpTableOp);
-      if (D.Op == Opcode::Mov) {
-        if (D.A.IsConst)
-          return D.A;
-        Cur = D.A.R;
-        continue;
-      }
-      if (D.Op == Opcode::ConstI || D.Op == Opcode::ConstF)
-        return RVal::cst(Word{static_cast<uint64_t>(D.Imm)});
-      return RVal::reg(Cur, static_cast<int32_t>(It->second));
-    }
-  }
-
-  RVal resolveOperand(const Operand &O, const std::vector<Word> &Vals) {
-    if (O.R == ir::NoReg)
-      return RVal();
-    if (O.Static)
-      return RVal::cst(Vals[O.R]);
-    return readResolve(O.R);
-  }
-
-  /// Before an instruction writes \p Dst: pending readers of Dst must be
-  /// materialized (they captured the old value's register); a pending
-  /// producer of Dst is dead and is dropped — dead-assignment elimination.
-  void writeEvent(uint32_t Dst) {
-    if (Dst == v::NoReg)
-      return;
-    for (size_t I = 0; I != Defer.size(); ++I) {
-      DeferredInstr &D = Defer[I];
-      if (!D.Pending)
-        continue;
-      if ((!D.A.IsConst && D.A.R == Dst) || (!D.B.IsConst && D.B.R == Dst))
-        materializeEntry(I);
-    }
-    auto It = LatestDef.find(Dst);
-    if (It != LatestDef.end()) {
-      DeferredInstr &D = Defer[It->second];
-      if (D.Pending) {
-        D.Pending = false;
-        ++R.Stats.DeadAssignsEliminated;
-        charge(CM.SpecZcpTableOp);
-      }
-      LatestDef.erase(It);
-    }
-  }
-
-  /// Memory is about to be written or a call made: pending loads must be
-  /// emitted first.
-  void memoryClobber() {
-    for (size_t I = 0; I != Defer.size(); ++I)
-      if (Defer[I].Pending && Defer[I].Op == Opcode::Load)
-        materializeEntry(I);
-  }
-
-  /// Drops every still-pending entry (block boundary; deferrable results
-  /// are block-dead by the static plan).
-  void dropAllPending() {
-    for (DeferredInstr &D : Defer) {
-      if (!D.Pending)
-        continue;
-      D.Pending = false;
-      ++R.Stats.DeadAssignsEliminated;
-    }
-    LatestDef.clear();
-  }
-
-  void deferOrEmit(const SetupOp &Op, Opcode FormOp, ir::Type Ty,
-                   uint32_t Dst, RVal A, RVal B, int64_t Imm, bool FromZcp) {
-    writeEvent(Dst);
-    if (Op.Deferrable) {
-      charge(CM.SpecZcpTableOp);
-      DeferredInstr D;
-      D.Op = FormOp;
-      D.Ty = Ty;
-      D.Dst = Dst;
-      D.A = A;
-      D.B = B;
-      D.Imm = Imm;
-      D.FromZcp = FromZcp;
-      Defer.push_back(D);
-      LatestDef[Dst] = Defer.size() - 1;
-      return;
-    }
-    emitResolved(FormOp, Ty, Dst, A, B, Imm);
-  }
-
-  // --- Dynamic-instruction emission ------------------------------------------
-
-  void emitDynamic(const SetupOp &Op, const std::vector<Word> &Vals) {
-    if (Op.Op == Opcode::Call || Op.Op == Opcode::CallExt) {
-      std::vector<RVal> Args;
-      Args.reserve(Op.Args.size());
-      for (const Operand &A : Op.Args)
-        Args.push_back(resolveOperand(A, Vals));
-      memoryClobber();
-      writeEvent(Op.Dst);
-      for (size_t I = 0; I != Args.size(); ++I) {
-        uint32_t Stage = GX.StageBase + static_cast<uint32_t>(I);
-        ir::Type ArgTy = GX.RegTypes[Op.Args[I].R];
-        emitResolved(Opcode::Mov, ArgTy, Stage, Args[I], RVal(), 0);
-      }
-      emitRaw({Op.Op == Opcode::Call ? v::Op::Call : v::Op::CallExt,
-               Op.Dst == ir::NoReg ? v::NoReg : Op.Dst, GX.StageBase,
-               static_cast<uint32_t>(Args.size()), Op.Callee});
-      return;
-    }
-
-    RVal A = resolveOperand(Op.A, Vals);
-    RVal B = resolveOperand(Op.B, Vals);
-
-    // A move that resolves to its own destination (copy propagation came
-    // full circle) is a no-op: the register already holds the value.
-    if (Op.Op == Opcode::Mov && !A.IsConst && A.R == Op.Dst)
-      return;
-
-    if (Op.Op == Opcode::Store) {
-      memoryClobber();
-      emitResolved(Opcode::Store, ir::Type::I64, v::NoReg, A, B, Op.Imm);
-      return;
-    }
-
-    // Dynamic constant folding: propagation can turn both operands into
-    // constants.
-    if (ir::isEvaluableOp(Op.Op) && A.IsConst &&
-        (isUnaryOp(Op.Op) || B.IsConst)) {
-      Word Out;
-      if (ir::evalPureOp(Op.Op, A.C, B.C, Out)) {
-        charge(CM.SpecEvalOp);
-        deferOrEmit(Op, Op.Ty == ir::Type::F64 ? Opcode::ConstF
-                                               : Opcode::ConstI,
-                    Op.Ty, Op.Dst, RVal(), RVal(),
-                    static_cast<int64_t>(Out.Bits), /*FromZcp=*/false);
-        return;
-      }
-    }
-
-    // Staged zero/copy propagation (section 2.2.7): a special value of
-    // the single constant operand reduces the operation to a move or a
-    // clear.
-    bool OneConst = A.IsConst != B.IsConst;
-    if (Flags.ZeroCopyPropagation && OneConst) {
-      charge(CM.SpecZcpTableOp);
-      const RVal &CS = A.IsConst ? A : B;
-      const RVal &DS = A.IsConst ? B : A;
-      bool ConstOnRight = B.IsConst;
-      bool IsFloat = Op.Ty == ir::Type::F64;
-      Word One = IsFloat ? Word::fromFloat(1.0) : Word::fromInt(1);
-      Word Zero = IsFloat ? Word::fromFloat(0.0) : Word::fromInt(0);
-      bool RewriteToMove = false, RewriteToClear = false;
-      switch (Op.Op) {
-      case Opcode::Mul:
-      case Opcode::FMul:
-        RewriteToMove = CS.C == One;
-        RewriteToClear = CS.C == Zero;
-        break;
-      case Opcode::Add:
-      case Opcode::FAdd:
-        RewriteToMove = CS.C == Zero;
-        break;
-      case Opcode::Sub:
-      case Opcode::FSub:
-        RewriteToMove = ConstOnRight && CS.C == Zero;
-        break;
-      case Opcode::Div:
-      case Opcode::FDiv:
-        RewriteToMove = ConstOnRight && CS.C == One;
-        break;
-      default:
-        break;
-      }
-      if (RewriteToMove) {
-        ++R.Stats.ZcpApplied;
-        deferOrEmit(Op, Opcode::Mov, Op.Ty, Op.Dst, DS, RVal(), 0,
-                    /*FromZcp=*/true);
-        return;
-      }
-      if (RewriteToClear) {
-        ++R.Stats.ZcpApplied;
-        deferOrEmit(Op, IsFloat ? Opcode::ConstF : Opcode::ConstI, Op.Ty,
-                    Op.Dst, RVal(), RVal(),
-                    static_cast<int64_t>(Zero.Bits), /*FromZcp=*/true);
-        return;
-      }
-    }
-
-    // Strength reduction (section 2.2.7): integer multiply/divide/
-    // remainder by a power of two become shifts and masks.
-    if (Flags.StrengthReduction && OneConst &&
-        (Op.Op == Opcode::Mul || Op.Op == Opcode::Div ||
-         Op.Op == Opcode::Rem)) {
-      charge(CM.SpecStrengthCheck);
-      const RVal &CS = A.IsConst ? A : B;
-      const RVal &DS = A.IsConst ? B : A;
-      bool ConstOnRight = B.IsConst;
-      int64_t C = CS.C.asInt();
-      if (isPowerOf2(C) && C >= 2) {
-        if (Op.Op == Opcode::Mul) {
-          ++R.Stats.StrengthReduced;
-          deferOrEmit(Op, Opcode::Shl, Op.Ty, Op.Dst, DS,
-                      RVal::cst(Word::fromInt(log2OfPow2(C))), 0, false);
-          return;
-        }
-        if (ConstOnRight &&
-            (Op.Op == Opcode::Div || Op.Op == Opcode::Rem)) {
-          // Exact shift sequence (C truncates toward zero, so negative
-          // dividends need the bias fixup) — the same code an optimizing
-          // static compiler emits for constant power-of-two divisors.
-          ++R.Stats.StrengthReduced;
-          forceOperand(DS);
-          writeEvent(Op.Dst);
-          unsigned K = log2OfPow2(C);
-          uint32_t X = DS.R;
-          uint32_t S0 = GX.Scratch0;
-          emitRaw({v::Op::ShrI, S0, X, 0, 63});
-          emitRaw({v::Op::AndI, S0, S0, 0, C - 1});
-          emitRaw({v::Op::Add, S0, X, S0});
-          if (Op.Op == Opcode::Div) {
-            emitRaw({v::Op::ShrI, Op.Dst, S0, 0, (int64_t)K});
-          } else {
-            emitRaw({v::Op::ShrI, S0, S0, 0, (int64_t)K});
-            emitRaw({v::Op::ShlI, S0, S0, 0, (int64_t)K});
-            emitRaw({v::Op::Sub, Op.Dst, X, S0});
-          }
-          return;
-        }
-      }
-    }
-
-    deferOrEmit(Op, Op.Op, Op.Ty, Op.Dst, A, B, Op.Imm, /*FromZcp=*/false);
-  }
-
-  // --- Set-up execution -------------------------------------------------------
-
-  void execSetup(const SetupOp &Op, std::vector<Word> &Vals) {
-    switch (Op.K) {
-    case SetupOp::EvalConst:
-      Vals[Op.Dst] = Word{static_cast<uint64_t>(Op.Imm)};
-      charge(CM.SpecEvalOp);
-      return;
-    case SetupOp::Eval: {
-      Word Out;
-      Word AV = Vals[Op.A.R];
-      Word BV = Op.B.R == ir::NoReg ? Word() : Vals[Op.B.R];
-      if (!ir::evalPureOp(Op.Op, AV, BV, Out))
-        fatal("static computation faulted at specialize time (division "
-              "by a zero-valued run-time constant)");
-      Vals[Op.Dst] = Out;
-      charge(CM.SpecEvalOp);
-      return;
-    }
-    case SetupOp::EvalLoad: {
-      int64_t Addr = Vals[Op.A.R].asInt() + Op.Imm;
-      const std::vector<Word> &Mem = M.memory();
-      if (Addr < 0 || static_cast<uint64_t>(Addr) >= Mem.size())
-        fatal("static load out of range at specialize time");
-      Vals[Op.Dst] = Mem[static_cast<size_t>(Addr)];
-      charge(CM.SpecStaticLoad);
-      ++R.Stats.StaticLoadsExecuted;
-      return;
-    }
-    case SetupOp::EvalCall: {
-      std::vector<Word> Args;
-      std::vector<uint64_t> MemoKey;
-      MemoKey.push_back(static_cast<uint64_t>(Op.Callee) * 2 +
-                        (Op.IsExt ? 1 : 0));
-      for (const Operand &O : Op.Args) {
-        Args.push_back(Vals[O.R]);
-        MemoKey.push_back(Vals[O.R].Bits);
-      }
-      ++R.Stats.StaticCallsExecuted;
-      auto It = R.CallMemo.find(MemoKey);
-      if (It != R.CallMemo.end()) {
-        ++R.Stats.StaticCallMemoHits;
-        charge(CM.SpecEvalOp);
-        Vals[Op.Dst] = It->second;
-        return;
-      }
-      Word Res;
-      if (Op.IsExt) {
-        const vm::ExternalFunction &E =
-            M.program().Externals.get(static_cast<unsigned>(Op.Callee));
-        charge(CM.SpecStaticCallBase + E.CostCycles);
-        Res = E.Fn(Args.data());
-      } else {
-        charge(CM.SpecStaticCallBase);
-        uint64_t Mark = M.execCycles();
-        Res = M.run(static_cast<uint32_t>(Op.Callee), Args);
-        M.reattributeExecToDynComp(Mark);
-      }
-      R.CallMemo.emplace(std::move(MemoKey), Res);
-      Vals[Op.Dst] = Res;
-      return;
-    }
-    case SetupOp::EmitInstr:
-      emitDynamic(Op, Vals);
-      return;
-    }
-  }
-
-  // --- Control flow ------------------------------------------------------------
-
-  /// Emits the constants for static registers demoted across \p E (the
-  /// static-to-dynamic boundary: their run-time registers must now hold
-  /// the values the specializer has been tracking).
-  void materializeForEdge(const bta::Edge &E, const std::vector<Word> &Vals) {
-    for (ir::Reg Rg : E.Materialize)
-      emitConst(Rg, Vals[Rg], GX.RegTypes[Rg]);
-  }
-
-  /// Handles an unconditional continuation. Returns a fall-through item if
-  /// the target is fresh.
-  std::optional<Item> continueEdge(const bta::Edge &E, Item &Cur) {
-    if (E.K != bta::Edge::None)
-      materializeForEdge(E, Cur.Vals);
-    switch (E.K) {
-    case bta::Edge::None:
-      return std::nullopt;
-    case bta::Edge::Exit:
-      emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[E.Block]});
-      return std::nullopt;
-    case bta::Edge::Promo: {
-      uint32_t Site = makeSite(E.PromoIdx, Cur.Vals);
-      emitRaw({v::Op::Dispatch, 0, 0, 0,
-               -(static_cast<int64_t>(Site) + 1)});
-      return std::nullopt;
-    }
-    case bta::Edge::Ctx: {
-      Item Next{E.Target, std::move(Cur.Vals)};
-      std::vector<uint64_t> K = keyOf(Next);
-      auto It = Memo.find(K);
-      if (It == Memo.end())
-        return Next; // fall through, no branch emitted
-      if (It->second >= 0) {
-        emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
-      } else {
-        Patches.push_back({bufSize(), false, K});
-        emitRaw({v::Op::Br, 0, 0});
-        // Re-queue ownership of Vals: the queued item already has its own
-        // copy (enqueued when first seen).
-      }
-      return std::nullopt;
-    }
-    }
-    return std::nullopt;
-  }
-
-  uint32_t makeSite(uint32_t PromoIdx, const std::vector<Word> &Vals) {
-    const bta::PromoPoint &P = GX.Region.Promos[PromoIdx];
-    DycRuntime::DispatchSite S;
-    S.RegionOrd = Ordinal;
-    S.PromoId = PromoIdx;
-    for (ir::Reg Rg : P.BakedRegs)
-      S.BakedVals.push_back(Vals[Rg]);
-    size_t Before = RT.Sites.size();
-    uint32_t Idx = RT.internSite(std::move(S));
-    if (RT.Sites.size() > Before)
-      ++R.Stats.DispatchSitesCreated;
-    return Idx;
-  }
-
-  /// Returns the branch-target PC for an edge, or queues work/patches.
-  /// Fresh Ctx edges yield no PC; the caller may use one as fall-through.
-  struct EdgeLabel {
-    bool Known = false;
-    uint32_t PC = 0;
-    bool FreshCtx = false; ///< unseen context: caller picks fall-through
-  };
-
-  EdgeLabel labelFor(const bta::Edge &E, const std::vector<Word> &Vals,
-                     size_t BranchPC, bool FieldC) {
-    EdgeLabel L;
-    if (!E.Materialize.empty()) {
-      // The edge demotes statics: route through a trampoline that
-      // materializes them, then transfers.
-      L.Known = true;
-      L.PC = bufSize();
-      materializeForEdge(E, Vals);
-      switch (E.K) {
-      case bta::Edge::Exit:
-        emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[E.Block]});
-        return L;
-      case bta::Edge::Promo: {
-        uint32_t Site = makeSite(E.PromoIdx, Vals);
-        emitRaw({v::Op::Dispatch, 0, 0, 0,
-                 -(static_cast<int64_t>(Site) + 1)});
-        return L;
-      }
-      case bta::Edge::Ctx: {
-        std::vector<uint64_t> K;
-        K.push_back(E.Target);
-        GX.Region.context(E.Target).StaticIn.forEachSetBit(
-            [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
-        auto It = Memo.find(K);
-        if (It != Memo.end() && It->second >= 0) {
-          emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
-          return L;
-        }
-        if (It == Memo.end()) {
-          markQueued(K);
-          Item Other{E.Target, Vals};
-          Queue.push_back(std::move(Other));
-        }
-        Patches.push_back({bufSize(), false, K});
-        emitRaw({v::Op::Br, 0, 0});
-        return L;
-      }
-      case bta::Edge::None:
-        fatal("missing edge on a conditional branch");
-      }
-    }
-    switch (E.K) {
-    case bta::Edge::None:
-      fatal("missing edge on a conditional branch");
-    case bta::Edge::Exit: {
-      auto It = ExitStubs.find(E.Block);
-      if (It == ExitStubs.end()) {
-        uint32_t PC = bufSize();
-        emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[E.Block]});
-        It = ExitStubs.emplace(E.Block, PC).first;
-      }
-      L.Known = true;
-      L.PC = It->second;
-      return L;
-    }
-    case bta::Edge::Promo: {
-      uint32_t Site = makeSite(E.PromoIdx, Vals);
-      auto It = DispatchStubs.find(Site);
-      if (It == DispatchStubs.end()) {
-        uint32_t PC = bufSize();
-        emitRaw({v::Op::Dispatch, 0, 0, 0,
-                 -(static_cast<int64_t>(Site) + 1)});
-        It = DispatchStubs.emplace(Site, PC).first;
-      }
-      L.Known = true;
-      L.PC = It->second;
-      return L;
-    }
-    case bta::Edge::Ctx: {
-      std::vector<uint64_t> K;
-      K.push_back(E.Target);
-      GX.Region.context(E.Target).StaticIn.forEachSetBit(
-          [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
-      auto It = Memo.find(K);
-      if (It == Memo.end()) {
-        L.FreshCtx = true;
-        return L;
-      }
-      if (It->second >= 0) {
-        L.Known = true;
-        L.PC = static_cast<uint32_t>(It->second);
-        return L;
-      }
-      Patches.push_back({BranchPC, FieldC, K});
-      L.Known = false;
-      return L;
-    }
-    }
-    return L;
-  }
-
-  std::optional<Item> place(Item &Cur) {
-    std::vector<uint64_t> K = keyOf(Cur);
-    Memo[K] = static_cast<int64_t>(bufSize());
-    ++R.Stats.WorkItems;
-    charge(CM.SpecPerWorkItem);
-    uint32_t &Count = R.CtxPlacements[Cur.Ctx];
-    ++Count;
-    R.Stats.MaxBlockInstances =
-        std::max<uint64_t>(R.Stats.MaxBlockInstances, Count);
-
-    Defer.clear();
-    LatestDef.clear();
-
-    const GenBlock &GB = GX.Blocks[Cur.Ctx];
-    for (const SetupOp &Op : GB.Ops)
-      execSetup(Op, Cur.Vals);
-
-    // Terminator.
-    const cogen::GenTerm &T = GB.Term;
-    switch (T.K) {
-    case cogen::GenTerm::Ret: {
-      if (T.RetVal.R == ir::NoReg) {
-        dropAllPending();
-        emitRaw({v::Op::Ret, v::NoReg});
-        return std::nullopt;
-      }
-      RVal V = resolveOperand(T.RetVal, Cur.Vals);
-      forceOperand(V); // the return value is consumed
-      dropAllPending();
-      if (V.IsConst) {
-        ir::Type Ty = GX.RegTypes[T.RetVal.R];
-        emitConst(GX.Scratch0, V.C, Ty);
-        emitRaw({v::Op::Ret, GX.Scratch0});
-      } else {
-        emitRaw({v::Op::Ret, V.R});
-      }
-      return std::nullopt;
-    }
-    case cogen::GenTerm::Br:
-      dropAllPending();
-      return continueEdge(T.TrueE, Cur);
-    case cogen::GenTerm::CondBr: {
-      RVal C = resolveOperand(T.Cond, Cur.Vals);
-      if (!C.IsConst)
-        forceOperand(C); // the emitted branch consumes the condition
-      dropAllPending();
-      if (C.IsConst) {
-        // Static (or propagated-constant) branch: folded away.
-        ++R.Stats.BranchesFolded;
-        charge(CM.SpecEvalOp);
-        return continueEdge(C.C.asInt() != 0 ? T.TrueE : T.FalseE, Cur);
-      }
-      ++R.Stats.DynamicBranchesEmitted;
-      charge(CM.SpecEmitBranch);
-      size_t BranchPC = bufSize();
-      emitRaw({v::Op::CondBr, C.R, 0, 0});
-      EdgeLabel TL = labelFor(T.TrueE, Cur.Vals, BranchPC, false);
-      EdgeLabel FL = labelFor(T.FalseE, Cur.Vals, BranchPC, true);
-
-      std::optional<Item> Fall;
-      if (TL.Known)
-        Buf.Code[BranchPC].B = TL.PC;
-      if (FL.Known)
-        Buf.Code[BranchPC].C = FL.PC;
-
-      if (TL.FreshCtx) {
-        // Fall through into the true side.
-        Buf.Code[BranchPC].B = bufSize();
-        Fall = Item{T.TrueE.Target, Cur.Vals};
-        if (FL.FreshCtx) {
-          Item Other{T.FalseE.Target, Cur.Vals};
-          std::vector<uint64_t> OK = keyOf(Other);
-          markQueued(OK);
-          Patches.push_back({BranchPC, true, OK});
-          Queue.push_back(std::move(Other));
-        }
-      } else if (FL.FreshCtx) {
-        Buf.Code[BranchPC].C = bufSize();
-        Fall = Item{T.FalseE.Target, std::move(Cur.Vals)};
-      }
-      return Fall;
-    }
-    }
-    return std::nullopt;
-  }
-
-  DycRuntime::RegionRT &R;
-  DycRuntime &RT;
-  vm::VM &M;
-  const OptFlags &Flags;
-  const vm::CostModel &CM;
-  const GenExtFunction &GX;
-  vm::CodeObject &Buf;
-  std::map<ir::BlockId, uint32_t> &ExitStubs;
-  std::map<uint32_t, uint32_t> &DispatchStubs;
-  uint32_t Ordinal = 0;
-
-  std::deque<Item> Queue;
-  std::map<std::vector<uint64_t>, int64_t> Memo; ///< -1 queued, else PC
-  std::vector<Patch> Patches;
-  std::vector<DeferredInstr> Defer;
-  std::map<uint32_t, size_t> LatestDef;
-
-public:
-  void setOrdinal(uint32_t O) { Ordinal = O; }
-};
-
-//===----------------------------------------------------------------------===//
-// DycRuntime
-//===----------------------------------------------------------------------===//
-
 void DycRuntime::addRegion(cogen::GenExtFunction GX) {
-  auto R = std::make_unique<RegionRT>();
-  R->Buffer.NumRegs = GX.NumRegs;
-  R->Buffer.IsDynamicCode = true;
-  R->Buffer.BaseAddr = Prog.allocCodeAddr(MaxRegionInstrs * 4);
-  R->Buffer.Name =
-      M.function(GX.FuncIdx).Name + ".dyncode";
+  Front F;
   for (const bta::PromoPoint &P : GX.Region.Promos)
-    R->PromoCaches.emplace_back(P.Policy, P.IndexKeyPos);
-  R->CtxPlacements.assign(GX.Region.Contexts.size(), 0);
-  R->GX = std::move(GX);
-  Regions.push_back(std::move(R));
+    F.PromoCaches.emplace_back(P.Policy, P.IndexKeyPos);
+  Fronts.push_back(std::move(F));
+  Core.addRegion(std::move(GX));
 }
 
-uint32_t DycRuntime::internSite(DispatchSite S) {
-  std::lock_guard<std::mutex> Lock(SitesMutex);
-  for (size_t I = 0; I != Sites.size(); ++I) {
-    const DispatchSite &E = Sites[I];
-    if (E.RegionOrd == S.RegionOrd && E.PromoId == S.PromoId &&
-        E.BakedVals == S.BakedVals)
-      return static_cast<uint32_t>(I);
-  }
-  Sites.push_back(std::move(S));
-  return static_cast<uint32_t>(Sites.size() - 1);
-}
-
-uint32_t DycRuntime::specialize(RegionRT &R, vm::VM &VMRef,
-                                uint32_t TargetCtx, std::vector<Word> Vals) {
-  SpecializeRun Run(R, *this, VMRef, Flags, R.Buffer, R.ExitStubs,
-                    R.DispatchStubs);
-  for (size_t I = 0; I != Regions.size(); ++I)
-    if (Regions[I].get() == &R)
-      Run.setOrdinal(static_cast<uint32_t>(I));
-  return Run.run(TargetCtx, std::move(Vals));
-}
-
-uint32_t DycRuntime::specializeInto(size_t Ordinal, vm::VM &VMRef,
-                                    uint32_t TargetCtx, std::vector<Word> Vals,
-                                    vm::CodeObject &Buf,
-                                    std::map<ir::BlockId, uint32_t> &ExitStubs,
-                                    std::map<uint32_t, uint32_t> &DispatchStubs) {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  RegionRT &R = *Regions[Ordinal];
-  SpecializeRun Run(R, *this, VMRef, Flags, Buf, ExitStubs, DispatchStubs);
-  Run.setOrdinal(static_cast<uint32_t>(Ordinal));
-  return Run.run(TargetCtx, std::move(Vals));
-}
-
-DycRuntime::SiteInfo DycRuntime::siteInfo(size_t Idx) const {
-  std::lock_guard<std::mutex> Lock(SitesMutex);
-  assert(Idx < Sites.size() && "bad dispatch site");
-  const DispatchSite &S = Sites[Idx];
-  return {S.RegionOrd, S.PromoId, S.BakedVals};
-}
-
-size_t DycRuntime::numSites() const {
-  std::lock_guard<std::mutex> Lock(SitesMutex);
-  return Sites.size();
-}
-
-const bta::PromoPoint &DycRuntime::promo(size_t Ordinal,
-                                         size_t PromoId) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  const auto &Promos = Regions[Ordinal]->GX.Region.Promos;
-  assert(PromoId < Promos.size() && "bad promotion point");
-  return Promos[PromoId];
-}
-
-size_t DycRuntime::numPromos(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->GX.Region.Promos.size();
-}
-
-uint32_t DycRuntime::regionNumRegs(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->GX.NumRegs;
-}
-
-int DycRuntime::regionFuncIdx(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->GX.FuncIdx;
-}
-
-const bta::RegionInfo &DycRuntime::regionInfo(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->GX.Region;
+void DycRuntime::retireSlot(Front &F, uint32_t Slot, ir::CachePolicy Policy) {
+  if (Slot >= F.Slots.size() || !F.Slots[Slot])
+    return;
+  Core.displaced(F.Slots[Slot], Policy);
+  F.Slots[Slot].reset();
 }
 
 vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
                                              std::vector<Word> &Regs) {
   uint32_t Ord, PromoId;
   bool HaveSite = false;
-  SiteInfo Site;
+  DispatchSite Site;
   if (PointId >= 0) {
     Ord = static_cast<uint32_t>(PointId >> 16);
     PromoId = static_cast<uint32_t>(PointId & 0xffff);
   } else {
-    // Copy the site under the lock: background specialization may be
-    // interning new sites (growing the vector) concurrently.
-    size_t SiteIdx = static_cast<size_t>(-(PointId + 1));
-    Site = siteInfo(SiteIdx);
+    // Copy the site out of the core's guarded table (the table only grows
+    // from this thread inline, but the accessor is the shared code path).
+    Site = Core.siteInfo(static_cast<size_t>(-(PointId + 1)));
     HaveSite = true;
     Ord = Site.RegionOrd;
     PromoId = Site.PromoId;
   }
-  assert(Ord < Regions.size() && "bad region ordinal");
-  RegionRT &R = *Regions[Ord];
-  const bta::PromoPoint &P = R.GX.Region.Promos[PromoId];
+  assert(Ord < Core.numRegions() && "bad region ordinal");
+  Front &F = Fronts[Ord];
+  const bta::PromoPoint &P = Core.promo(Ord, PromoId);
+  RegionStats &St = Core.statsMutable(Ord);
 
   // Compose the cache key: baked specialize-time values, then the
   // promoted variables' current run-time values.
@@ -1092,7 +49,7 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
   for (ir::Reg Rg : P.KeyRegs)
     Key.push_back(Regs[Rg]);
 
-  CodeCache &Cache = R.PromoCaches[PromoId];
+  CodeCache &Cache = F.PromoCaches[PromoId];
   CacheResult CR = Cache.lookup(Key);
 
   const vm::CostModel &CM = VMRef.costModel();
@@ -1113,52 +70,71 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
     break;
   }
 
-  ++R.Stats.Dispatches;
+  ++Tick;
+  ++St.Dispatches;
   if (CR.Hit) {
-    ++R.Stats.CacheHits;
-    return {&R.Buffer, CR.Value};
+    ++St.CacheHits;
+    const std::shared_ptr<SpecEntry> &E = F.Slots[CR.Value];
+    assert(E && E->Chain && "cache hit on a retired slot");
+    E->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+    E->Use->LastUse.store(Tick, std::memory_order_relaxed);
+    E->Use->RefBit.store(true, std::memory_order_release);
+    E->Chain->ActiveRefs.fetch_add(1, std::memory_order_acq_rel);
+    return {&E->Chain->CO, E->EntryPC};
   }
-  ++R.Stats.CacheMisses;
+  ++St.CacheMisses;
 
-  std::vector<Word> Vals(R.GX.NumRegs);
-  for (size_t I = 0; I != P.BakedRegs.size(); ++I)
-    Vals[P.BakedRegs[I]] = HaveSite ? Site.BakedVals[I] : Word();
+  std::vector<Word> KeyVals;
   for (ir::Reg Rg : P.KeyRegs)
-    Vals[Rg] = Regs[Rg];
-
-  uint32_t PC = specialize(R, VMRef, P.TargetCtx, std::move(Vals));
+    KeyVals.push_back(Regs[Rg]);
+  std::shared_ptr<SpecEntry> E = Core.specializeInto(
+      Ord, VMRef, PromoId, std::move(Key),
+      HaveSite ? Site.BakedVals : std::vector<Word>(), KeyVals);
   VMRef.chargeDynComp(CM.SpecCacheInsert);
-  if (Cache.insert(Key, PC))
-    ++R.Stats.Evictions;
-  return {&R.Buffer, PC};
+
+  // Publish: find a slot, install it in the dispatch cache, retire
+  // whatever the cache displaced (cache_one mismatch replacement).
+  uint32_t Slot = static_cast<uint32_t>(F.Slots.size());
+  for (uint32_t I = 0; I != F.Slots.size(); ++I)
+    if (!F.Slots[I]) {
+      Slot = I;
+      break;
+    }
+  E->Point = Slot;
+  if (Slot == F.Slots.size())
+    F.Slots.push_back(E);
+  else
+    F.Slots[Slot] = E;
+
+  uint32_t Displaced = CodeCache::NoValue;
+  Cache.insert(E->Key, Slot, &Displaced);
+  if (Displaced != CodeCache::NoValue && Displaced != Slot)
+    retireSlot(F, Displaced, Cache.policy());
+
+  // Account the new chain against the region's budget; CLOCK victims are
+  // unpublished from their dispatch cache and slot before their chain is
+  // marked evicted.
+  Core.admit(E, [this](const SpecEntry &Victim) {
+    Front &VF = Fronts[Victim.Region];
+    VF.PromoCaches[Victim.PromoId].erase(Victim.Key);
+    uint32_t VS = static_cast<uint32_t>(Victim.Point);
+    if (VS < VF.Slots.size() && VF.Slots[VS].get() == &Victim)
+      VF.Slots[VS].reset();
+  });
+
+  E->Use->LastUse.store(Tick, std::memory_order_relaxed);
+  E->Chain->ActiveRefs.fetch_add(1, std::memory_order_acq_rel);
+  return {&E->Chain->CO, E->EntryPC};
 }
 
-const RegionStats &DycRuntime::stats(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->Stats;
-}
-
-RegionStats &DycRuntime::statsMutable(size_t Ordinal) {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return Regions[Ordinal]->Stats;
-}
-
-std::string DycRuntime::printRegion(size_t Ordinal,
-                                    const ir::Module &Mod) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  const cogen::GenExtFunction &GX = Regions[Ordinal]->GX;
-  return cogen::printGenExt(GX, Mod.function(GX.FuncIdx));
-}
-
-std::string DycRuntime::disassembleRegion(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
-  return vm::disassemble(Regions[Ordinal]->Buffer);
+void DycRuntime::onDynamicCodeExit(vm::VM &, const vm::CodeObject *CO) {
+  Core.releaseExecutor(CO);
 }
 
 double DycRuntime::avgCacheProbes(size_t Ordinal) const {
-  assert(Ordinal < Regions.size() && "bad region ordinal");
+  assert(Ordinal < Fronts.size() && "bad region ordinal");
   uint64_t Lookups = 0, Probes = 0;
-  for (const CodeCache &C : Regions[Ordinal]->PromoCaches) {
+  for (const CodeCache &C : Fronts[Ordinal].PromoCaches) {
     Lookups += C.lookups();
     Probes += C.totalProbes();
   }

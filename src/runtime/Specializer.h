@@ -1,35 +1,26 @@
-//===- runtime/Specializer.h - The DyC run-time ----------------------------------===//
+//===- runtime/Specializer.h - The inline DyC run-time ----------------------------===//
 //
 // Part of the DyC reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The run-time half of DyC: dispatching through dynamic-code caches and,
-/// on a miss, running the generating extension to produce specialized
-/// bytecode. Specialization is a memoized walk over (context,
-/// static-values) pairs — polyvariant specialization. Re-reaching a pair
-/// emits a jump to the existing code, which is what terminates and shapes
-/// complete loop unrolling: a simple counted loop unrolls into a linear
-/// chain; loops whose iterations diverge produce a directed graph of
-/// unrolled bodies (multi-way unrolling, paper section 2.2.4).
+/// The single-client, specialize-on-the-dispatch-path front end of the DyC
+/// run-time. All the machinery — code chains, the generating-extension
+/// walk, emit-time optimizations, capacity accounting — lives in the
+/// shared RegionExecutionCore (RegionExec.h); this class contributes only
+/// what is front-end specific:
 ///
-/// Emit-time optimizations (all statically planned, no run-time IR):
-///  * holes filled with static values, integer operands packed into
-///    immediate fields, power-of-two strength reduction (section 2.2.7),
-///  * zero/copy propagation via operand resolution through a deferral
-///    table, and
-///  * dead-assignment elimination: pure instructions whose results are
-///    block-dead are deferred; if nothing reads them before the end of the
-///    specialized block, they are never emitted.
+///  * the per-promotion-point CodeCache (cache_all / cache_one /
+///    cache_one_unchecked / cache_indexed, paper section 2.2.3), mapping
+///    static-value tuples to published specializations, and
+///  * the VM trap handler that composes dispatch keys, charges the paper's
+///    dispatch costs, and runs the specializer inline on a miss.
 ///
-/// The runtime itself is single-threaded (one client, inline
-/// specialization on the dispatch path). The SpecServer (src/server/)
-/// layers a concurrent front end on top; to support it, specialization can
-/// emit into a caller-provided buffer with caller-provided stub maps
-/// (specializeInto), and the dispatch-site table is guarded so site
-/// interning during background specialization never races site resolution
-/// on client threads.
+/// The concurrent front end (server::SpecServer) replaces both with a
+/// sharded lock-free cache and a worker pool, but shares the core — so
+/// generated code, statistics, and eviction behavior are identical by
+/// construction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,22 +30,23 @@
 #include "bta/OptFlags.h"
 #include "cogen/CompilerGenerator.h"
 #include "runtime/CodeCache.h"
-#include "runtime/RuntimeStats.h"
+#include "runtime/RegionExec.h"
 #include "vm/VM.h"
 
-#include <map>
 #include <memory>
-#include <mutex>
 
 namespace dyc {
 namespace runtime {
 
-/// The DyC run-time: owns every region's generated-code buffer, caches,
-/// and statistics, and serves the VM's EnterRegion/Dispatch traps.
+/// The inline DyC run-time: dispatches through dynamic-code caches and, on
+/// a miss, specializes synchronously on the client's own thread.
 class DycRuntime : public vm::RuntimeHook {
 public:
-  DycRuntime(const ir::Module &M, vm::Program &Prog, const OptFlags &Flags)
-      : M(M), Prog(Prog), Flags(Flags) {}
+  /// \p Budget bounds resident generated code per region (zeros —
+  /// the default — mean unbounded, the paper's behavior).
+  DycRuntime(const ir::Module &M, vm::Program &Prog, const OptFlags &Flags,
+             ChainBudget Budget = {})
+      : Core(M, Prog, Flags, Budget) {}
 
   /// Registers the generating extension for the next annotated function.
   /// Must be called in annotated-ordinal order (the order lowerModule
@@ -67,98 +59,50 @@ public:
   Target dispatch(vm::VM &M, int64_t PointId,
                   std::vector<Word> &Regs) override;
 
-  size_t numRegions() const { return Regions.size(); }
-  const RegionStats &stats(size_t Ordinal) const;
-  RegionStats &statsMutable(size_t Ordinal);
+  /// Keeps the core's executor counts accurate so evicted chains are
+  /// reclaimed only after the VM leaves them.
+  void onDynamicCodeExit(vm::VM &M, const vm::CodeObject *CO) override;
 
-  /// Disassembles a region's generated-code buffer (for the examples'
-  /// Figure-3/4-style dumps).
-  std::string disassembleRegion(size_t Ordinal) const;
+  /// The shared backend (tests and embedders reach chain lifecycle and
+  /// capacity accounting through it).
+  RegionExecutionCore &core() { return Core; }
+  const RegionExecutionCore &core() const { return Core; }
+
+  size_t numRegions() const { return Core.numRegions(); }
+  const RegionStats &stats(size_t Ordinal) const { return Core.stats(Ordinal); }
+  RegionStats &statsMutable(size_t Ordinal) {
+    return Core.statsMutable(Ordinal);
+  }
+
+  /// Disassembles a region's live code chains in creation order (the
+  /// examples' Figure-3/4-style dumps).
+  std::string disassembleRegion(size_t Ordinal) const {
+    return Core.disassembleRegion(Ordinal);
+  }
 
   /// Renders a region's generating extension (set-up/emit programs).
-  std::string printRegion(size_t Ordinal, const ir::Module &Mod) const;
+  std::string printRegion(size_t Ordinal, const ir::Module &Mod) const {
+    return Core.printRegion(Ordinal, Mod);
+  }
 
   /// Average probes per cache_all lookup across a region's promotion
   /// points (dispatch-cost reporting).
   double avgCacheProbes(size_t Ordinal) const;
 
-  // --- SpecServer interface ---------------------------------------------------
-  // The server front end performs its own cache lookups, buffer management
-  // and locking; it uses the runtime for region metadata and for running
-  // the generating extension.
-
-  /// A copy of one run-time dispatch site (thread-safe snapshot).
-  struct SiteInfo {
-    uint32_t RegionOrd = 0;
-    uint32_t PromoId = 0;
-    std::vector<Word> BakedVals;
-  };
-  SiteInfo siteInfo(size_t Idx) const;
-  size_t numSites() const;
-
-  const bta::PromoPoint &promo(size_t Ordinal, size_t PromoId) const;
-  size_t numPromos(size_t Ordinal) const;
-  uint32_t regionNumRegs(size_t Ordinal) const;
-  int regionFuncIdx(size_t Ordinal) const;
-  const bta::RegionInfo &regionInfo(size_t Ordinal) const;
-
-  /// Runs the generating extension for region \p Ordinal, emitting into
-  /// \p Buf using \p ExitStubs / \p DispatchStubs for shared
-  /// single-instruction stubs, and returns the entry PC within \p Buf.
-  /// Unlike the inline path (which appends every run to the region's one
-  /// buffer and shares stubs across runs), a SpecServer run passes a fresh
-  /// buffer and fresh stub maps, making each specialization a
-  /// self-contained, immutable-after-publication code chain — eviction
-  /// then cannot leave another chain's branch dangling.
-  ///
-  /// Callers must serialize invocations (region stats, the static-call
-  /// memo, and placement counters are shared); the SpecServer holds its
-  /// global specialization lock across this call.
-  uint32_t specializeInto(size_t Ordinal, vm::VM &M, uint32_t TargetCtx,
-                          std::vector<Word> Vals, vm::CodeObject &Buf,
-                          std::map<ir::BlockId, uint32_t> &ExitStubs,
-                          std::map<uint32_t, uint32_t> &DispatchStubs);
-
 private:
-  struct RegionRT {
-    cogen::GenExtFunction GX;
-    vm::CodeObject Buffer;
+  /// Front-end state for one region: the dispatch caches and the slot
+  /// table their 32-bit values index into.
+  struct Front {
     std::vector<CodeCache> PromoCaches; ///< index == promo id
-    RegionStats Stats;
-    /// Memo for static calls executed at specialize time.
-    std::map<std::vector<uint64_t>, Word> CallMemo;
-    /// Shared single-instruction stubs: exit block -> PC, site -> PC.
-    std::map<ir::BlockId, uint32_t> ExitStubs;
-    std::map<uint32_t, uint32_t> DispatchStubs;
-    /// Per-context placement counts (unrolling evidence).
-    std::vector<uint32_t> CtxPlacements;
+    std::vector<std::shared_ptr<SpecEntry>> Slots;
   };
 
-  /// A run-time dispatch site (emitted Dispatch instruction payload).
-  struct DispatchSite {
-    uint32_t RegionOrd = 0;
-    uint32_t PromoId = 0;
-    std::vector<Word> BakedVals; ///< values of the promo's BakedRegs
-  };
+  /// Drops a displaced/evicted slot and retires its entry with the core.
+  void retireSlot(Front &F, uint32_t Slot, ir::CachePolicy Policy);
 
-  friend class SpecializeRun;
-
-  /// Runs the specializer inline; returns the entry PC in the region's
-  /// buffer.
-  uint32_t specialize(RegionRT &R, vm::VM &M, uint32_t TargetCtx,
-                      std::vector<Word> Vals);
-
-  /// Finds or creates a dispatch site; returns its index. Thread-safe.
-  uint32_t internSite(DispatchSite S);
-
-  const ir::Module &M;
-  vm::Program &Prog;
-  OptFlags Flags;
-  std::vector<std::unique_ptr<RegionRT>> Regions;
-  std::vector<DispatchSite> Sites;
-  /// Guards Sites: background specialization interns sites while client
-  /// threads resolve them.
-  mutable std::mutex SitesMutex;
+  RegionExecutionCore Core;
+  std::vector<Front> Fronts; ///< parallel to the core's regions
+  uint64_t Tick = 0;         ///< dispatch counter (recency for CLOCK)
 };
 
 } // namespace runtime

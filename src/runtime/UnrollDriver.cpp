@@ -1,0 +1,368 @@
+//===- runtime/UnrollDriver.cpp - Memoized polyvariant walk ------------------------===//
+
+#include "runtime/UnrollDriver.h"
+
+#include "ir/ConstEval.h"
+
+namespace dyc {
+namespace runtime {
+
+using cogen::GenBlock;
+using cogen::Operand;
+using cogen::SetupOp;
+using ir::Opcode;
+namespace v = vm;
+
+uint32_t UnrollDriver::run(uint32_t Ctx0, std::vector<Word> Vals0) {
+  charge(CM.SpecInvoke);
+  ++R.Stats.SpecializationRuns;
+  uint32_t Entry = bufSize();
+
+  Item Cur{Ctx0, std::move(Vals0)};
+  markQueued(keyOf(Cur));
+  bool HaveCur = true;
+  while (HaveCur || !Queue.empty()) {
+    if (!HaveCur) {
+      Cur = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    HaveCur = false;
+    // Place this item, then follow fall-through chains (the paper's
+    // linear chain of unrolled loop bodies).
+    while (true) {
+      std::optional<Item> Next = place(Cur);
+      if (!Next)
+        break;
+      markQueued(keyOf(*Next));
+      Cur = std::move(*Next);
+    }
+  }
+
+  // Resolve pending branch patches.
+  for (const Patch &P : Patches) {
+    auto It = Memo.find(P.Key);
+    if (It == Memo.end() || It->second < 0)
+      fatal("specializer left an unresolved branch target");
+    v::Instr &I = E.at(P.PC);
+    if (P.FieldC)
+      I.C = static_cast<uint32_t>(It->second);
+    else
+      I.B = static_cast<uint32_t>(It->second);
+    charge(CM.SpecPatch);
+  }
+
+  M.flushICache(); // coherence after code generation
+  return Entry;
+}
+
+std::vector<uint64_t> UnrollDriver::keyOf(const Item &It) const {
+  std::vector<uint64_t> K;
+  K.push_back(It.Ctx);
+  GX.Region.context(It.Ctx).StaticIn.forEachSetBit(
+      [&](size_t Reg) { K.push_back(It.Vals[Reg].Bits); });
+  return K;
+}
+
+void UnrollDriver::execSetup(const SetupOp &Op, std::vector<Word> &Vals) {
+  switch (Op.K) {
+  case SetupOp::EvalConst:
+    Vals[Op.Dst] = Word{static_cast<uint64_t>(Op.Imm)};
+    charge(CM.SpecEvalOp);
+    return;
+  case SetupOp::Eval: {
+    Word Out;
+    Word AV = Vals[Op.A.R];
+    Word BV = Op.B.R == ir::NoReg ? Word() : Vals[Op.B.R];
+    if (!ir::evalPureOp(Op.Op, AV, BV, Out))
+      fatal("static computation faulted at specialize time (division "
+            "by a zero-valued run-time constant)");
+    Vals[Op.Dst] = Out;
+    charge(CM.SpecEvalOp);
+    return;
+  }
+  case SetupOp::EvalLoad: {
+    int64_t Addr = Vals[Op.A.R].asInt() + Op.Imm;
+    const std::vector<Word> &Mem = M.memory();
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Mem.size())
+      fatal("static load out of range at specialize time");
+    Vals[Op.Dst] = Mem[static_cast<size_t>(Addr)];
+    charge(CM.SpecStaticLoad);
+    ++R.Stats.StaticLoadsExecuted;
+    return;
+  }
+  case SetupOp::EvalCall: {
+    std::vector<Word> Args;
+    std::vector<uint64_t> MemoKey;
+    MemoKey.push_back(static_cast<uint64_t>(Op.Callee) * 2 +
+                      (Op.IsExt ? 1 : 0));
+    for (const Operand &O : Op.Args) {
+      Args.push_back(Vals[O.R]);
+      MemoKey.push_back(Vals[O.R].Bits);
+    }
+    ++R.Stats.StaticCallsExecuted;
+    auto It = R.CallMemo.find(MemoKey);
+    if (It != R.CallMemo.end()) {
+      ++R.Stats.StaticCallMemoHits;
+      charge(CM.SpecEvalOp);
+      Vals[Op.Dst] = It->second;
+      return;
+    }
+    Word Res;
+    if (Op.IsExt) {
+      const vm::ExternalFunction &Ext =
+          M.program().Externals.get(static_cast<unsigned>(Op.Callee));
+      charge(CM.SpecStaticCallBase + Ext.CostCycles);
+      Res = Ext.Fn(Args.data());
+    } else {
+      charge(CM.SpecStaticCallBase);
+      uint64_t Mark = M.execCycles();
+      Res = M.run(static_cast<uint32_t>(Op.Callee), Args);
+      M.reattributeExecToDynComp(Mark);
+    }
+    R.CallMemo.emplace(std::move(MemoKey), Res);
+    Vals[Op.Dst] = Res;
+    return;
+  }
+  case SetupOp::EmitInstr:
+    D.emitDynamic(Op, Vals);
+    return;
+  }
+}
+
+void UnrollDriver::materializeForEdge(const bta::Edge &Ed,
+                                      const std::vector<Word> &Vals) {
+  for (ir::Reg Rg : Ed.Materialize)
+    E.emitConst(Rg, Vals[Rg], GX.RegTypes[Rg]);
+}
+
+std::optional<UnrollDriver::Item>
+UnrollDriver::continueEdge(const bta::Edge &Ed, Item &Cur) {
+  if (Ed.K != bta::Edge::None)
+    materializeForEdge(Ed, Cur.Vals);
+  switch (Ed.K) {
+  case bta::Edge::None:
+    return std::nullopt;
+  case bta::Edge::Exit:
+    E.emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[Ed.Block]});
+    return std::nullopt;
+  case bta::Edge::Promo: {
+    uint32_t Site = makeSite(Ed.PromoIdx, Cur.Vals);
+    E.emitRaw({v::Op::Dispatch, 0, 0, 0,
+               -(static_cast<int64_t>(Site) + 1)});
+    return std::nullopt;
+  }
+  case bta::Edge::Ctx: {
+    Item Next{Ed.Target, std::move(Cur.Vals)};
+    std::vector<uint64_t> K = keyOf(Next);
+    auto It = Memo.find(K);
+    if (It == Memo.end())
+      return Next; // fall through, no branch emitted
+    if (It->second >= 0) {
+      E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
+    } else {
+      Patches.push_back({bufSize(), false, K});
+      E.emitRaw({v::Op::Br, 0, 0});
+      // Re-queue ownership of Vals: the queued item already has its own
+      // copy (enqueued when first seen).
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+uint32_t UnrollDriver::makeSite(uint32_t PromoIdx,
+                                const std::vector<Word> &Vals) {
+  const bta::PromoPoint &P = GX.Region.Promos[PromoIdx];
+  DispatchSite S;
+  S.RegionOrd = Ordinal;
+  S.PromoId = PromoIdx;
+  for (ir::Reg Rg : P.BakedRegs)
+    S.BakedVals.push_back(Vals[Rg]);
+  bool Created = false;
+  uint32_t Idx = Core.internSite(std::move(S), &Created);
+  if (Created)
+    ++R.Stats.DispatchSitesCreated;
+  return Idx;
+}
+
+UnrollDriver::EdgeLabel UnrollDriver::labelFor(const bta::Edge &Ed,
+                                               const std::vector<Word> &Vals,
+                                               size_t BranchPC, bool FieldC) {
+  EdgeLabel L;
+  if (!Ed.Materialize.empty()) {
+    // The edge demotes statics: route through a trampoline that
+    // materializes them, then transfers.
+    L.Known = true;
+    L.PC = bufSize();
+    materializeForEdge(Ed, Vals);
+    switch (Ed.K) {
+    case bta::Edge::Exit:
+      E.emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[Ed.Block]});
+      return L;
+    case bta::Edge::Promo: {
+      uint32_t Site = makeSite(Ed.PromoIdx, Vals);
+      E.emitRaw({v::Op::Dispatch, 0, 0, 0,
+                 -(static_cast<int64_t>(Site) + 1)});
+      return L;
+    }
+    case bta::Edge::Ctx: {
+      std::vector<uint64_t> K;
+      K.push_back(Ed.Target);
+      GX.Region.context(Ed.Target).StaticIn.forEachSetBit(
+          [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
+      auto It = Memo.find(K);
+      if (It != Memo.end() && It->second >= 0) {
+        E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
+        return L;
+      }
+      if (It == Memo.end()) {
+        markQueued(K);
+        Item Other{Ed.Target, Vals};
+        Queue.push_back(std::move(Other));
+      }
+      Patches.push_back({bufSize(), false, K});
+      E.emitRaw({v::Op::Br, 0, 0});
+      return L;
+    }
+    case bta::Edge::None:
+      fatal("missing edge on a conditional branch");
+    }
+  }
+  switch (Ed.K) {
+  case bta::Edge::None:
+    fatal("missing edge on a conditional branch");
+  case bta::Edge::Exit: {
+    auto It = ExitStubs.find(Ed.Block);
+    if (It == ExitStubs.end()) {
+      uint32_t PC = bufSize();
+      E.emitRaw({v::Op::ExitRegion, 0, GX.BlockPC[Ed.Block]});
+      It = ExitStubs.emplace(Ed.Block, PC).first;
+    }
+    L.Known = true;
+    L.PC = It->second;
+    return L;
+  }
+  case bta::Edge::Promo: {
+    uint32_t Site = makeSite(Ed.PromoIdx, Vals);
+    auto It = DispatchStubs.find(Site);
+    if (It == DispatchStubs.end()) {
+      uint32_t PC = bufSize();
+      E.emitRaw({v::Op::Dispatch, 0, 0, 0,
+                 -(static_cast<int64_t>(Site) + 1)});
+      It = DispatchStubs.emplace(Site, PC).first;
+    }
+    L.Known = true;
+    L.PC = It->second;
+    return L;
+  }
+  case bta::Edge::Ctx: {
+    std::vector<uint64_t> K;
+    K.push_back(Ed.Target);
+    GX.Region.context(Ed.Target).StaticIn.forEachSetBit(
+        [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
+    auto It = Memo.find(K);
+    if (It == Memo.end()) {
+      L.FreshCtx = true;
+      return L;
+    }
+    if (It->second >= 0) {
+      L.Known = true;
+      L.PC = static_cast<uint32_t>(It->second);
+      return L;
+    }
+    Patches.push_back({BranchPC, FieldC, K});
+    L.Known = false;
+    return L;
+  }
+  }
+  return L;
+}
+
+std::optional<UnrollDriver::Item> UnrollDriver::place(Item &Cur) {
+  std::vector<uint64_t> K = keyOf(Cur);
+  Memo[K] = static_cast<int64_t>(bufSize());
+  ++R.Stats.WorkItems;
+  charge(CM.SpecPerWorkItem);
+  uint32_t &Count = R.CtxPlacements[Cur.Ctx];
+  ++Count;
+  R.Stats.MaxBlockInstances =
+      std::max<uint64_t>(R.Stats.MaxBlockInstances, Count);
+
+  D.reset();
+
+  const GenBlock &GB = GX.Blocks[Cur.Ctx];
+  for (const SetupOp &Op : GB.Ops)
+    execSetup(Op, Cur.Vals);
+
+  // Terminator.
+  const cogen::GenTerm &T = GB.Term;
+  switch (T.K) {
+  case cogen::GenTerm::Ret: {
+    if (T.RetVal.R == ir::NoReg) {
+      D.dropAllPending();
+      E.emitRaw({v::Op::Ret, v::NoReg});
+      return std::nullopt;
+    }
+    RVal V = D.resolveOperand(T.RetVal, Cur.Vals);
+    D.forceOperand(V); // the return value is consumed
+    D.dropAllPending();
+    if (V.IsConst) {
+      ir::Type Ty = GX.RegTypes[T.RetVal.R];
+      E.emitConst(GX.Scratch0, V.C, Ty);
+      E.emitRaw({v::Op::Ret, GX.Scratch0});
+    } else {
+      E.emitRaw({v::Op::Ret, V.R});
+    }
+    return std::nullopt;
+  }
+  case cogen::GenTerm::Br:
+    D.dropAllPending();
+    return continueEdge(T.TrueE, Cur);
+  case cogen::GenTerm::CondBr: {
+    RVal C = D.resolveOperand(T.Cond, Cur.Vals);
+    if (!C.IsConst)
+      D.forceOperand(C); // the emitted branch consumes the condition
+    D.dropAllPending();
+    if (C.IsConst) {
+      // Static (or propagated-constant) branch: folded away.
+      ++R.Stats.BranchesFolded;
+      charge(CM.SpecEvalOp);
+      return continueEdge(C.C.asInt() != 0 ? T.TrueE : T.FalseE, Cur);
+    }
+    ++R.Stats.DynamicBranchesEmitted;
+    charge(CM.SpecEmitBranch);
+    size_t BranchPC = bufSize();
+    E.emitRaw({v::Op::CondBr, C.R, 0, 0});
+    EdgeLabel TL = labelFor(T.TrueE, Cur.Vals, BranchPC, false);
+    EdgeLabel FL = labelFor(T.FalseE, Cur.Vals, BranchPC, true);
+
+    std::optional<Item> Fall;
+    if (TL.Known)
+      E.at(BranchPC).B = TL.PC;
+    if (FL.Known)
+      E.at(BranchPC).C = FL.PC;
+
+    if (TL.FreshCtx) {
+      // Fall through into the true side.
+      E.at(BranchPC).B = bufSize();
+      Fall = Item{T.TrueE.Target, Cur.Vals};
+      if (FL.FreshCtx) {
+        Item Other{T.FalseE.Target, Cur.Vals};
+        std::vector<uint64_t> OK = keyOf(Other);
+        markQueued(OK);
+        Patches.push_back({BranchPC, true, OK});
+        Queue.push_back(std::move(Other));
+      }
+    } else if (FL.FreshCtx) {
+      E.at(BranchPC).C = bufSize();
+      Fall = Item{T.FalseE.Target, std::move(Cur.Vals)};
+    }
+    return Fall;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace runtime
+} // namespace dyc

@@ -1,0 +1,126 @@
+//===- runtime/UnrollDriver.h - Memoized polyvariant walk -------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top layer of the specializer: one invocation of the dynamic
+/// compiler. Drives a memoized worklist over (context, static-values)
+/// pairs — polyvariant specialization. Re-reaching a pair emits a jump to
+/// the existing code, which is what terminates and shapes complete loop
+/// unrolling: a simple counted loop unrolls into a linear chain; loops
+/// whose iterations diverge produce a directed graph of unrolled bodies
+/// (multi-way unrolling, paper section 2.2.4).
+///
+/// The driver executes set-up programs (static evaluation, static loads,
+/// memoized static calls), hands planned dynamic instructions to the
+/// DeferralEngine, lays out blocks with fall-through chaining, patches
+/// forward branches once targets are placed, and interns run-time dispatch
+/// sites through the RegionExecutionCore.
+///
+/// One driver emits one code chain. It holds no state that outlives the
+/// run; everything shared across runs lives in RegionState / the core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_RUNTIME_UNROLLDRIVER_H
+#define DYC_RUNTIME_UNROLLDRIVER_H
+
+#include "runtime/Deferral.h"
+#include "runtime/Emitter.h"
+#include "runtime/RegionExec.h"
+
+#include <deque>
+#include <optional>
+
+namespace dyc {
+namespace runtime {
+
+class UnrollDriver {
+public:
+  /// Emits into \p Buf with this run's own stub maps. The caller (the
+  /// core's specializeInto) passes a fresh chain buffer and fresh maps, so
+  /// every run is a self-contained, immutable-after-publication chain.
+  UnrollDriver(RegionExecutionCore &Core, RegionState &R, uint32_t Ordinal,
+               vm::VM &M, const OptFlags &Flags, vm::CodeObject &Buf,
+               std::map<ir::BlockId, uint32_t> &ExitStubs,
+               std::map<uint32_t, uint32_t> &DispatchStubs)
+      : Core(Core), R(R), Ordinal(Ordinal), M(M), CM(M.costModel()),
+        GX(R.GX), Buf(Buf), ExitStubs(ExitStubs),
+        DispatchStubs(DispatchStubs),
+        E(Buf, R.Stats, M, R.GX, Flags.MaxRegionInstrs),
+        D(E, R.Stats, M, Flags, R.GX) {}
+
+  /// Runs the generating extension from \p Ctx0 with static values
+  /// \p Vals0; returns the entry PC within the buffer.
+  uint32_t run(uint32_t Ctx0, std::vector<Word> Vals0);
+
+private:
+  struct Item {
+    uint32_t Ctx = 0;
+    std::vector<Word> Vals;
+  };
+
+  struct Patch {
+    size_t PC = 0;
+    bool FieldC = false;
+    std::vector<uint64_t> Key;
+  };
+
+  /// Branch-target resolution for an edge. Fresh Ctx edges yield no PC;
+  /// the caller may use one as fall-through.
+  struct EdgeLabel {
+    bool Known = false;
+    uint32_t PC = 0;
+    bool FreshCtx = false; ///< unseen context: caller picks fall-through
+  };
+
+  void charge(uint64_t Cycles) { M.chargeDynComp(Cycles); }
+  uint32_t bufSize() const {
+    return static_cast<uint32_t>(Buf.Code.size());
+  }
+
+  std::vector<uint64_t> keyOf(const Item &It) const;
+  void markQueued(const std::vector<uint64_t> &K) { Memo.emplace(K, -1); }
+
+  void execSetup(const cogen::SetupOp &Op, std::vector<Word> &Vals);
+
+  /// Emits the constants for static registers demoted across \p E (the
+  /// static-to-dynamic boundary: their run-time registers must now hold
+  /// the values the specializer has been tracking).
+  void materializeForEdge(const bta::Edge &Ed, const std::vector<Word> &Vals);
+
+  /// Handles an unconditional continuation. Returns a fall-through item if
+  /// the target is fresh.
+  std::optional<Item> continueEdge(const bta::Edge &Ed, Item &Cur);
+
+  uint32_t makeSite(uint32_t PromoIdx, const std::vector<Word> &Vals);
+
+  EdgeLabel labelFor(const bta::Edge &Ed, const std::vector<Word> &Vals,
+                     size_t BranchPC, bool FieldC);
+
+  std::optional<Item> place(Item &Cur);
+
+  RegionExecutionCore &Core;
+  RegionState &R;
+  uint32_t Ordinal;
+  vm::VM &M;
+  const vm::CostModel &CM;
+  const cogen::GenExtFunction &GX;
+  vm::CodeObject &Buf;
+  std::map<ir::BlockId, uint32_t> &ExitStubs;
+  std::map<uint32_t, uint32_t> &DispatchStubs;
+
+  Emitter E;
+  DeferralEngine D;
+
+  std::deque<Item> Queue;
+  std::map<std::vector<uint64_t>, int64_t> Memo; ///< -1 queued, else PC
+  std::vector<Patch> Patches;
+};
+
+} // namespace runtime
+} // namespace dyc
+
+#endif // DYC_RUNTIME_UNROLLDRIVER_H

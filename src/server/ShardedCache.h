@@ -28,7 +28,7 @@
 #ifndef DYC_SERVER_SHARDEDCACHE_H
 #define DYC_SERVER_SHARDEDCACHE_H
 
-#include "server/CodeChain.h"
+#include "runtime/RegionExec.h"
 #include "support/Support.h"
 
 #include <array>
@@ -42,24 +42,14 @@
 namespace dyc {
 namespace server {
 
-/// Per-entry usage counters, shared across snapshot rebuilds so hit counts
-/// and recency survive republication. Touched by concurrent readers.
-struct EntryStats {
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> LastUse{0}; ///< global dispatch tick of last hit
-  std::atomic<bool> RefBit{false};  ///< CLOCK reference bit
-};
-
-/// One cached specialization: key -> (chain, entry PC).
-struct CacheRecord {
-  std::vector<Word> Key;
-  uint64_t Hash = 0;
-  size_t Point = 0;     ///< owning point index (for eviction)
-  uint32_t EntryPC = 0; ///< entry offset within Chain->CO
-  std::shared_ptr<CodeChain> Chain;
-  std::shared_ptr<EntryStats> Use;
-  uint64_t Ordinal = 0; ///< insertion order
-};
+// The server caches the shared core's published-specialization types
+// directly — one representation of generated code everywhere. The server's
+// historical names are kept as aliases.
+using CodeChain = runtime::CodeChain;
+using ChainRegistry = runtime::ChainRegistry;
+using EntryStats = runtime::EntryStats;
+using CacheRecord = runtime::SpecEntry;
+using CapacityBudget = runtime::ChainBudget;
 
 /// Immutable probe structure for one point. Built writer-side, read
 /// lock-free.

@@ -10,11 +10,6 @@ namespace server {
 
 namespace {
 
-/// Simulated address space reserved per chain (mirrors the inline
-/// runtime's per-region reservation) so the I-cache model sees disjoint
-/// footprints for distinct chains.
-constexpr uint64_t ChainAddrReserve = (1ull << 20) * 4;
-
 /// Set while this thread is inside a specialization run. A nested miss
 /// (the generating extension executing a static call that enters another
 /// region) must specialize inline under the already-held recursive lock —
@@ -26,7 +21,8 @@ thread_local bool InSpecWorkerFlag = false;
 
 SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
                        ServerConfig Cfg)
-    : M(M), Flags(Flags), Cfg(std::move(Cfg)), Queue(this->Cfg.QueueCapacity) {
+    : M(M), Flags(Flags), Cfg(std::move(Cfg)),
+      Core(M, Prog, Flags, this->Cfg.Budget), Queue(this->Cfg.QueueCapacity) {
   cogen::bindExternals(M, Prog);
 
   std::vector<bta::RegionInfo> Regions;
@@ -56,26 +52,22 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
   FallbackLowered =
       cogen::lowerModule(M, FallbackProg, /*WithRegions=*/false, Empty, NoOrd);
 
-  RT = std::make_unique<runtime::DycRuntime>(M, Prog, Flags);
   for (size_t I = 0; I != M.numFunctions(); ++I) {
     if (AnnotatedOrdinal[I] < 0)
       continue;
-    RT->addRegion(cogen::buildGenExt(M.function(static_cast<int>(I)), M,
-                                     std::move(Regions[I]), Lowered[I],
-                                     Flags));
+    Core.addRegion(cogen::buildGenExt(M.function(static_cast<int>(I)), M,
+                                      std::move(Regions[I]), Lowered[I],
+                                      Flags));
   }
 
-  PointBase.resize(RT->numRegions());
-  for (size_t Ord = 0; Ord != RT->numRegions(); ++Ord) {
+  PointBase.resize(Core.numRegions());
+  for (size_t Ord = 0; Ord != Core.numRegions(); ++Ord) {
     PointBase[Ord] = Cache.numPoints();
-    for (size_t P = 0; P != RT->numPromos(Ord); ++P) {
-      const bta::PromoPoint &PP = RT->promo(Ord, P);
+    for (size_t P = 0; P != Core.numPromos(Ord); ++P) {
+      const bta::PromoPoint &PP = Core.promo(Ord, P);
       Cache.addPoint(PP.Policy, PP.IndexKeyPos);
     }
   }
-
-  Capacity =
-      std::make_unique<CapacityManager>(RT->numRegions(), this->Cfg.Budget);
 
   SpecVM = std::make_unique<vm::VM>(Prog, this->Cfg.CM, this->Cfg.IC);
   SpecVM->Hook = this;
@@ -142,7 +134,7 @@ vm::RuntimeHook::Target
 SpecServer::fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
                            std::vector<Word> &Regs,
                            const std::vector<Word> &BakedVals) {
-  int FuncIdx = RT->regionFuncIdx(Ord);
+  int FuncIdx = Core.regionFuncIdx(Ord);
   const cogen::LoweredFunction &LF =
       FallbackLowered[static_cast<size_t>(FuncIdx)];
   const vm::CodeObject &CO = FallbackProg.function(LF.VMIndex);
@@ -173,13 +165,13 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
     Ord = static_cast<uint32_t>(PointId >> 16);
     PromoId = static_cast<uint32_t>(PointId & 0xffff);
   } else {
-    runtime::DycRuntime::SiteInfo S =
-        RT->siteInfo(static_cast<size_t>(-(PointId + 1)));
+    runtime::DispatchSite S =
+        Core.siteInfo(static_cast<size_t>(-(PointId + 1)));
     Ord = S.RegionOrd;
     PromoId = S.PromoId;
     Baked = std::move(S.BakedVals);
   }
-  const bta::PromoPoint &P = RT->promo(Ord, PromoId);
+  const bta::PromoPoint &P = Core.promo(Ord, PromoId);
   size_t Point = PointBase[Ord] + PromoId;
 
   std::vector<Word> Key = Baked;
@@ -254,58 +246,34 @@ SpecServer::specializeAndPublish(uint32_t Ord, uint32_t PromoId, size_t Point,
   if (std::shared_ptr<CacheRecord> Existing = Cache.findRecord(Point, Key))
     return Existing;
 
-  const bta::PromoPoint &P = RT->promo(Ord, PromoId);
-  uint32_t NumRegs = RT->regionNumRegs(Ord);
-  std::vector<Word> Vals(NumRegs);
-  for (size_t I = 0; I != P.BakedRegs.size(); ++I)
-    Vals[P.BakedRegs[I]] = I < BakedVals.size() ? BakedVals[I] : Word();
-  for (size_t I = 0; I != P.KeyRegs.size(); ++I)
-    Vals[P.KeyRegs[I]] = KeyVals[I];
-
-  auto Chain = std::make_shared<CodeChain>();
-  Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
-  Chain->CO.NumRegs = NumRegs;
-  Chain->CO.IsDynamicCode = true;
-  Chain->CO.BaseAddr = Prog.allocCodeAddr(ChainAddrReserve);
-  Chain->CO.Name =
-      M.function(RT->regionFuncIdx(Ord)).Name + ".chain" +
-      std::to_string(Chain->Ordinal);
-
   bool Prev = InSpecWorkerFlag;
   InSpecWorkerFlag = true;
-  uint32_t Entry =
-      RT->specializeInto(Ord, *SpecVM, P.TargetCtx, std::move(Vals),
-                         Chain->CO, Chain->ExitStubs, Chain->DispatchStubs);
+  std::shared_ptr<CacheRecord> Rec =
+      Core.specializeInto(Ord, *SpecVM, PromoId, Key, BakedVals, KeyVals);
   InSpecWorkerFlag = Prev;
   St.SpecRuns.fetch_add(1, std::memory_order_relaxed);
-  Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
-  Chains.add(Chain);
   St.ChainsCreated.fetch_add(1, std::memory_order_relaxed);
+  Rec->Point = Point; // server points are global across regions
 
-  auto Rec = std::make_shared<CacheRecord>();
-  Rec->Key = Key;
-  Rec->Hash = ShardedCache::hashKey(Key);
-  Rec->Point = Point;
-  Rec->EntryPC = Entry;
-  Rec->Chain = Chain;
-  Rec->Use = std::make_shared<EntryStats>();
-  Rec->Ordinal = Chain->Ordinal;
-
+  const bta::PromoPoint &P = Core.promo(Ord, PromoId);
   for (const auto &D : Cache.insert(Rec)) {
     // One-slot (or indexed same-slot) replacement displaced an older
     // version; its chain is now unreachable from the cache.
-    D->Chain->Evicted.store(true, std::memory_order_release);
-    Capacity->forget(Ord, D.get());
-    if (P.Policy == ir::CachePolicy::CacheOne ||
-        P.Policy == ir::CachePolicy::CacheOneUnchecked)
-      ++RT->statsMutable(Ord).Evictions;
+    Core.displaced(D, P.Policy);
   }
-  for (const auto &E : Capacity->admit(Ord, Rec, Cache)) {
-    E->Chain->Evicted.store(true, std::memory_order_release);
+  // Account the new chain against its region's budget; CLOCK victims are
+  // unpublished from the sharded cache before their chain is marked
+  // evicted, and the core bumps the victim region's Evictions counter.
+  Core.admit(Rec, [this](const CacheRecord &Victim) {
+    Cache.erase(&Victim);
     St.Evictions.fetch_add(1, std::memory_order_relaxed);
-    ++RT->statsMutable(Ord).Evictions;
-  }
+  });
   return Rec;
+}
+
+std::string SpecServer::disassembleRegion(size_t Ordinal) const {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  return Core.disassembleRegion(Ordinal);
 }
 
 void SpecServer::workerLoop() {
@@ -335,7 +303,7 @@ bool SpecServer::trimQuiescent(size_t *SnapshotsFreed, size_t *ChainsFreed) {
   if (!Gate.owns_lock())
     return false; // dispatches in flight; reclamation must wait
   size_t Snaps = Cache.trimGraveyard();
-  size_t Freed = Chains.collect();
+  size_t Freed = Core.collectChains();
   St.SnapshotsFreed.fetch_add(Snaps, std::memory_order_relaxed);
   St.ChainsCollected.fetch_add(Freed, std::memory_order_relaxed);
   if (SnapshotsFreed)
@@ -346,22 +314,22 @@ bool SpecServer::trimQuiescent(size_t *SnapshotsFreed, size_t *ChainsFreed) {
 }
 
 void SpecServer::onDynamicCodeExit(vm::VM &, const vm::CodeObject *CO) {
-  Chains.releaseExecutor(CO);
+  Core.releaseExecutor(CO);
 }
 
 runtime::RegionStats SpecServer::regionStats(size_t Ordinal) const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
-  return RT->stats(Ordinal);
+  return Core.stats(Ordinal);
 }
 
 size_t SpecServer::residentEntries(size_t Ordinal) const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
-  return Capacity->residentEntries(Ordinal);
+  return Core.residentEntries(Ordinal);
 }
 
 uint64_t SpecServer::residentInstrs(size_t Ordinal) const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
-  return Capacity->residentInstrs(Ordinal);
+  return Core.residentInstrs(Ordinal);
 }
 
 uint64_t SpecServer::specOverheadCycles() const {

@@ -5,11 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A thread-safe, capacity-bounded front end over the DyC runtime. The
-/// inline runtime (runtime::DycRuntime driven directly by one VM) is
-/// single-threaded: dispatch, specialization, and cache mutation all
-/// happen on the one client's thread. The SpecServer serves many client
-/// VMs concurrently:
+/// A thread-safe, capacity-bounded front end over the shared
+/// RegionExecutionCore. The inline front end (runtime::DycRuntime driven
+/// directly by one VM) is single-threaded: dispatch, specialization, and
+/// cache mutation all happen on the one client's thread. The SpecServer
+/// serves many client VMs concurrently over the same core:
 ///
 ///  * Dispatch: clients trap into the server; cache hits probe an
 ///    immutable published snapshot with no lock (ShardedCache) and jump
@@ -26,7 +26,7 @@
 ///    reason). Every run emits into a fresh CodeChain, so published code
 ///    is immutable and eviction can never dangle a branch.
 ///  * Capacity: per-region entry/instruction budgets with CLOCK eviction
-///    (CapacityManager). Evicted chains drain via the VM's
+///    (the core's capacity books). Evicted chains drain via the VM's
 ///    onDynamicCodeExit callback before they are freed.
 ///
 /// All specialization serializes on one recursive mutex: the generating
@@ -41,9 +41,7 @@
 
 #include "bta/OptFlags.h"
 #include "cogen/Lowering.h"
-#include "runtime/Specializer.h"
-#include "server/CapacityManager.h"
-#include "server/CodeChain.h"
+#include "runtime/RegionExec.h"
 #include "server/ServerStats.h"
 #include "server/ShardedCache.h"
 #include "server/SpecJob.h"
@@ -98,7 +96,7 @@ public:
   }
   /// Region ordinal of function \p Name, or -1 if unannotated.
   int regionOrdinalOf(const std::string &Name) const;
-  size_t numRegions() const { return RT->numRegions(); }
+  size_t numRegions() const { return Core.numRegions(); }
 
   // RuntimeHook:
   Target dispatch(vm::VM &M, int64_t PointId,
@@ -119,12 +117,16 @@ public:
     S.SnapshotsRetired = Cache.retiredSnapshots(); // currently in graveyard
     return S;
   }
-  /// Copy of the runtime's per-region specializer counters.
+  /// Copy of the core's per-region specializer counters.
   runtime::RegionStats regionStats(size_t Ordinal) const;
   size_t residentEntries(size_t Ordinal) const;
   uint64_t residentInstrs(size_t Ordinal) const;
-  size_t liveChains() const { return Chains.size(); }
+  size_t liveChains() const { return Core.liveChains(); }
   size_t retiredSnapshots() const { return Cache.retiredSnapshots(); }
+  /// Disassembles a region's live code chains in creation order —
+  /// bit-identical to the inline front end's dump for the same workload,
+  /// since both render the core's chains.
+  std::string disassembleRegion(size_t Ordinal) const;
   /// Cycles the server spent specializing (its VM's dynamic-compilation
   /// account); the per-client cost of a hit is charged to the client.
   uint64_t specOverheadCycles() const;
@@ -160,13 +162,14 @@ private:
   vm::Program FallbackProg;
   std::vector<cogen::LoweredFunction> FallbackLowered;
 
-  std::unique_ptr<runtime::DycRuntime> RT;
+  /// The shared backend: code chains, the generating-extension walk,
+  /// region stats, dispatch sites, capacity books. Constructed over Prog
+  /// before lowering runs; regions are registered in the ctor body.
+  runtime::RegionExecutionCore Core;
   std::unique_ptr<vm::VM> SpecVM; ///< runs generating extensions; under SpecMutex
   std::vector<size_t> PointBase;  ///< region ordinal -> first cache point
 
   ShardedCache Cache;
-  ChainRegistry Chains;
-  std::unique_ptr<CapacityManager> Capacity;
   JobQueue Queue;
   std::vector<std::thread> Workers;
 
@@ -176,8 +179,7 @@ private:
   /// try-locks it exclusively, so it only proceeds at quiescence.
   std::shared_mutex DispatchGate;
 
-  std::atomic<uint64_t> Tick{0};       ///< global dispatch clock (recency)
-  std::atomic<uint64_t> ChainCounter{0};
+  std::atomic<uint64_t> Tick{0}; ///< global dispatch clock (recency)
   std::mutex DrainMutex;
   std::condition_variable DrainCV;
 

@@ -32,13 +32,14 @@ uint64_t secondaryHash(uint64_t H) {
 DoubleHashTable::DoubleHashTable() { Slots.resize(PrimeCaps[0]); }
 
 DoubleHashTable::DoubleHashTable(const DoubleHashTable &O)
-    : Slots(O.Slots), NumEntries(O.NumEntries),
+    : Slots(O.Slots), NumEntries(O.NumEntries), NumDeleted(O.NumDeleted),
       TotalProbes(O.TotalProbes.load(std::memory_order_relaxed)),
       TotalLookups(O.TotalLookups.load(std::memory_order_relaxed)) {}
 
 DoubleHashTable &DoubleHashTable::operator=(const DoubleHashTable &O) {
   Slots = O.Slots;
   NumEntries = O.NumEntries;
+  NumDeleted = O.NumDeleted;
   TotalProbes.store(O.TotalProbes.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   TotalLookups.store(O.TotalLookups.load(std::memory_order_relaxed),
@@ -57,9 +58,9 @@ uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
   for (size_t I = 0; I != Cap; ++I) {
     ++Probes;
     const Slot &S = Slots[Idx];
-    if (!S.Occupied)
+    if (!S.Occupied && !S.Deleted)
       break;
-    if (S.Hash == H && S.Key == Key) {
+    if (S.Occupied && S.Hash == H && S.Key == Key) {
       TotalProbes.fetch_add(Probes, std::memory_order_relaxed);
       if (ProbesOut)
         *ProbesOut = Probes;
@@ -73,30 +74,81 @@ uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
   return NotFound;
 }
 
-void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value) {
-  if ((NumEntries + 1) * 3 > capacity() * 2)
+void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value,
+                             uint32_t *ReplacedOut) {
+  if (ReplacedOut)
+    *ReplacedOut = NotFound;
+  // Tombstones count toward the load factor (they lengthen probe chains
+  // exactly like live entries until the next grow clears them).
+  if ((NumEntries + NumDeleted + 1) * 3 > capacity() * 2)
     grow();
+  uint64_t H = hashWords(Key);
+  size_t Cap = capacity();
+  size_t Idx = H % Cap;
+  size_t Step = 1 + secondaryHash(H) % (Cap - 1);
+  size_t Tombstone = Cap; // first tombstone seen, reused if key is absent
+  for (size_t I = 0; I != Cap; ++I) {
+    Slot &S = Slots[Idx];
+    if (!S.Occupied) {
+      if (S.Deleted) {
+        if (Tombstone == Cap)
+          Tombstone = Idx;
+        Idx = (Idx + Step) % Cap;
+        continue;
+      }
+      Slot &Dst = Tombstone != Cap ? Slots[Tombstone] : S;
+      if (Dst.Deleted) {
+        Dst.Deleted = false;
+        --NumDeleted;
+      }
+      Dst.Key = Key;
+      Dst.Hash = H;
+      Dst.Value = Value;
+      Dst.Occupied = true;
+      ++NumEntries;
+      return;
+    }
+    if (S.Hash == H && S.Key == Key) {
+      if (ReplacedOut)
+        *ReplacedOut = S.Value;
+      S.Value = Value;
+      return;
+    }
+    Idx = (Idx + Step) % Cap;
+  }
+  if (Tombstone != Cap) {
+    Slot &Dst = Slots[Tombstone];
+    Dst.Deleted = false;
+    --NumDeleted;
+    Dst.Key = Key;
+    Dst.Hash = H;
+    Dst.Value = Value;
+    Dst.Occupied = true;
+    ++NumEntries;
+    return;
+  }
+  fatal("double-hash table insert failed despite resize policy");
+}
+
+void DoubleHashTable::erase(const std::vector<Word> &Key) {
   uint64_t H = hashWords(Key);
   size_t Cap = capacity();
   size_t Idx = H % Cap;
   size_t Step = 1 + secondaryHash(H) % (Cap - 1);
   for (size_t I = 0; I != Cap; ++I) {
     Slot &S = Slots[Idx];
-    if (!S.Occupied) {
-      S.Key = Key;
-      S.Hash = H;
-      S.Value = Value;
-      S.Occupied = true;
-      ++NumEntries;
+    if (!S.Occupied && !S.Deleted)
       return;
-    }
-    if (S.Hash == H && S.Key == Key) {
-      S.Value = Value;
+    if (S.Occupied && S.Hash == H && S.Key == Key) {
+      S.Occupied = false;
+      S.Deleted = true;
+      S.Key.clear();
+      --NumEntries;
+      ++NumDeleted;
       return;
     }
     Idx = (Idx + Step) % Cap;
   }
-  fatal("double-hash table insert failed despite resize policy");
 }
 
 void DoubleHashTable::grow() {
@@ -104,6 +156,7 @@ void DoubleHashTable::grow() {
   Slots.clear();
   Slots.resize(nextCapacity(Old.size()));
   NumEntries = 0;
+  NumDeleted = 0;
   for (Slot &S : Old)
     if (S.Occupied)
       insert(S.Key, S.Value);

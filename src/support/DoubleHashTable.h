@@ -43,8 +43,17 @@ public:
   /// dispatch cost model consumes.
   uint32_t lookup(const std::vector<Word> &Key, unsigned *ProbesOut = nullptr) const;
 
-  /// Inserts \p Key -> \p Value, replacing any existing binding.
-  void insert(const std::vector<Word> &Key, uint32_t Value);
+  /// Inserts \p Key -> \p Value. If the key was already bound, replaces the
+  /// binding and reports the old value via \p ReplacedOut (set to NotFound
+  /// otherwise).
+  void insert(const std::vector<Word> &Key, uint32_t Value,
+              uint32_t *ReplacedOut = nullptr);
+
+  /// Removes \p Key if present, leaving a tombstone so other keys' probe
+  /// sequences passing through the slot stay intact. Tombstones are
+  /// reclaimed on insert (first-tombstone placement) and dropped wholesale
+  /// when the table grows.
+  void erase(const std::vector<Word> &Key);
 
   size_t size() const { return NumEntries; }
   bool empty() const { return NumEntries == 0; }
@@ -66,6 +75,7 @@ private:
     uint64_t Hash = 0;
     uint32_t Value = 0;
     bool Occupied = false;
+    bool Deleted = false; ///< tombstone: probe sequences continue through
   };
 
   void grow();
@@ -73,6 +83,7 @@ private:
 
   std::vector<Slot> Slots;
   size_t NumEntries = 0;
+  size_t NumDeleted = 0;
   mutable std::atomic<uint64_t> TotalProbes{0};
   mutable std::atomic<uint64_t> TotalLookups{0};
 };

@@ -39,8 +39,9 @@ TEST(Normalize, MakeStaticHeadsItsBlock) {
   EXPECT_EQ(ir::verifyFunction(F, M), "");
   for (const ir::BasicBlock &B : F.Blocks)
     for (size_t I = 0; I != B.Instrs.size(); ++I)
-      if (B.Instrs[I].Op == ir::Opcode::MakeStatic)
+      if (B.Instrs[I].Op == ir::Opcode::MakeStatic) {
         EXPECT_EQ(I, 0u);
+      }
 }
 
 TEST(BTA, UnannotatedFunctionHasNoRegion) {
@@ -248,8 +249,9 @@ TEST(BTA, MakeDynamicDemotes) {
         std::vector<ir::Reg> Uses;
         B.Instrs[I].appendUses(Uses);
         for (ir::Reg U : Uses)
-          if (F.regName(U) == "t")
+          if (F.regName(U) == "t") {
             EXPECT_FALSE(C.PreSets[I].test(U));
+          }
       }
   }
 }

@@ -103,8 +103,9 @@ TEST(Cogen, DeferabilityRequiresBlockDeadResult) {
     for (const SetupOp &Op : GB.Ops) {
       if (Op.K != SetupOp::EmitInstr)
         continue;
-      if (Op.Op == ir::Opcode::Store)
+      if (Op.Op == ir::Opcode::Store) {
         EXPECT_FALSE(Op.Deferrable) << "stores are never deferrable";
+      }
     }
 }
 
@@ -114,8 +115,9 @@ TEST(Cogen, DaeFlagOffDisablesDeferral) {
   auto B = buildAll(MixedSrc, Fl);
   for (const GenBlock &GB : B->GenExts[0].Blocks)
     for (const SetupOp &Op : GB.Ops)
-      if (Op.K == SetupOp::EmitInstr)
+      if (Op.K == SetupOp::EmitInstr) {
         EXPECT_FALSE(Op.Deferrable);
+      }
 }
 
 TEST(Cogen, RegionCarriesFrameLayoutAndTypes) {

@@ -347,6 +347,7 @@ TEST(FuzzReentry, ManyPromotedValuesThroughCacheAll) {
   int64_t A1 = SM.allocMemory(16), B1 = SM.allocMemory(16);
   int64_t A2 = DM.allocMemory(16), B2 = DM.allocMemory(16);
   ASSERT_EQ(A1, A2);
+  ASSERT_EQ(B1, B2);
   DeterministicRNG RNG(0x1234);
   for (int I = 0; I != 16; ++I) {
     int64_t AV = static_cast<int64_t>(RNG.nextBelow(10));

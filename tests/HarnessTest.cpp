@@ -112,8 +112,9 @@ int toymain(int* a, int* b, int n, int reps) {
 )";
   core::RegionPerf P = core::measureRegion(W, OptFlags());
   EXPECT_TRUE(P.OutputsMatch);
-  if (P.AsymptoticSpeedup < 1.0)
+  if (P.AsymptoticSpeedup < 1.0) {
     EXPECT_EQ(P.BreakEvenInvocations, -1.0);
+  }
 }
 
 TEST(Harness, AblationConfigurationsStayCorrectOnTheToy) {

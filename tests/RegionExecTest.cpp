@@ -1,0 +1,193 @@
+//===- tests/RegionExecTest.cpp - shared execution-core acceptance tests ----------===//
+//
+// Acceptance tests for the RegionExecutionCore refactor: the inline runtime
+// and the SpecServer are two front ends over one specialization backend, so
+// the same workload must produce identical instruction counts, identical
+// specialization counts, and bit-identical region disassembly through both.
+// Also covers the chain model the core introduced inline: golden disassembly
+// of single-way and multi-way unrolled loops, CLOCK eviction through
+// buildDynamic, and the soft per-region code cap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+#include "server/SpecServer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyc;
+
+namespace {
+
+std::unique_ptr<core::DycContext> compile(const std::string &Src) {
+  auto Ctx = std::make_unique<core::DycContext>();
+  std::vector<std::string> Errors;
+  bool OK = Ctx->compile(Src, Errors);
+  EXPECT_TRUE(OK) << (Errors.empty() ? "" : Errors[0]);
+  return Ctx;
+}
+
+// Triangular-sum region: one specialization per distinct n under cache_all.
+const char *SumSrc = "int f(int n) {\n"
+                     "  int i;\n"
+                     "  make_static(n, i : cache_all);\n"
+                     "  int s = 0;\n"
+                     "  for (i = 0; i < n; i = i + 1) { s = s + i; }\n"
+                     "  return s;\n"
+                     "}";
+
+int64_t triangular(int64_t N) { return N * (N - 1) / 2; }
+
+// The acceptance criterion of the refactor: buildDynamic and buildServer
+// share RegionExecutionCore, so the same key sequence produces identical
+// per-region counters and bit-identical disassembly (including the
+// core-assigned "f.chainN" names) through both front ends.
+TEST(RegionExecCore, StatsParityInlineVsServer) {
+  const std::vector<int64_t> Keys = {3, 5, 7, 3, 5, 7, 4};
+
+  auto InlineCtx = compile(SumSrc);
+  auto E = InlineCtx->buildDynamic();
+  int FI = E->findFunction("f");
+  for (int64_t N : Keys)
+    EXPECT_EQ(E->Machine->run(FI, {Word::fromInt(N)}).asInt(),
+              triangular(N));
+
+  auto ServerCtx = compile(SumSrc);
+  server::ServerConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.OnMiss = server::MissPolicy::Block;
+  auto Server = ServerCtx->buildServer(OptFlags(), std::move(Cfg));
+  auto Client = Server->makeClientVM();
+  int FS = Server->findFunction("f");
+  for (int64_t N : Keys)
+    EXPECT_EQ(Client->run(FS, {Word::fromInt(N)}).asInt(), triangular(N));
+  Server->drain();
+
+  const runtime::RegionStats &SI = E->RT->stats(0);
+  runtime::RegionStats SS = Server->regionStats(0);
+  EXPECT_EQ(SI.SpecializationRuns, 4u); // 3, 5, 7, 4
+  EXPECT_EQ(SS.SpecializationRuns, SI.SpecializationRuns);
+  EXPECT_GT(SI.InstructionsGenerated, 0u);
+  EXPECT_EQ(SS.InstructionsGenerated, SI.InstructionsGenerated);
+  EXPECT_EQ(SS.CodeCapHits, SI.CodeCapHits);
+
+  std::string DisInline = E->RT->disassembleRegion(0);
+  std::string DisServer = Server->disassembleRegion(0);
+  EXPECT_FALSE(DisInline.empty());
+  EXPECT_EQ(DisInline, DisServer);
+  // Chain naming comes from the one core-global counter in both builds.
+  EXPECT_NE(DisInline.find("f.chain1"), std::string::npos);
+  EXPECT_NE(DisInline.find("f.chain4"), std::string::npos);
+}
+
+// Golden output of a complete (single-way) unrolling: the loop over a
+// static bound disappears entirely; what remains is the residue of the
+// dynamic computation plus the region exit.
+TEST(RegionExecCore, GoldenDisassemblySingleWayUnroll) {
+  auto Ctx = compile(SumSrc);
+  auto E = Ctx->buildDynamic();
+  int F = E->findFunction("f");
+  EXPECT_EQ(E->Machine->run(F, {Word::fromInt(3)}).asInt(), 3);
+  std::string Dis = E->RT->disassembleRegion(0);
+  // n=3: the loop is gone; only the dynamic accumulator residue remains
+  // (s = 0, then the two non-zero additions), then the region exit.
+  const char *Golden =
+      "; code object 'f.chain1': 4 instructions, 12 regs\n"
+      "    0:  consti r3, 0\n"
+      "    1:  addi r3, r3, 1\n"
+      "    2:  addi r3, r3, 2\n"
+      "    3:  exit_region resume @7\n";
+  EXPECT_EQ(Dis, Golden) << "actual:\n" << Dis;
+}
+
+// Golden output of a multi-way unrolling: an interpreter-style loop whose
+// static pc can revisit a value emits a real backward branch through the
+// memoized (context, statics) entry instead of unrolling forever.
+TEST(RegionExecCore, GoldenDisassemblyMultiWayUnroll) {
+  auto Ctx = compile("int f(int* prog, int* cnt) {\n"
+                     "  int pc = 0;\n"
+                     "  make_static(prog, pc);\n"
+                     "  int acc = 0;\n"
+                     "  while (pc < 3) {\n"
+                     "    int op = prog@[pc];\n"
+                     "    if (op == 0) { acc = acc + 1; pc = pc + 1; }\n"
+                     "    else { if (op == 1) {\n"
+                     "      cnt[0] = cnt[0] - 1;\n"
+                     "      if (cnt[0] > 0) { pc = 0; } else { pc = pc + 1; }\n"
+                     "    } else { pc = 3; } }\n"
+                     "  }\n"
+                     "  return acc;\n"
+                     "}");
+  auto E = Ctx->buildDynamic();
+  vm::VM &M = *E->Machine;
+  int64_t Prog = M.allocMemory(3);
+  int64_t Cnt = M.allocMemory(1);
+  M.memory()[Prog] = Word::fromInt(0);     // acc++
+  M.memory()[Prog + 1] = Word::fromInt(1); // loop back while --cnt > 0
+  M.memory()[Prog + 2] = Word::fromInt(2); // halt
+  M.memory()[Cnt] = Word::fromInt(5);
+  int F = E->findFunction("f");
+  EXPECT_EQ(M.run(F, {Word::fromInt(Prog), Word::fromInt(Cnt)}).asInt(), 5);
+  std::string Dis = E->RT->disassembleRegion(0);
+  // The prog@[] opcode fetches fold away; pc=0's acc++ residue is followed
+  // by the cnt decrement and a REAL backward branch (`br @1`) to the
+  // memoized pc=0 entry — the loop did not unroll 5 times.
+  const char *Golden =
+      "; code object 'f.chain1': 10 instructions, 37 regs\n"
+      "    0:  consti r4, 0\n"
+      "    1:  addi r4, r4, 1\n"
+      "    2:  load r22, [r1 + 0]\n"
+      "    3:  subi r24, r22, 1\n"
+      "    4:  store [r1 + 0], r24\n"
+      "    5:  load r28, [r1 + 0]\n"
+      "    6:  cmpgti r30, r28, 0\n"
+      "    7:  condbr r30, @8, @9\n"
+      "    8:  br @1\n"
+      "    9:  exit_region resume @8\n";
+  EXPECT_EQ(Dis, Golden) << "actual:\n" << Dis;
+}
+
+// The CLOCK capacity bound now works through the inline front end too:
+// a budget of 2 entries keeps at most 2 specializations resident, counts
+// the evictions in RegionStats, and respecializes evicted keys correctly.
+TEST(RegionExecCore, InlineEvictionBoundsResidency) {
+  auto Ctx = compile(SumSrc);
+  runtime::ChainBudget Budget;
+  Budget.MaxEntries = 2;
+  auto E = Ctx->buildDynamic(OptFlags(), vm::CostModel(), vm::ICacheConfig(),
+                             Budget);
+  int F = E->findFunction("f");
+  for (int64_t N : {2, 3, 4, 5, 6}) // 5 distinct keys through 2 slots
+    EXPECT_EQ(E->Machine->run(F, {Word::fromInt(N)}).asInt(),
+              triangular(N));
+  const runtime::RegionStats &St = E->RT->stats(0);
+  EXPECT_EQ(St.SpecializationRuns, 5u);
+  EXPECT_GE(St.Evictions, 3u);
+  EXPECT_LE(E->RT->core().residentEntries(0), 2u);
+
+  // Evicted keys miss and respecialize; the resident set stays bounded.
+  EXPECT_EQ(E->Machine->run(F, {Word::fromInt(2)}).asInt(), triangular(2));
+  EXPECT_GE(E->RT->stats(0).SpecializationRuns, 6u);
+  EXPECT_LE(E->RT->core().residentEntries(0), 2u);
+
+  // No client is inside dynamic code, so every evicted chain is
+  // reclaimable and only the resident ones survive collection.
+  E->RT->core().collectChains();
+  EXPECT_LE(E->RT->core().liveChains(), 2u);
+}
+
+// MaxRegionInstrs is a soft cap surfaced as a counter, not an abort: a
+// region that outgrows it still runs to the correct answer.
+TEST(RegionExecCore, CodeCapHitsIsSoft) {
+  auto Ctx = compile(SumSrc);
+  OptFlags Flags;
+  Flags.MaxRegionInstrs = 4;
+  auto E = Ctx->buildDynamic(Flags);
+  int F = E->findFunction("f");
+  EXPECT_EQ(E->Machine->run(F, {Word::fromInt(20)}).asInt(),
+            triangular(20));
+  EXPECT_GT(E->RT->stats(0).CodeCapHits, 0u);
+  EXPECT_EQ(E->RT->stats(0).SpecializationRuns, 1u);
+}
+
+} // namespace
