@@ -65,7 +65,14 @@ public:
         MaxInstrs(MaxInstrs) {}
 
   uint32_t size() const { return static_cast<uint32_t>(Buf.Code.size()); }
-  vm::Instr &at(size_t PC) { return Buf.Code[PC]; }
+
+  /// Mutable access to an already-emitted instruction (branch patching,
+  /// hole filling). Bumps the buffer's Version so the VM's predecoded
+  /// translation cache re-decodes instead of running a stale translation.
+  vm::Instr &at(size_t PC) {
+    ++Buf.Version;
+    return Buf.Code[PC];
+  }
 
   void emitRaw(vm::Instr I);
   void emitConst(uint32_t Dst, Word C, ir::Type Ty);

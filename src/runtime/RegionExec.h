@@ -32,6 +32,18 @@
 /// internally thread-safe — clients resolve sites and release executors
 /// while workers specialize.
 ///
+/// Interaction with the VM's predecoded translation cache: translations
+/// are keyed by CodeObject::BaseAddr, and Program::allocCodeAddr never
+/// reuses an address, so a freed chain's stale translation can never be
+/// reached through a newly published chain. A front end that unpublishes
+/// a chain (admit's eviction callback, one-slot displacement) should also
+/// call VM::invalidateDecoded on its CodeObject so the translation cache
+/// does not pin memory for code the registry is about to free; the VM
+/// additionally revalidates every translation against (Code.size(),
+/// Version) when it enters a code object, which is what makes Emitter
+/// rewrites (branch patching, hole filling — they bump Version) safe even
+/// without eager invalidation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYC_RUNTIME_REGIONEXEC_H

@@ -13,9 +13,12 @@ void DycRuntime::addRegion(cogen::GenExtFunction GX) {
   Core.addRegion(std::move(GX));
 }
 
-void DycRuntime::retireSlot(Front &F, uint32_t Slot, ir::CachePolicy Policy) {
+void DycRuntime::retireSlot(vm::VM &VMRef, Front &F, uint32_t Slot,
+                            ir::CachePolicy Policy) {
   if (Slot >= F.Slots.size() || !F.Slots[Slot])
     return;
+  if (F.Slots[Slot]->Chain)
+    VMRef.invalidateDecoded(F.Slots[Slot]->Chain->CO);
   Core.displaced(F.Slots[Slot], Policy);
   F.Slots[Slot].reset();
 }
@@ -109,17 +112,21 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
   uint32_t Displaced = CodeCache::NoValue;
   Cache.insert(E->Key, Slot, &Displaced);
   if (Displaced != CodeCache::NoValue && Displaced != Slot)
-    retireSlot(F, Displaced, Cache.policy());
+    retireSlot(VMRef, F, Displaced, Cache.policy());
 
   // Account the new chain against the region's budget; CLOCK victims are
   // unpublished from their dispatch cache and slot before their chain is
-  // marked evicted.
-  Core.admit(E, [this](const SpecEntry &Victim) {
+  // marked evicted. Dropping the VM's predecoded translation here (not
+  // just at the safe point) keeps the translation cache from pinning
+  // memory for chains the registry is about to free.
+  Core.admit(E, [this, &VMRef](const SpecEntry &Victim) {
     Front &VF = Fronts[Victim.Region];
     VF.PromoCaches[Victim.PromoId].erase(Victim.Key);
     uint32_t VS = static_cast<uint32_t>(Victim.Point);
     if (VS < VF.Slots.size() && VF.Slots[VS].get() == &Victim)
       VF.Slots[VS].reset();
+    if (Victim.Chain)
+      VMRef.invalidateDecoded(Victim.Chain->CO);
   });
 
   E->Use->LastUse.store(Tick, std::memory_order_relaxed);

@@ -97,8 +97,10 @@ private:
     std::vector<std::shared_ptr<SpecEntry>> Slots;
   };
 
-  /// Drops a displaced/evicted slot and retires its entry with the core.
-  void retireSlot(Front &F, uint32_t Slot, ir::CachePolicy Policy);
+  /// Drops a displaced/evicted slot and retires its entry with the core,
+  /// invalidating the VM's predecoded translation of its chain.
+  void retireSlot(vm::VM &VMRef, Front &F, uint32_t Slot,
+                  ir::CachePolicy Policy);
 
   RegionExecutionCore Core;
   std::vector<Front> Fronts; ///< parallel to the core's regions

@@ -116,6 +116,11 @@ struct CodeObject {
   /// True for run-time-generated code buffers (unscheduled code pays the
   /// cost model's surcharge).
   bool IsDynamicCode = false;
+  /// Bumped on every rewrite of already-emitted instructions (branch
+  /// patching, hole filling). The VM's predecoded translation cache
+  /// validates against (BaseAddr, Code.size(), Version), so a rewrite
+  /// forces lazy re-decode instead of executing a stale translation.
+  uint32_t Version = 0;
   std::string Name;
 
   uint64_t addrOf(size_t PC) const { return BaseAddr + PC * 4; }

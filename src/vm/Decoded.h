@@ -1,0 +1,166 @@
+//===- vm/Decoded.h - Predecoded translation cache -------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's staged execution substrate: a per-CodeObject translation built
+/// lazily on first execution, mirroring DyC's own set-up-once/run-many
+/// story at the host level. A translation lowers the bytecode into
+///
+///  * a decoded instruction stream — one fixed-size DecodedInstr per PC
+///    with a resolved handler index, copied operands, the precomputed
+///    CostModel charge, and quickened superinstructions for the
+///    straight-line idioms the specializer emits (ConstI feeding Add,
+///    Mov before Br, hole-patched ConstI runs, compare-and-branch); and
+///
+///  * basic-block "superblocks" — per-block cycle sums, instruction
+///    counts, and I-cache line-touch segments, so the hot loop charges
+///    cycles, checks fuel, and probes the ICache once per block while
+///    reproducing the per-instruction engine's counters bit-identically
+///    (ICache::accessRun replays each line segment's access sequence
+///    exactly).
+///
+/// Invalidation contract: translations are keyed by the CodeObject's
+/// simulated BaseAddr — Program::allocCodeAddr never reuses addresses, so
+/// a freed chain's stale translation can never be reached by a new chain —
+/// and validated against (Code.size(), Version). The Emitter bumps Version
+/// whenever it rewrites already-emitted instructions, and the inline
+/// runtime eagerly drops translations of chains it unpublishes (capacity
+/// eviction and one-slot displacement). Entering code mid-block (a
+/// Dispatch target or ExitRegion resume offset decode didn't predict)
+/// promotes that PC to a block leader and re-translates, so steady-state
+/// execution is always on the superblock fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_VM_DECODED_H
+#define DYC_VM_DECODED_H
+
+#include "vm/Bytecode.h"
+#include "vm/CostModel.h"
+#include "vm/ICache.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace dyc {
+namespace vm {
+
+/// Decoded handler opcodes. The first block mirrors Op one-to-one (same
+/// order); quickened superinstructions follow.
+enum class DOp : uint16_t {
+  ConstI, ConstF, Mov, FMov,
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Neg,
+  AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI,
+  FAdd, FSub, FMul, FDiv, FNeg, FAddI, FSubI, FMulI, FDivI,
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+  IToF, FToI,
+  Load, LoadAbs, Store, StoreAbs,
+  Call, CallExt,
+  Br, CondBr, Ret,
+  EnterRegion, Dispatch, ExitRegion,
+  Halt,
+  // --- Superinstructions (each executes two original instructions) ------
+  ConstIConstI, ///< back-to-back constant materializations (hole-patched
+                ///< ConstI runs from the Emitter)
+  ConstIAdd,    ///< ConstI into a scratch register feeding an Add
+  MovBr,        ///< register copy falling into an unconditional branch
+  CmpICondBr,   ///< reg-imm compare feeding CondBr; X holds the compare
+                ///< kind (0..5 = Eq,Ne,Lt,Le,Gt,Ge)
+  CmpCondBr,    ///< reg-reg compare feeding CondBr; X as above
+  NumHandlers
+};
+
+/// One predecoded instruction: resolved handler plus copied operands and
+/// the precomputed execution-cost charge. Superinstruction handlers read
+/// the second fused instruction's operands from the next slot (the stream
+/// stays parallel to the bytecode, so mid-stream entry is always valid).
+struct DecodedInstr {
+  uint16_t H = 0; ///< DOp
+  uint16_t X = 0; ///< handler-specific extra (fused compare kind)
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  uint32_t Cost = 0; ///< CostModel::costOf(I, IsDynamicCode)
+  int64_t Imm = 0;   ///< shift immediates pre-masked to 0..63
+};
+
+/// One I-cache line segment of a block: \p Count consecutive instruction
+/// fetches that all land on the line holding \p Addr.
+struct DecodedLineSeg {
+  uint64_t Addr = 0;
+  uint32_t Count = 0;
+};
+
+/// One straight-line superblock: [First, First + Count) instructions with
+/// their total cycle cost and I-cache touch list precomputed.
+struct DecodedBlock {
+  uint32_t First = 0;
+  uint32_t Count = 0;
+  uint64_t CostSum = 0;
+  uint32_t SegBegin = 0; ///< index range into DecodedCode::Segs
+  uint32_t SegEnd = 0;
+};
+
+/// The complete translation of one CodeObject.
+struct DecodedCode {
+  size_t CodeSize = 0;  ///< validation: CO.Code.size() at build time
+  uint32_t Version = 0; ///< validation: CO.Version at build time
+  std::vector<DecodedInstr> Instrs; ///< parallel to CO.Code
+  std::vector<DecodedBlock> Blocks;
+  std::vector<DecodedLineSeg> Segs;
+  /// Per PC: index of the block this PC *leads*, or -1 (mid-block).
+  std::vector<int32_t> BlockOf;
+  /// Entry PCs promoted to leaders after mid-block entries (kept across
+  /// re-translations of the same object).
+  std::vector<uint32_t> ExtraLeaders;
+};
+
+/// Builds the translation of \p CO under \p CM and the I-cache geometry
+/// \p IC (line segmentation), treating \p ExtraLeaders as additional block
+/// leaders.
+std::unique_ptr<DecodedCode> buildDecoded(const CodeObject &CO,
+                                          const CostModel &CM,
+                                          const ICacheConfig &IC,
+                                          std::vector<uint32_t> ExtraLeaders);
+
+/// The per-VM translation cache. Not thread-safe: each VM owns one.
+class DecodedCache {
+public:
+  /// Returns the (valid) translation of \p CO, building or rebuilding it
+  /// if absent or stale.
+  const DecodedCode *get(const CodeObject &CO, const CostModel &CM,
+                         const ICacheConfig &IC);
+
+  /// Re-translates \p CO with \p PC promoted to a block leader. Returns
+  /// the new translation, or null if the promotion budget is exhausted
+  /// (the caller falls back to single-stepping).
+  const DecodedCode *promoteLeader(const CodeObject &CO, uint32_t PC,
+                                   const CostModel &CM,
+                                   const ICacheConfig &IC);
+
+  /// Drops the translation of \p CO (the runtime unpublished its chain).
+  void invalidate(const CodeObject &CO) { Map.erase(CO.BaseAddr); }
+
+  void clear() { Map.clear(); }
+  size_t size() const { return Map.size(); }
+  uint64_t builds() const { return Builds; }
+
+private:
+  /// Promotion budget per code object; beyond it, unpredicted entry PCs
+  /// single-step to the next leader instead of re-translating.
+  static constexpr size_t MaxExtraLeaders = 256;
+
+  std::unordered_map<uint64_t, std::unique_ptr<DecodedCode>> Map;
+  uint64_t Builds = 0;
+};
+
+} // namespace vm
+} // namespace dyc
+
+#endif // DYC_VM_DECODED_H

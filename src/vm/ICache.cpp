@@ -51,6 +51,32 @@ bool ICache::access(uint64_t Addr) {
   return false;
 }
 
+bool ICache::accessRun(uint64_t Addr, uint32_t Count) {
+  if (!Cfg.Enabled) {
+    Hits += Count;
+    return true;
+  }
+  bool Hit = access(Addr);
+  if (Count > 1) {
+    // The remaining Count-1 fetches hit the line access() just installed
+    // or refreshed; replay their clock ticks and recency in one step.
+    Clock += Count - 1;
+    Hits += Count - 1;
+    uint64_t Block = Addr / Cfg.BlockBytes;
+    uint32_t Set = static_cast<uint32_t>(Block & (NumSets - 1));
+    uint64_t Tag = Block >> __builtin_ctz(NumSets);
+    Line *SetBase = &Lines[static_cast<size_t>(Set) * Cfg.Assoc];
+    for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
+      Line &L = SetBase[W];
+      if (L.Valid && L.Tag == Tag) {
+        L.LastUse = Clock;
+        break;
+      }
+    }
+  }
+  return Hit;
+}
+
 void ICache::flush() {
   for (Line &L : Lines)
     L.Valid = false;

@@ -39,6 +39,15 @@ public:
   /// Simulates a fetch from \p Addr. Returns true on hit.
   bool access(uint64_t Addr);
 
+  /// Simulates \p Count back-to-back fetches from the single cache line
+  /// holding \p Addr, bit-identically to \p Count access(Addr) calls: the
+  /// first fetch may miss; the rest are guaranteed hits (the line was just
+  /// touched and nothing intervened), so they are folded into one counter
+  /// update plus an LRU refresh. The predecoded engine uses this to charge
+  /// a basic block's fetches per line segment instead of per instruction.
+  /// Returns true if the first fetch hit.
+  bool accessRun(uint64_t Addr, uint32_t Count);
+
   /// Invalidates every line (flushed after dynamic code generation; the
   /// coherence cost itself is part of the specializer's emit cost).
   void flush();

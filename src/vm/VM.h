@@ -23,12 +23,14 @@
 
 #include "vm/Bytecode.h"
 #include "vm/CostModel.h"
+#include "vm/Decoded.h"
 #include "vm/ExternalFunctions.h"
 #include "vm/ICache.h"
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dyc {
@@ -62,6 +64,9 @@ public:
 
 private:
   std::vector<CodeObject> Funcs;
+  /// Name -> index; first registration of a name wins, matching the old
+  /// linear scan's front-to-back resolution order.
+  std::unordered_map<std::string, uint32_t> FuncIndex;
   uint64_t NextCodeAddr = 0x10000;
 };
 
@@ -105,6 +110,14 @@ struct FunctionStats {
 /// The bytecode interpreter.
 class VM {
 public:
+  /// Which execution engine run() uses. Both produce bit-identical
+  /// ExecCycles/DynCompCycles/InstrsExecuted, function statistics, and
+  /// I-cache hit/miss counts; Predecoded is simply faster on the host.
+  enum class EngineKind {
+    Legacy,    ///< the original fetch/decode/charge-per-instruction switch
+    Predecoded ///< superblock-charging engine over the translation cache
+  };
+
   explicit VM(Program &P, const CostModel &CM = CostModel(),
               const ICacheConfig &IC = ICacheConfig());
 
@@ -149,6 +162,27 @@ public:
   /// coherence, as the paper lists among dynamic-compilation costs).
   void flushICache() { IC.flush(); }
 
+  /// Drops the predecoded translation of \p CO. The inline run-time calls
+  /// this when it unpublishes a chain (capacity eviction, one-slot
+  /// displacement) so a later chain reusing nothing but the allocator's
+  /// monotonic address space can never observe stale decode state, and so
+  /// the cache does not pin freed chains' translations.
+  void invalidateDecoded(const CodeObject &CO) { Decoded.invalidate(CO); }
+
+  /// Translation-cache introspection (tests and benchmarks).
+  size_t decodedObjects() const { return Decoded.size(); }
+  uint64_t decodeBuilds() const { return Decoded.builds(); }
+
+  /// Engine selection; Predecoded by default. The DYC_VM_ENGINE
+  /// environment variable ("legacy" / "predecoded") overrides it at
+  /// construction, which lets any existing binary A/B the engines.
+  EngineKind Engine = EngineKind::Predecoded;
+
+  /// How the predecoded engine's inner dispatch was compiled: "threaded"
+  /// (computed goto) or "switch". Reported by benchmarks so artifacts are
+  /// self-describing.
+  static const char *dispatchMode();
+
   RuntimeHook *Hook = nullptr;
 
   /// Optional observer invoked at every function entry (both top-level
@@ -170,10 +204,25 @@ private:
     std::vector<Word> Regs;
   };
 
-  void execLoop();
+  /// Executes exactly one instruction with the original per-instruction
+  /// fetch/charge sequence. The Legacy engine is a loop around this; the
+  /// Predecoded engine falls back to it for the rare cases the block fast
+  /// path must not handle (imminent fuel exhaustion, mid-block entry past
+  /// the leader-promotion budget).
+  void stepOne(size_t BaseDepth);
+  Word runLegacy(size_t BaseDepth);
+  Word runPredecoded(size_t BaseDepth);
   [[noreturn]] void machineError(const std::string &Msg, const Frame &F);
+  [[noreturn]] void memOutOfRange(int64_t Addr, const Frame &F);
 
-  Word &mem(int64_t Addr, const Frame &F);
+  /// Bounds-checked access to VM memory. The failure path (message
+  /// formatting and abort) lives out of line in memOutOfRange so the hot
+  /// Load/Store path is a compare and an index.
+  Word &mem(int64_t Addr, const Frame &F) {
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Mem.size()) [[unlikely]]
+      memOutOfRange(Addr, F);
+    return Mem[static_cast<size_t>(Addr)];
+  }
 
   Program &Prog;
   CostModel CM;
@@ -182,6 +231,10 @@ private:
   int64_t MemBrk = 16; // low addresses reserved (address 0 acts as "null")
   std::vector<Frame> Frames;
   std::vector<FunctionStats> FuncStats;
+  DecodedCache Decoded;
+  /// OnCall presence, latched at run() entry so the per-call path tests a
+  /// bool instead of a std::function.
+  bool HasOnCall = false;
   uint64_t ExecCycles = 0;
   uint64_t DynCompCycles = 0;
   uint64_t InstrsExecuted = 0;
