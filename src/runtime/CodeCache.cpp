@@ -8,7 +8,7 @@ namespace runtime {
 CodeCache::CodeCache(const CodeCache &O)
     : Policy(O.Policy), IndexPos(O.IndexPos), Table(O.Table),
       HasOne(O.HasOne), OneKey(O.OneKey), OneValue(O.OneValue),
-      Indexed(O.Indexed), IndexedCount(O.IndexedCount),
+      Indexed(O.Indexed), IndexedCount(O.IndexedCount), Epoch(O.Epoch),
       Lookups(O.Lookups.load(std::memory_order_relaxed)) {}
 
 CodeCache &CodeCache::operator=(const CodeCache &O) {
@@ -20,6 +20,7 @@ CodeCache &CodeCache::operator=(const CodeCache &O) {
   OneValue = O.OneValue;
   Indexed = O.Indexed;
   IndexedCount = O.IndexedCount;
+  Epoch = O.Epoch;
   Lookups.store(O.Lookups.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
   return *this;
@@ -36,7 +37,7 @@ size_t CodeCache::entries() const {
   }
 }
 
-CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
+CacheResult CodeCache::lookup(WordSpan Key) const {
   Lookups.fetch_add(1, std::memory_order_relaxed);
   CacheResult R;
   switch (Policy) {
@@ -76,8 +77,8 @@ CacheResult CodeCache::lookup(const std::vector<Word> &Key) const {
   return R;
 }
 
-bool CodeCache::insert(const std::vector<Word> &Key, uint32_t Value,
-                       uint32_t *DisplacedOut) {
+bool CodeCache::insert(WordSpan Key, uint32_t Value, uint32_t *DisplacedOut) {
+  ++Epoch;
   if (DisplacedOut)
     *DisplacedOut = NoValue;
   if (Policy == ir::CachePolicy::CacheAll) {
@@ -105,16 +106,17 @@ bool CodeCache::insert(const std::vector<Word> &Key, uint32_t Value,
     Indexed[Idx] = Value;
     return false;
   }
-  bool Evicted = HasOne && OneKey != Key;
+  bool Evicted = HasOne && WordSpan(OneKey) != Key;
   if (HasOne && DisplacedOut)
     *DisplacedOut = OneValue;
   HasOne = true;
-  OneKey = Key;
+  OneKey.assign(Key.begin(), Key.end());
   OneValue = Value;
   return Evicted;
 }
 
-void CodeCache::erase(const std::vector<Word> &Key) {
+void CodeCache::erase(WordSpan Key) {
+  ++Epoch;
   switch (Policy) {
   case ir::CachePolicy::CacheAll:
     Table.erase(Key);

@@ -54,9 +54,15 @@ public:
 
   ir::CachePolicy policy() const { return Policy; }
 
+  /// Which key word cache_indexed uses as the direct-array index.
+  uint32_t indexPos() const { return IndexPos; }
+
   /// Probes for \p Key. Under cache_one_unchecked, any resident entry hits
   /// regardless of key — the unsafety is the point.
-  CacheResult lookup(const std::vector<Word> &Key) const;
+  CacheResult lookup(WordSpan Key) const;
+  CacheResult lookup(const std::vector<Word> &Key) const {
+    return lookup(WordSpan(Key));
+  }
 
   /// Installs \p Key -> \p Value (replaces the resident entry under the
   /// one-slot policies). Returns true if a live entry with a *different*
@@ -65,13 +71,41 @@ public:
   /// receives the value any pre-existing entry was displaced from (one-slot
   /// replacement, same-key rebinding, or same-index overwrite) or NoValue —
   /// the run-time uses it to retire the displaced chain.
+  bool insert(WordSpan Key, uint32_t Value, uint32_t *DisplacedOut = nullptr);
   bool insert(const std::vector<Word> &Key, uint32_t Value,
-              uint32_t *DisplacedOut = nullptr);
+              uint32_t *DisplacedOut = nullptr) {
+    return insert(WordSpan(Key), Value, DisplacedOut);
+  }
 
   /// Removes \p Key so the next lookup misses (capacity eviction
   /// unpublishing an entry). Under the one-slot policies the resident entry
   /// is dropped only if its key matches.
-  void erase(const std::vector<Word> &Key);
+  void erase(WordSpan Key);
+  void erase(const std::vector<Word> &Key) { erase(WordSpan(Key)); }
+
+  /// Mutation epoch: bumped by every insert and erase — the only
+  /// operations that can change which entry a key maps to or how many
+  /// probes a table lookup takes. The run-time's per-site inline caches
+  /// memoize (entry, probe count) against this; an unchanged epoch proves
+  /// both are still exactly what a real lookup would produce.
+  uint64_t epoch() const { return Epoch; }
+
+  /// Replays the counter effects of the memoized hit the inline cache just
+  /// short-circuited: one lookup here, and — when the memoized probe ran
+  /// through the hash table (\p UsedTable: cache_all, or the
+  /// cache_indexed out-of-range fallback) — the table's lookup/probe
+  /// counters, so lookups()/totalProbes() stay bit-identical to an
+  /// un-memoized dispatch sequence.
+  /// Single-writer bumps (load + store, no RMW): only the single-client
+  /// inline front end memoizes against a CodeCache, so there is never a
+  /// concurrent writer, and plain atomic stores keep any concurrent stats
+  /// reader race-free at a fraction of a locked add's cost.
+  void noteMemoizedHit(unsigned Probes, bool UsedTable) const {
+    Lookups.store(Lookups.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    if (UsedTable)
+      Table.notePhantomLookup(Probes);
+  }
 
   uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
   uint64_t totalProbes() const { return Table.totalProbes(); }
@@ -93,6 +127,7 @@ private:
   uint32_t OneValue = 0;
   std::vector<uint32_t> Indexed; // cache_indexed (sentinel = NotPresent)
   size_t IndexedCount = 0;
+  uint64_t Epoch = 0; ///< bumped on insert/erase (inline-cache validity)
   /// Relaxed atomic: concurrent readers (the SpecServer's dispatch layer)
   /// may count lookups while a stats reader aggregates them.
   mutable std::atomic<uint64_t> Lookups{0};

@@ -123,6 +123,13 @@ RegionStats &RegionExecutionCore::statsMutable(size_t Ordinal) {
 //===----------------------------------------------------------------------===//
 
 DispatchSite RegionExecutionCore::siteInfo(size_t Idx) const {
+  return siteRef(Idx);
+}
+
+const DispatchSite &RegionExecutionCore::siteRef(size_t Idx) const {
+  // The lock only orders this read against a concurrent internSite: deque
+  // growth never moves existing elements and interned sites are immutable,
+  // so the reference stays valid after the lock is released.
   std::lock_guard<std::mutex> Lock(SitesMutex);
   assert(Idx < Sites.size() && "bad dispatch site");
   return Sites[Idx];
@@ -155,19 +162,25 @@ uint32_t RegionExecutionCore::internSite(DispatchSite S, bool *Created) {
 //===----------------------------------------------------------------------===//
 
 std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
-    size_t Ordinal, vm::VM &VMRef, uint32_t PromoId, std::vector<Word> Key,
-    const std::vector<Word> &BakedVals, const std::vector<Word> &KeyVals) {
+    size_t Ordinal, vm::VM &VMRef, uint32_t PromoId, WordSpan Key,
+    WordSpan BakedVals, WordSpan KeyVals) {
   assert(Ordinal < Regions.size() && "bad region ordinal");
   RegionState &R = *Regions[Ordinal];
   const bta::PromoPoint &P = R.GX.Region.Promos[PromoId];
 
+  // Copy the span inputs into owned storage before anything can re-enter
+  // the run-time: static calls at specialize time dispatch again on this
+  // thread, and the front ends pass views of scratch buffers that a nested
+  // dispatch recomposes.
+  std::vector<Word> KeyCopy(Key.begin(), Key.end());
   std::vector<Word> Vals(R.GX.NumRegs);
   for (size_t I = 0; I != P.BakedRegs.size(); ++I)
     Vals[P.BakedRegs[I]] = I < BakedVals.size() ? BakedVals[I] : Word();
   for (size_t I = 0; I != P.KeyRegs.size(); ++I)
     Vals[P.KeyRegs[I]] = KeyVals[I];
 
-  auto Chain = std::make_shared<CodeChain>();
+  auto Chain =
+      std::allocate_shared<CodeChain>(PoolAllocator<CodeChain>(R.Pool));
   Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
   Chain->Region = static_cast<uint32_t>(Ordinal);
   Chain->CO.NumRegs = R.GX.NumRegs;
@@ -179,21 +192,29 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
                    std::to_string(Chain->Ordinal);
 
-  UnrollDriver Driver(*this, R, static_cast<uint32_t>(Ordinal), VMRef, Flags,
-                      Chain->CO, Chain->ExitStubs, Chain->DispatchStubs);
-  uint32_t Entry = Driver.run(P.TargetCtx, std::move(Vals));
+  uint32_t Entry;
+  {
+    // The driver's scratch comes from the region's bump arena; the scope
+    // rolls it back when the run (and any nested runs, which open nested
+    // scopes) finishes. The driver is destroyed before the scope.
+    BumpArena::Scope ScratchScope(R.Scratch);
+    UnrollDriver Driver(*this, R, static_cast<uint32_t>(Ordinal), VMRef,
+                        Flags, Chain->CO, Chain->ExitStubs,
+                        Chain->DispatchStubs, R.Scratch);
+    Entry = Driver.run(P.TargetCtx, std::move(Vals));
+  }
   Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
   Chains.add(Chain);
 
-  auto E = std::make_shared<SpecEntry>();
-  E->Key = std::move(Key);
+  auto E = std::allocate_shared<SpecEntry>(PoolAllocator<SpecEntry>(R.Pool));
+  E->Key = std::move(KeyCopy);
   E->Hash = hashWords(E->Key.data(), E->Key.size());
   E->Point = PromoId; // front ends with their own numbering overwrite this
   E->Region = static_cast<uint32_t>(Ordinal);
   E->PromoId = PromoId;
   E->EntryPC = Entry;
   E->Chain = std::move(Chain);
-  E->Use = std::make_shared<EntryStats>();
+  E->Use = std::allocate_shared<EntryStats>(PoolAllocator<EntryStats>(R.Pool));
   E->Ordinal = E->Chain->Ordinal;
   return E;
 }

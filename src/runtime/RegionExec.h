@@ -52,9 +52,11 @@
 #include "bta/OptFlags.h"
 #include "cogen/CompilerGenerator.h"
 #include "runtime/RuntimeStats.h"
+#include "support/Arena.h"
 #include "vm/VM.h"
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -153,6 +155,18 @@ struct RegionState {
   std::map<std::vector<uint64_t>, Word> CallMemo;
   /// Per-context placement counts (unrolling evidence).
   std::vector<uint32_t> CtxPlacements;
+  /// Pooled storage for the region's published SpecEntry / CodeChain /
+  /// EntryStats objects. Blocks return to the pool when an evicted chain's
+  /// last reference drops (the collection safe points), so steady-state
+  /// respecialization recycles rather than reallocates. shared_ptr: the
+  /// PoolAllocator keeps the pool alive past the core if an embedder holds
+  /// an entry longer.
+  std::shared_ptr<RecyclingPool> Pool = std::make_shared<RecyclingPool>();
+  /// Per-run scratch for the unroll driver (worklist, memo nodes, patch
+  /// records). A Scope around each run rolls it back; chunks reach their
+  /// high-water mark once and are recycled by every later run. Only
+  /// touched under the caller's specialization serialization.
+  BumpArena Scratch;
 };
 
 /// A run-time dispatch site (emitted Dispatch instruction payload), also
@@ -192,6 +206,12 @@ public:
   // --- Dispatch sites (thread-safe) -------------------------------------------
 
   DispatchSite siteInfo(size_t Idx) const;
+
+  /// Borrowed reference to an interned site — the dispatch fast path's
+  /// copy-free accessor. Sites are immutable once interned and live in a
+  /// deque, so the reference stays valid for the core's lifetime; the
+  /// internal lock only orders the read against concurrent interning.
+  const DispatchSite &siteRef(size_t Idx) const;
   size_t numSites() const;
 
   /// Finds or creates a dispatch site; returns its index. \p Created, if
@@ -205,14 +225,16 @@ public:
   /// chain and returns the published entry. \p BakedVals are the site's
   /// specialize-time values (may be empty for a native entry), \p KeyVals
   /// the promoted registers' current values; \p Key is the front end's
-  /// cache key, stored on the entry for later unpublication. The entry's
+  /// cache key, stored on the entry for later unpublication. All three are
+  /// views: they are copied into owned storage before the generating
+  /// extension runs, so callers may pass scratch buffers that a nested
+  /// dispatch (static calls at specialize time) would clobber. The entry's
   /// Point is the promo id; a front end with its own point numbering
   /// overwrites it before inserting.
   std::shared_ptr<SpecEntry> specializeInto(size_t Ordinal, vm::VM &M,
-                                            uint32_t PromoId,
-                                            std::vector<Word> Key,
-                                            const std::vector<Word> &BakedVals,
-                                            const std::vector<Word> &KeyVals);
+                                            uint32_t PromoId, WordSpan Key,
+                                            WordSpan BakedVals,
+                                            WordSpan KeyVals);
 
   // --- Capacity + eviction (caller-serialized) --------------------------------
 
@@ -282,11 +304,38 @@ private:
   ChainRegistry Chains;
   std::atomic<uint64_t> ChainCounter{0};
 
-  std::vector<DispatchSite> Sites;
+  /// Deque, not vector: siteRef hands out long-lived references, and deque
+  /// growth never relocates existing elements.
+  std::deque<DispatchSite> Sites;
   /// Guards Sites: background specialization interns sites while client
   /// threads resolve them.
   mutable std::mutex SitesMutex;
 };
+
+/// Charges one dispatch's model-level cost under \p Policy — the paper's
+/// section 2.2.3/4.4.3 numbers, shared by both front ends (and by the
+/// inline-cached fast path, which must charge exactly what the probe it
+/// short-circuited would have). \p Probes is the cache_all probe count
+/// (memoized or fresh); \p KeyWords the full key length.
+inline void chargeDispatchCost(vm::VM &M, ir::CachePolicy Policy,
+                               size_t KeyWords, unsigned Probes) {
+  const vm::CostModel &CM = M.costModel();
+  switch (Policy) {
+  case ir::CachePolicy::CacheAll:
+    M.chargeExec(
+        CM.hashedDispatchCost(static_cast<unsigned>(KeyWords), Probes));
+    break;
+  case ir::CachePolicy::CacheOne:
+    M.chargeExec(CM.DispatchUnchecked + 2 * static_cast<unsigned>(KeyWords));
+    break;
+  case ir::CachePolicy::CacheOneUnchecked:
+    M.chargeExec(CM.DispatchUnchecked);
+    break;
+  case ir::CachePolicy::CacheIndexed:
+    M.chargeExec(CM.DispatchIndexed);
+    break;
+  }
+}
 
 } // namespace runtime
 } // namespace dyc

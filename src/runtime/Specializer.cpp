@@ -9,6 +9,7 @@ void DycRuntime::addRegion(cogen::GenExtFunction GX) {
   Front F;
   for (const bta::PromoPoint &P : GX.Region.Promos)
     F.PromoCaches.emplace_back(P.Policy, P.IndexKeyPos);
+  F.PromoMemos.resize(F.PromoCaches.size());
   Fronts.push_back(std::move(F));
   Core.addRegion(std::move(GX));
 }
@@ -26,52 +27,102 @@ void DycRuntime::retireSlot(vm::VM &VMRef, Front &F, uint32_t Slot,
 vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
                                              std::vector<Word> &Regs) {
   uint32_t Ord, PromoId;
-  bool HaveSite = false;
-  DispatchSite Site;
+  const DispatchSite *Site = nullptr;
+  SiteMemo *Memo = nullptr;
   if (PointId >= 0) {
     Ord = static_cast<uint32_t>(PointId >> 16);
     PromoId = static_cast<uint32_t>(PointId & 0xffff);
+    assert(Ord < Fronts.size() && "bad region ordinal");
+    if (ICEnabled)
+      Memo = &Fronts[Ord].PromoMemos[PromoId];
   } else {
-    // Copy the site out of the core's guarded table (the table only grows
-    // from this thread inline, but the accessor is the shared code path).
-    Site = Core.siteInfo(static_cast<size_t>(-(PointId + 1)));
-    HaveSite = true;
-    Ord = Site.RegionOrd;
-    PromoId = Site.PromoId;
+    size_t SiteIdx = static_cast<size_t>(-(PointId + 1));
+    if (ICEnabled) {
+      if (SiteIdx >= SiteMemos.size())
+        SiteMemos.resize(SiteIdx + 1);
+      Memo = &SiteMemos[SiteIdx];
+    }
+    if (Memo && Memo->Resolved) {
+      // The memo caches the site decode so the steady-state path skips
+      // the core's guarded site table entirely.
+      Ord = Memo->Ord;
+      PromoId = Memo->PromoId;
+      Site = Memo->Site;
+    } else {
+      const DispatchSite &S = Core.siteRef(SiteIdx);
+      Site = &S;
+      Ord = S.RegionOrd;
+      PromoId = S.PromoId;
+      if (Memo) {
+        Memo->Site = Site;
+        Memo->Ord = Ord;
+        Memo->PromoId = PromoId;
+        Memo->Resolved = true;
+      }
+    }
   }
   assert(Ord < Core.numRegions() && "bad region ordinal");
   Front &F = Fronts[Ord];
   const bta::PromoPoint &P = Core.promo(Ord, PromoId);
   RegionStats &St = Core.statsMutable(Ord);
-
-  // Compose the cache key: baked specialize-time values, then the
-  // promoted variables' current run-time values.
-  std::vector<Word> Key;
-  if (HaveSite)
-    Key = Site.BakedVals;
-  for (ir::Reg Rg : P.KeyRegs)
-    Key.push_back(Regs[Rg]);
-
   CodeCache &Cache = F.PromoCaches[PromoId];
-  CacheResult CR = Cache.lookup(Key);
 
-  const vm::CostModel &CM = VMRef.costModel();
-  switch (Cache.policy()) {
-  case ir::CachePolicy::CacheAll:
-    VMRef.chargeExec(CM.hashedDispatchCost(
-        static_cast<unsigned>(Key.size()), CR.Probes));
-    break;
-  case ir::CachePolicy::CacheOne:
-    VMRef.chargeExec(CM.DispatchUnchecked +
-                     2 * static_cast<unsigned>(Key.size()));
-    break;
-  case ir::CachePolicy::CacheOneUnchecked:
-    VMRef.chargeExec(CM.DispatchUnchecked);
-    break;
-  case ir::CachePolicy::CacheIndexed:
-    VMRef.chargeExec(CM.DispatchIndexed);
-    break;
+  // Inline-cache fast path: valid while the cache's epoch is unchanged
+  // (no insert/erase has run) and — except under cache_one_unchecked,
+  // which never compares keys — while the promoted registers still hold
+  // the memoized values. Baked values are constant per site, so the
+  // promoted compare covers the whole key. The charge and the counter
+  // replay are exactly what the skipped lookup would have produced: the
+  // memo eliminates host hashing and probing, never model cycles.
+  if (Memo && Memo->Entry && Memo->Epoch == Cache.epoch()) {
+    bool Match = true;
+    if (Cache.policy() != ir::CachePolicy::CacheOneUnchecked)
+      for (uint32_t I = 0; I != Memo->NumVals; ++I)
+        if (Regs[P.KeyRegs[I]].Bits != Memo->Vals[I].Bits) {
+          Match = false;
+          break;
+        }
+    if (Match) {
+      chargeDispatchCost(VMRef, Cache.policy(), Memo->KeyWords,
+                         Memo->Probes);
+      Cache.noteMemoizedHit(Memo->Probes, Memo->UsedTable);
+      ++Tick;
+      ++St.Dispatches;
+      ++St.CacheHits;
+      ++ICHits;
+      SpecEntry *E = Memo->Entry;
+      assert(E->Chain && "inline cache memoized a retired entry");
+      // Single-writer recency/ref bumps: this front end is single-client,
+      // so load + store produces exactly fetch_add's values while staying
+      // atomic for concurrent stats readers — and skips the locked RMW
+      // that would otherwise dominate the fast path.
+      E->Use->Hits.store(E->Use->Hits.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+      E->Use->LastUse.store(Tick, std::memory_order_relaxed);
+      E->Use->RefBit.store(true, std::memory_order_release);
+      E->Chain->ActiveRefs.store(
+          E->Chain->ActiveRefs.load(std::memory_order_relaxed) + 1,
+          std::memory_order_release);
+      return {&E->Chain->CO, E->EntryPC};
+    }
   }
+
+  // Compose the cache key once, into retained-capacity scratch: baked
+  // specialize-time values, then the promoted variables' current values.
+  // The miss path below slices this same buffer instead of recomposing.
+  KeyScratch.clear();
+  size_t BakedWords = 0;
+  if (Site) {
+    KeyScratch.append(Site->BakedVals.data(), Site->BakedVals.size());
+    BakedWords = KeyScratch.size();
+  }
+  for (ir::Reg Rg : P.KeyRegs)
+    KeyScratch.push_back(Regs[Rg]);
+  WordSpan Key = KeyScratch.span();
+
+  CacheResult CR = Cache.lookup(Key);
+  chargeDispatchCost(VMRef, Cache.policy(),
+                     static_cast<unsigned>(Key.size()), CR.Probes);
 
   ++Tick;
   ++St.Dispatches;
@@ -83,17 +134,39 @@ vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
     E->Use->LastUse.store(Tick, std::memory_order_relaxed);
     E->Use->RefBit.store(true, std::memory_order_release);
     E->Chain->ActiveRefs.fetch_add(1, std::memory_order_acq_rel);
+    // Memoize only real-lookup hits: a hit's probe count is reproducible
+    // under an unchanged epoch, whereas the table state after the miss
+    // path's insert is not observed here.
+    if (Memo && (P.KeyRegs.size() <= SiteMemo::MaxKeyVals ||
+                 Cache.policy() == ir::CachePolicy::CacheOneUnchecked)) {
+      Memo->Entry = E.get();
+      Memo->Epoch = Cache.epoch();
+      Memo->KeyWords = static_cast<uint32_t>(Key.size());
+      Memo->Probes = CR.Probes;
+      Memo->UsedTable =
+          Cache.policy() == ir::CachePolicy::CacheAll ||
+          (Cache.policy() == ir::CachePolicy::CacheIndexed &&
+           Key[Cache.indexPos()].Bits >= CodeCache::MaxIndexedKey);
+      Memo->NumVals = P.KeyRegs.size() <= SiteMemo::MaxKeyVals
+                          ? static_cast<uint32_t>(P.KeyRegs.size())
+                          : 0; // unchecked: the fast path never compares
+      for (uint32_t I = 0; I != Memo->NumVals; ++I)
+        Memo->Vals[I] = Regs[P.KeyRegs[I]];
+    }
     return {&E->Chain->CO, E->EntryPC};
   }
   ++St.CacheMisses;
 
-  std::vector<Word> KeyVals;
-  for (ir::Reg Rg : P.KeyRegs)
-    KeyVals.push_back(Regs[Rg]);
-  std::shared_ptr<SpecEntry> E = Core.specializeInto(
-      Ord, VMRef, PromoId, std::move(Key),
-      HaveSite ? Site.BakedVals : std::vector<Word>(), KeyVals);
-  VMRef.chargeDynComp(CM.SpecCacheInsert);
+  // Memo and KeyScratch are dead past this call: specialization re-enters
+  // dispatch for static calls, growing SiteMemos and recomposing the
+  // scratch. specializeInto copies its span inputs into owned storage
+  // before running the generating extension, and E->Key carries the key
+  // for the publish below.
+  std::shared_ptr<SpecEntry> E =
+      Core.specializeInto(Ord, VMRef, PromoId, Key,
+                          WordSpan(Key.Data, BakedWords),
+                          Key.subspan(BakedWords));
+  VMRef.chargeDynComp(VMRef.costModel().SpecCacheInsert);
 
   // Publish: find a slot, install it in the dispatch cache, retire
   // whatever the cache displaced (cache_one mismatch replacement).

@@ -89,12 +89,49 @@ public:
   /// points (dispatch-cost reporting).
   double avgCacheProbes(size_t Ordinal) const;
 
+  /// Toggles the per-dispatch-site monomorphic inline caches (on by
+  /// default). A host-speed optimization only: every simulated counter —
+  /// ExecCycles, DynCompCycles, cache lookups/probes — is bit-identical
+  /// with the caches on or off (the parity tests assert this).
+  void setInlineCacheEnabled(bool On) { ICEnabled = On; }
+  bool inlineCacheEnabled() const { return ICEnabled; }
+
+  /// Host-level count of dispatches served from an inline cache (not a
+  /// simulated statistic — used by tests and benches to prove the fast
+  /// path engaged).
+  uint64_t inlineCacheHits() const { return ICHits; }
+
 private:
+  /// Monomorphic inline cache for one dispatch site (a native region entry
+  /// or an interned run-time dispatch stub). Memoizes the last
+  /// (promoted values -> published entry) mapping together with the
+  /// counters the real lookup produced; CodeCache::epoch() validates it,
+  /// since insert and erase are the only operations that can change what a
+  /// key maps to or how many probes a table lookup takes. The raw Entry
+  /// pointer is safe because every unpublish path mutates the same cache
+  /// (bumping the epoch) before the entry can be destroyed, and the epoch
+  /// check precedes every dereference.
+  struct SiteMemo {
+    static constexpr size_t MaxKeyVals = 8;
+    SpecEntry *Entry = nullptr;
+    uint64_t Epoch = 0;
+    const DispatchSite *Site = nullptr; ///< stable: sites are deque-interned
+    uint32_t Ord = 0;
+    uint32_t PromoId = 0;
+    uint32_t KeyWords = 0;  ///< full key size (baked + promoted)
+    uint32_t NumVals = 0;   ///< promoted values memoized below
+    unsigned Probes = 0;    ///< table probes the memoized lookup took
+    bool UsedTable = false; ///< memoized lookup ran through the hash table
+    bool Resolved = false;  ///< Ord/PromoId/Site decoded once
+    Word Vals[MaxKeyVals];
+  };
+
   /// Front-end state for one region: the dispatch caches and the slot
   /// table their 32-bit values index into.
   struct Front {
     std::vector<CodeCache> PromoCaches; ///< index == promo id
     std::vector<std::shared_ptr<SpecEntry>> Slots;
+    std::vector<SiteMemo> PromoMemos; ///< native entries, index == promo id
   };
 
   /// Drops a displaced/evicted slot and retires its entry with the core,
@@ -105,6 +142,10 @@ private:
   RegionExecutionCore Core;
   std::vector<Front> Fronts; ///< parallel to the core's regions
   uint64_t Tick = 0;         ///< dispatch counter (recency for CLOCK)
+  std::vector<SiteMemo> SiteMemos; ///< run-time dispatch sites, by index
+  SmallKeyBuf KeyScratch; ///< retained-capacity dispatch-key composition
+  uint64_t ICHits = 0;    ///< host-level fast-path counter (not simulated)
+  bool ICEnabled = true;
 };
 
 } // namespace runtime

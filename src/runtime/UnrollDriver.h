@@ -42,15 +42,23 @@ public:
   /// Emits into \p Buf with this run's own stub maps. The caller (the
   /// core's specializeInto) passes a fresh chain buffer and fresh maps, so
   /// every run is a self-contained, immutable-after-publication chain.
+  /// \p Scratch backs the run's worklist, memo table, and patch list; the
+  /// caller opens a BumpArena::Scope around the driver's lifetime so the
+  /// memory is reclaimed in bulk when the run finishes.
   UnrollDriver(RegionExecutionCore &Core, RegionState &R, uint32_t Ordinal,
                vm::VM &M, const OptFlags &Flags, vm::CodeObject &Buf,
                std::map<ir::BlockId, uint32_t> &ExitStubs,
-               std::map<uint32_t, uint32_t> &DispatchStubs)
+               std::map<uint32_t, uint32_t> &DispatchStubs,
+               BumpArena &Scratch)
       : Core(Core), R(R), Ordinal(Ordinal), M(M), CM(M.costModel()),
         GX(R.GX), Buf(Buf), ExitStubs(ExitStubs),
         DispatchStubs(DispatchStubs),
         E(Buf, R.Stats, M, R.GX, Flags.MaxRegionInstrs),
-        D(E, R.Stats, M, Flags, R.GX) {}
+        D(E, R.Stats, M, Flags, R.GX),
+        Queue(ArenaAllocator<Item>(Scratch)),
+        Memo(std::less<std::vector<uint64_t>>(),
+             ArenaAllocator<MemoPair>(Scratch)),
+        Patches(ArenaAllocator<Patch>(Scratch)) {}
 
   /// Runs the generating extension from \p Ctx0 with static values
   /// \p Vals0; returns the entry PC within the buffer.
@@ -115,9 +123,14 @@ private:
   Emitter E;
   DeferralEngine D;
 
-  std::deque<Item> Queue;
-  std::map<std::vector<uint64_t>, int64_t> Memo; ///< -1 queued, else PC
-  std::vector<Patch> Patches;
+  using MemoPair = std::pair<const std::vector<uint64_t>, int64_t>;
+  using MemoMap = std::map<std::vector<uint64_t>, int64_t,
+                           std::less<std::vector<uint64_t>>,
+                           ArenaAllocator<MemoPair>>;
+
+  std::deque<Item, ArenaAllocator<Item>> Queue;
+  MemoMap Memo; ///< -1 queued, else PC
+  std::vector<Patch, ArenaAllocator<Patch>> Patches;
 };
 
 } // namespace runtime

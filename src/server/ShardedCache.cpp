@@ -15,9 +15,8 @@ constexpr size_t MaxIndexedKey = runtime::CodeCache::MaxIndexedKey;
 
 /// Probes the snapshot's double-hash table. The table is built at no more
 /// than half load, so an empty slot always terminates the walk.
-const CacheRecord *probeTable(const CacheSnapshot &S,
-                              const std::vector<Word> &Key, uint64_t Hash,
-                              unsigned &Probes) {
+const CacheRecord *probeTable(const CacheSnapshot &S, WordSpan Key,
+                              uint64_t Hash, unsigned &Probes) {
   Probes = 1;
   if (S.Table.empty())
     return nullptr;
@@ -72,8 +71,7 @@ size_t ShardedCache::addPoint(ir::CachePolicy Policy, uint32_t IndexPos) {
   return Points.size() - 1;
 }
 
-ShardedCache::Lookup ShardedCache::lookup(size_t Point,
-                                          const std::vector<Word> &Key) const {
+ShardedCache::Lookup ShardedCache::lookup(size_t Point, WordSpan Key) const {
   assert(Point < Points.size() && "bad cache point");
   const PointCache &P = Points[Point];
   const CacheSnapshot *S = P.Current.load(std::memory_order_acquire);
@@ -154,7 +152,7 @@ void ShardedCache::republish(PointCache &P) {
 }
 
 std::shared_ptr<CacheRecord>
-ShardedCache::findRecord(size_t Point, const std::vector<Word> &Key) const {
+ShardedCache::findRecord(size_t Point, WordSpan Key) const {
   assert(Point < Points.size() && "bad cache point");
   const PointCache &P = Points[Point];
   std::lock_guard<std::mutex> Lock(stripeFor(Point));

@@ -82,15 +82,22 @@ public:
   /// Lock-free probe. The returned record stays valid while the caller is
   /// inside a dispatch (snapshots are only freed at quiescence) and its
   /// Chain stays valid as long as the caller copies the shared_ptr or the
-  /// chain registry holds it.
-  Lookup lookup(size_t Point, const std::vector<Word> &Key) const;
+  /// chain registry holds it. The key is a view — the hit path composes it
+  /// in per-thread scratch without allocating.
+  Lookup lookup(size_t Point, WordSpan Key) const;
+  Lookup lookup(size_t Point, const std::vector<Word> &Key) const {
+    return lookup(Point, WordSpan(Key));
+  }
 
   /// Writer-side probe under the stripe lock, with the point's policy
   /// semantics (an unchecked one-slot point matches any resident entry).
   /// Used by workers to recheck for a concurrent publication before
   /// specializing. Returns shared ownership, unlike lookup().
-  std::shared_ptr<CacheRecord> findRecord(size_t Point,
-                                          const std::vector<Word> &Key) const;
+  std::shared_ptr<CacheRecord> findRecord(size_t Point, WordSpan Key) const;
+  std::shared_ptr<CacheRecord>
+  findRecord(size_t Point, const std::vector<Word> &Key) const {
+    return findRecord(Point, WordSpan(Key));
+  }
 
   /// Inserts \p Rec (whose Point/Key/Hash must be set) and republishes.
   /// Returns records displaced by one-slot replacement so the caller can
@@ -112,6 +119,9 @@ public:
 
   size_t retiredSnapshots() const;
 
+  static uint64_t hashKey(WordSpan Key) {
+    return hashWords(Key.Data, Key.Count);
+  }
   static uint64_t hashKey(const std::vector<Word> &Key) {
     return hashWords(Key.data(), Key.size());
   }

@@ -17,6 +17,10 @@ namespace {
 /// very worker that is waiting.
 thread_local bool InSpecWorkerFlag = false;
 
+/// Per-thread retained-capacity scratch for dispatch-key composition: the
+/// hit path composes the key and probes the snapshot without allocating.
+thread_local SmallKeyBuf DispatchKeyScratch;
+
 } // namespace
 
 SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
@@ -101,27 +105,6 @@ int SpecServer::regionOrdinalOf(const std::string &Name) const {
   return AnnotatedOrdinal[static_cast<size_t>(Idx)];
 }
 
-void SpecServer::chargeDispatch(vm::VM &VMRef, ir::CachePolicy Policy,
-                                size_t KeyWords, unsigned Probes) const {
-  const vm::CostModel &CM = VMRef.costModel();
-  switch (Policy) {
-  case ir::CachePolicy::CacheAll:
-    VMRef.chargeExec(
-        CM.hashedDispatchCost(static_cast<unsigned>(KeyWords), Probes));
-    break;
-  case ir::CachePolicy::CacheOne:
-    VMRef.chargeExec(CM.DispatchUnchecked +
-                     2 * static_cast<unsigned>(KeyWords));
-    break;
-  case ir::CachePolicy::CacheOneUnchecked:
-    VMRef.chargeExec(CM.DispatchUnchecked);
-    break;
-  case ir::CachePolicy::CacheIndexed:
-    VMRef.chargeExec(CM.DispatchIndexed);
-    break;
-  }
-}
-
 vm::RuntimeHook::Target SpecServer::enterChain(const CacheRecord &Rec) {
   // Count the executor in before handing out the chain: the capacity
   // manager may evict it at any time, and collection waits for this
@@ -160,26 +143,38 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
   uint64_t Now = Tick.fetch_add(1, std::memory_order_relaxed) + 1;
 
   uint32_t Ord, PromoId;
-  std::vector<Word> Baked;
+  const runtime::DispatchSite *Site = nullptr;
   if (PointId >= 0) {
     Ord = static_cast<uint32_t>(PointId >> 16);
     PromoId = static_cast<uint32_t>(PointId & 0xffff);
   } else {
-    runtime::DispatchSite S =
-        Core.siteInfo(static_cast<size_t>(-(PointId + 1)));
+    // Interned sites are immutable and deque-backed, so the reference
+    // stays valid without copying the site's baked values.
+    const runtime::DispatchSite &S =
+        Core.siteRef(static_cast<size_t>(-(PointId + 1)));
+    Site = &S;
     Ord = S.RegionOrd;
     PromoId = S.PromoId;
-    Baked = std::move(S.BakedVals);
   }
   const bta::PromoPoint &P = Core.promo(Ord, PromoId);
   size_t Point = PointBase[Ord] + PromoId;
 
-  std::vector<Word> Key = Baked;
+  // Compose the cache key once into per-thread scratch: baked
+  // specialize-time values, then the promoted registers. The hit path
+  // runs allocation-free end to end; the miss path slices this buffer.
+  SmallKeyBuf &KeyBuf = DispatchKeyScratch;
+  KeyBuf.clear();
+  size_t BakedWords = 0;
+  if (Site) {
+    KeyBuf.append(Site->BakedVals.data(), Site->BakedVals.size());
+    BakedWords = KeyBuf.size();
+  }
   for (ir::Reg Rg : P.KeyRegs)
-    Key.push_back(Regs[Rg]);
+    KeyBuf.push_back(Regs[Rg]);
+  WordSpan Key = KeyBuf.span();
 
   ShardedCache::Lookup L = Cache.lookup(Point, Key);
-  chargeDispatch(ClientVM, P.Policy, Key.size(), L.Probes);
+  runtime::chargeDispatchCost(ClientVM, P.Policy, Key.size(), L.Probes);
   if (L.Rec) {
     St.CacheHits.fetch_add(1, std::memory_order_relaxed);
     L.Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
@@ -189,26 +184,29 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
   }
   St.CacheMisses.fetch_add(1, std::memory_order_relaxed);
 
-  std::vector<Word> KeyVals;
-  for (ir::Reg Rg : P.KeyRegs)
-    KeyVals.push_back(Regs[Rg]);
+  // Materialize owned copies before anything that can re-enter dispatch
+  // on this thread (inline nested specialization recomposes the scratch)
+  // or outlive this frame (the queued job).
+  std::vector<Word> Baked(Key.Data, Key.Data + BakedWords);
+  std::vector<Word> KeyVec(Key.begin(), Key.end());
+  std::vector<Word> KeyVals(Key.Data + BakedWords, Key.end());
 
   if (InSpecWorkerFlag) {
     // Nested miss during a specialization run: specialize inline on this
     // thread (the recursive lock is already held).
     St.InlineSpecs.fetch_add(1, std::memory_order_relaxed);
     std::shared_ptr<CacheRecord> Rec =
-        specializeAndPublish(Ord, PromoId, Point, Key, Baked, KeyVals);
+        specializeAndPublish(Ord, PromoId, Point, KeyVec, Baked, KeyVals);
     return enterChain(*Rec);
   }
 
   auto Job = std::make_unique<SpecJob>();
   Job->Id.Point = Point;
-  Job->Id.Key = Key;
+  Job->Id.Key = std::move(KeyVec);
   Job->RegionOrd = Ord;
   Job->PromoId = PromoId;
-  Job->BakedVals = Baked;
-  Job->KeyVals = KeyVals;
+  Job->BakedVals = Baked; // copied: the fallback path below reads it too
+  Job->KeyVals = std::move(KeyVals);
   bool Created = false;
   std::shared_ptr<SpecJob> Shared = Queue.submit(std::move(Job), Created);
   if (Created) {

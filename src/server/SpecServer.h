@@ -144,8 +144,6 @@ private:
   Target fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
                         std::vector<Word> &Regs,
                         const std::vector<Word> &BakedVals);
-  void chargeDispatch(vm::VM &M, ir::CachePolicy Policy, size_t KeyWords,
-                      unsigned Probes) const;
   void workerLoop();
 
   const ir::Module &M;

@@ -1,0 +1,99 @@
+//===- support/Arena.cpp --------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cstddef>
+#include <new>
+
+namespace dyc {
+
+namespace {
+
+size_t alignUp(size_t V, size_t Align) { return (V + Align - 1) & ~(Align - 1); }
+
+} // namespace
+
+void *BumpArena::allocate(size_t Bytes, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-2 align");
+  if (Bytes == 0)
+    Bytes = 1;
+  ++NumAllocs;
+  for (;;) {
+    if (CurChunk < Chunks.size()) {
+      Chunk &C = Chunks[CurChunk];
+      size_t Off = alignUp(CurOffset, Align);
+      if (Off + Bytes <= C.Size) {
+        CurOffset = Off + Bytes;
+        return C.Mem.get() + Off;
+      }
+      // This chunk is full (or too small for an oversize request); move to
+      // the next retained chunk, or fall through to grow.
+      ++CurChunk;
+      CurOffset = 0;
+      continue;
+    }
+    Chunk C;
+    C.Size = Bytes + Align > ChunkBytes ? Bytes + Align : ChunkBytes;
+    C.Mem = std::make_unique<char[]>(C.Size);
+    Chunks.push_back(std::move(C));
+    // Loop re-enters with CurChunk pointing at the new chunk.
+    CurChunk = Chunks.size() - 1;
+    CurOffset = 0;
+  }
+}
+
+RecyclingPool::~RecyclingPool() {
+  assert(OversizeLive == 0 && "oversize pool blocks leaked past the pool");
+}
+
+void *RecyclingPool::allocate(size_t Bytes, size_t Align) {
+  size_t Cls = classOf(Bytes);
+  if (Cls > NumClasses) {
+    assert(Align <= alignof(std::max_align_t) &&
+           "oversize pool block with extended alignment");
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++OversizeLive;
+    }
+    return ::operator new(Bytes);
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (FreeNode *N = Buckets[Cls]) {
+    Buckets[Cls] = N->Next;
+    ++Reuses;
+    return N;
+  }
+  ++Fresh;
+  // Every block of a class is the class's full size, so any freed block
+  // can serve any request of the class.
+  return Arena.allocate(Cls * ClassBytes, Align > ClassBytes ? Align
+                                                             : ClassBytes);
+}
+
+void RecyclingPool::deallocate(void *P, size_t Bytes) {
+  size_t Cls = classOf(Bytes);
+  if (Cls > NumClasses) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --OversizeLive;
+    }
+    ::operator delete(P);
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  FreeNode *N = static_cast<FreeNode *>(P);
+  N->Next = Buckets[Cls];
+  Buckets[Cls] = N;
+}
+
+uint64_t RecyclingPool::reuses() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Reuses;
+}
+
+uint64_t RecyclingPool::freshBlocks() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Fresh;
+}
+
+} // namespace dyc

@@ -47,8 +47,7 @@ DoubleHashTable &DoubleHashTable::operator=(const DoubleHashTable &O) {
   return *this;
 }
 
-uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
-                                 unsigned *ProbesOut) const {
+uint32_t DoubleHashTable::lookup(WordSpan Key, unsigned *ProbesOut) const {
   uint64_t H = hashWords(Key);
   size_t Cap = capacity();
   size_t Idx = H % Cap;
@@ -74,7 +73,7 @@ uint32_t DoubleHashTable::lookup(const std::vector<Word> &Key,
   return NotFound;
 }
 
-void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value,
+void DoubleHashTable::insert(WordSpan Key, uint32_t Value,
                              uint32_t *ReplacedOut) {
   if (ReplacedOut)
     *ReplacedOut = NotFound;
@@ -101,7 +100,7 @@ void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value,
         Dst.Deleted = false;
         --NumDeleted;
       }
-      Dst.Key = Key;
+      Dst.Key.assign(Key.begin(), Key.end());
       Dst.Hash = H;
       Dst.Value = Value;
       Dst.Occupied = true;
@@ -120,7 +119,7 @@ void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value,
     Slot &Dst = Slots[Tombstone];
     Dst.Deleted = false;
     --NumDeleted;
-    Dst.Key = Key;
+    Dst.Key.assign(Key.begin(), Key.end());
     Dst.Hash = H;
     Dst.Value = Value;
     Dst.Occupied = true;
@@ -130,7 +129,7 @@ void DoubleHashTable::insert(const std::vector<Word> &Key, uint32_t Value,
   fatal("double-hash table insert failed despite resize policy");
 }
 
-void DoubleHashTable::erase(const std::vector<Word> &Key) {
+void DoubleHashTable::erase(WordSpan Key) {
   uint64_t H = hashWords(Key);
   size_t Cap = capacity();
   size_t Idx = H % Cap;

@@ -41,19 +41,40 @@ public:
   /// Looks up \p Key. Returns the stored handle or NotFound. \p ProbesOut,
   /// if non-null, receives the number of slots inspected (>= 1), which the
   /// dispatch cost model consumes.
-  uint32_t lookup(const std::vector<Word> &Key, unsigned *ProbesOut = nullptr) const;
+  uint32_t lookup(WordSpan Key, unsigned *ProbesOut = nullptr) const;
+  uint32_t lookup(const std::vector<Word> &Key,
+                  unsigned *ProbesOut = nullptr) const {
+    return lookup(WordSpan(Key), ProbesOut);
+  }
 
   /// Inserts \p Key -> \p Value. If the key was already bound, replaces the
   /// binding and reports the old value via \p ReplacedOut (set to NotFound
   /// otherwise).
+  void insert(WordSpan Key, uint32_t Value, uint32_t *ReplacedOut = nullptr);
   void insert(const std::vector<Word> &Key, uint32_t Value,
-              uint32_t *ReplacedOut = nullptr);
+              uint32_t *ReplacedOut = nullptr) {
+    insert(WordSpan(Key), Value, ReplacedOut);
+  }
 
   /// Removes \p Key if present, leaving a tombstone so other keys' probe
   /// sequences passing through the slot stay intact. Tombstones are
   /// reclaimed on insert (first-tombstone placement) and dropped wholesale
   /// when the table grows.
-  void erase(const std::vector<Word> &Key);
+  void erase(WordSpan Key);
+  void erase(const std::vector<Word> &Key) { erase(WordSpan(Key)); }
+
+  /// Replays a lookup's counter effects without probing: the run-time's
+  /// inline cache memoizes a hit's probe count and calls this so the
+  /// simulated statistics stay bit-identical to an un-memoized probe.
+  /// Single-writer bumps (load + store, no RMW): only the single-client
+  /// inline front end's fast path calls this, so there is no concurrent
+  /// writer and plain atomic stores suffice for stats readers.
+  void notePhantomLookup(unsigned Probes) const {
+    TotalLookups.store(TotalLookups.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    TotalProbes.store(TotalProbes.load(std::memory_order_relaxed) + Probes,
+                      std::memory_order_relaxed);
+  }
 
   size_t size() const { return NumEntries; }
   bool empty() const { return NumEntries == 0; }

@@ -66,6 +66,45 @@ struct Word {
   bool operator!=(const Word &O) const { return Bits != O.Bits; }
 };
 
+/// A non-owning view of a Word sequence. The run-time's dispatch path
+/// composes cache keys into stack buffers and passes them around as spans,
+/// so a dispatch never heap-allocates; owned std::vector<Word> keys convert
+/// implicitly wherever a span is expected.
+struct WordSpan {
+  const Word *Data = nullptr;
+  size_t Count = 0;
+
+  WordSpan() = default;
+  WordSpan(const Word *D, size_t N) : Data(D), Count(N) {}
+  WordSpan(const std::vector<Word> &V) : Data(V.data()), Count(V.size()) {}
+
+  const Word *begin() const { return Data; }
+  const Word *end() const { return Data + Count; }
+  const Word &operator[](size_t I) const {
+    assert(I < Count && "span index out of range");
+    return Data[I];
+  }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// The tail starting at \p From (the dispatch path carves the promoted
+  /// values out of the full baked+promoted key this way).
+  WordSpan subspan(size_t From) const {
+    assert(From <= Count && "subspan start out of range");
+    return WordSpan(Data + From, Count - From);
+  }
+};
+
+inline bool operator==(WordSpan A, WordSpan B) {
+  if (A.Count != B.Count)
+    return false;
+  for (size_t I = 0; I != A.Count; ++I)
+    if (A.Data[I] != B.Data[I])
+      return false;
+  return true;
+}
+inline bool operator!=(WordSpan A, WordSpan B) { return !(A == B); }
+
 /// FNV-1a over a sequence of 64-bit words; the run-time code cache and the
 /// specializer's memoization tables key on static-value tuples.
 uint64_t hashWords(const Word *Data, size_t N, uint64_t Seed = 0xcbf29ce484222325ULL);
@@ -73,6 +112,47 @@ uint64_t hashWords(const Word *Data, size_t N, uint64_t Seed = 0xcbf29ce48422232
 inline uint64_t hashWords(const std::vector<Word> &Ws, uint64_t Seed = 0xcbf29ce484222325ULL) {
   return hashWords(Ws.data(), Ws.size(), Seed);
 }
+
+inline uint64_t hashWords(WordSpan Ws, uint64_t Seed = 0xcbf29ce484222325ULL) {
+  return hashWords(Ws.Data, Ws.Count, Seed);
+}
+
+/// A fixed-capacity key buffer for the dispatch fast path: dispatch keys
+/// (baked site values + promoted register values) are almost always a
+/// handful of words, so composing them here performs no heap allocation.
+/// Oversized keys spill to an owned vector whose capacity is retained
+/// across clear(), so even the spill path allocates at most once.
+class SmallKeyBuf {
+public:
+  static constexpr size_t InlineWords = 16;
+
+  void clear() { N = 0; }
+
+  void push_back(Word W) {
+    if (N < InlineWords) {
+      Inl[N++] = W;
+      return;
+    }
+    if (N == InlineWords)
+      Spill.assign(Inl, Inl + InlineWords);
+    Spill.push_back(W);
+    ++N;
+  }
+
+  void append(const Word *D, size_t Count) {
+    for (size_t I = 0; I != Count; ++I)
+      push_back(D[I]);
+  }
+
+  size_t size() const { return N; }
+  const Word *data() const { return N <= InlineWords ? Inl : Spill.data(); }
+  WordSpan span() const { return WordSpan(data(), N); }
+
+private:
+  Word Inl[InlineWords];
+  std::vector<Word> Spill;
+  size_t N = 0;
+};
 
 /// Returns true if \p V is a (positive) power of two.
 inline bool isPowerOf2(int64_t V) { return V > 0 && (V & (V - 1)) == 0; }

@@ -79,12 +79,16 @@ DecodedInstr decodeOne(const Instr &I, const CostModel &CM, bool InDynCode) {
 
 } // namespace
 
-std::unique_ptr<DecodedCode> buildDecoded(const CodeObject &CO,
-                                          const CostModel &CM,
-                                          const ICacheConfig &IC,
-                                          std::vector<uint32_t> ExtraLeaders) {
+std::unique_ptr<DecodedCode>
+buildDecoded(const CodeObject &CO, const CostModel &CM,
+             const ICacheConfig &IC, std::vector<uint32_t> ExtraLeaders,
+             std::unique_ptr<DecodedCode> Recycle) {
   const size_t N = CO.Code.size();
-  auto DC = std::make_unique<DecodedCode>();
+  auto DC = Recycle ? std::move(Recycle) : std::make_unique<DecodedCode>();
+  DC->Instrs.clear();
+  DC->Blocks.clear();
+  DC->Segs.clear();
+  DC->BlockOf.clear();
   DC->CodeSize = N;
   DC->Version = CO.Version;
   DC->ExtraLeaders = std::move(ExtraLeaders);
@@ -189,6 +193,11 @@ std::unique_ptr<DecodedCode> buildDecoded(const CodeObject &CO,
                  (Kind = cmpRegKind(X.Opcode)) >= 0) {
         D.H = static_cast<uint16_t>(DOp::CmpCondBr);
         D.X = static_cast<uint16_t>(Kind);
+      } else if (isConstLike(X.Opcode) && (Y.Opcode == Op::Dispatch ||
+                                           Y.Opcode == Op::EnterRegion)) {
+        // The specializer materializes the promoted key's constants
+        // immediately before the region trap; fuse the last one in.
+        D.H = static_cast<uint16_t>(DOp::ConstIDispatch);
       } else {
         ++K;
         continue;
@@ -201,21 +210,38 @@ std::unique_ptr<DecodedCode> buildDecoded(const CodeObject &CO,
 
 const DecodedCode *DecodedCache::get(const CodeObject &CO, const CostModel &CM,
                                      const ICacheConfig &IC) {
+  // The VM calls this on every frame re-entry (each dispatch and return);
+  // in steady state it is the same object back-to-back, so a one-entry
+  // memo skips the hash find.
+  if (LastDC && LastAddr == CO.BaseAddr &&
+      LastDC->CodeSize == CO.Code.size() && LastDC->Version == CO.Version)
+    return LastDC;
   auto It = Map.find(CO.BaseAddr);
   if (It != Map.end()) {
     DecodedCode *DC = It->second.get();
-    if (DC->CodeSize == CO.Code.size() && DC->Version == CO.Version)
+    if (DC->CodeSize == CO.Code.size() && DC->Version == CO.Version) {
+      LastAddr = CO.BaseAddr;
+      LastDC = DC;
       return DC;
-    // Stale (the runtime rewrote the object): re-translate, keeping any
-    // promoted entry points that are still in range.
-    auto ND = buildDecoded(CO, CM, IC, std::move(DC->ExtraLeaders));
+    }
+    // Stale (the runtime rewrote the object): re-translate in place,
+    // keeping any promoted entry points that are still in range. The
+    // leader list is moved to a local first — the old translation is
+    // itself the recycle donor.
+    std::vector<uint32_t> Extra = std::move(DC->ExtraLeaders);
+    auto ND = buildDecoded(CO, CM, IC, std::move(Extra),
+                           std::move(It->second));
     ++Builds;
     It->second = std::move(ND);
-    return It->second.get();
+    LastAddr = CO.BaseAddr;
+    LastDC = It->second.get();
+    return LastDC;
   }
   ++Builds;
-  return Map.emplace(CO.BaseAddr, buildDecoded(CO, CM, IC, {}))
-      .first->second.get();
+  auto Res = Map.emplace(CO.BaseAddr, buildDecoded(CO, CM, IC, {}, takeSpare()));
+  LastAddr = CO.BaseAddr;
+  LastDC = Res.first->second.get();
+  return LastDC;
 }
 
 const DecodedCode *DecodedCache::promoteLeader(const CodeObject &CO,
@@ -223,16 +249,26 @@ const DecodedCode *DecodedCache::promoteLeader(const CodeObject &CO,
                                                const CostModel &CM,
                                                const ICacheConfig &IC) {
   std::vector<uint32_t> Extra;
+  std::unique_ptr<DecodedCode> Recycle;
   auto It = Map.find(CO.BaseAddr);
-  if (It != Map.end())
-    Extra = It->second->ExtraLeaders;
-  if (Extra.size() >= MaxExtraLeaders)
+  if (It != Map.end()) {
+    Extra = It->second->ExtraLeaders; // copied: the donor is rebuilt below
+    if (Extra.size() >= MaxExtraLeaders)
+      return nullptr;
+    if (LastDC == It->second.get())
+      LastDC = nullptr;
+    Recycle = std::move(It->second);
+    Map.erase(It);
+  } else if (Extra.size() >= MaxExtraLeaders) {
     return nullptr;
+  }
   Extra.push_back(PC);
-  auto ND = buildDecoded(CO, CM, IC, std::move(Extra));
+  auto ND = buildDecoded(CO, CM, IC, std::move(Extra), std::move(Recycle));
   ++Builds;
   auto Res = Map.insert_or_assign(CO.BaseAddr, std::move(ND));
-  return Res.first->second.get();
+  LastAddr = CO.BaseAddr;
+  LastDC = Res.first->second.get();
+  return LastDC;
 }
 
 } // namespace vm

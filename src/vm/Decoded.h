@@ -73,6 +73,9 @@ enum class DOp : uint16_t {
   CmpICondBr,   ///< reg-imm compare feeding CondBr; X holds the compare
                 ///< kind (0..5 = Eq,Ne,Lt,Le,Gt,Ge)
   CmpCondBr,    ///< reg-reg compare feeding CondBr; X as above
+  ConstIDispatch, ///< constant materialization falling into the region
+                  ///< trap (the promoted key's last ConstI before a
+                  ///< Dispatch/EnterRegion)
   NumHandlers
 };
 
@@ -123,11 +126,14 @@ struct DecodedCode {
 
 /// Builds the translation of \p CO under \p CM and the I-cache geometry
 /// \p IC (line segmentation), treating \p ExtraLeaders as additional block
-/// leaders.
-std::unique_ptr<DecodedCode> buildDecoded(const CodeObject &CO,
-                                          const CostModel &CM,
-                                          const ICacheConfig &IC,
-                                          std::vector<uint32_t> ExtraLeaders);
+/// leaders. \p Recycle, if non-null, donates its heap buffers: the
+/// translation is rebuilt in place so steady-state re-translation (chain
+/// eviction and re-specialization) reuses capacity instead of
+/// reallocating.
+std::unique_ptr<DecodedCode>
+buildDecoded(const CodeObject &CO, const CostModel &CM,
+             const ICacheConfig &IC, std::vector<uint32_t> ExtraLeaders,
+             std::unique_ptr<DecodedCode> Recycle = nullptr);
 
 /// The per-VM translation cache. Not thread-safe: each VM owns one.
 class DecodedCache {
@@ -145,9 +151,23 @@ public:
                                    const ICacheConfig &IC);
 
   /// Drops the translation of \p CO (the runtime unpublished its chain).
-  void invalidate(const CodeObject &CO) { Map.erase(CO.BaseAddr); }
+  /// The freed translation's buffers are kept on a small spare list and
+  /// donated to the next build.
+  void invalidate(const CodeObject &CO) {
+    auto It = Map.find(CO.BaseAddr);
+    if (It == Map.end())
+      return;
+    if (LastDC == It->second.get())
+      LastDC = nullptr;
+    if (Spares.size() < MaxSpares)
+      Spares.push_back(std::move(It->second));
+    Map.erase(It);
+  }
 
-  void clear() { Map.clear(); }
+  void clear() {
+    Map.clear();
+    LastDC = nullptr;
+  }
   size_t size() const { return Map.size(); }
   uint64_t builds() const { return Builds; }
 
@@ -156,7 +176,25 @@ private:
   /// single-step to the next leader instead of re-translating.
   static constexpr size_t MaxExtraLeaders = 256;
 
+  /// Eviction/re-specialization churn bound: how many retired
+  /// translations' buffers are retained for reuse.
+  static constexpr size_t MaxSpares = 8;
+
+  std::unique_ptr<DecodedCode> takeSpare() {
+    if (Spares.empty())
+      return nullptr;
+    auto S = std::move(Spares.back());
+    Spares.pop_back();
+    return S;
+  }
+
   std::unordered_map<uint64_t, std::unique_ptr<DecodedCode>> Map;
+  std::vector<std::unique_ptr<DecodedCode>> Spares;
+  /// Most-recently-returned memo: the VM re-derives the translation on
+  /// every frame re-entry (each dispatch and return), which in steady
+  /// state is the same object back-to-back.
+  uint64_t LastAddr = 0;
+  const DecodedCode *LastDC = nullptr;
   uint64_t Builds = 0;
 };
 

@@ -437,7 +437,7 @@ Word VM::runPredecoded(size_t BaseDepth) {
       &&L_Br,      &&L_CondBr,  &&L_Ret,     &&L_EnterRegion,
       &&L_Dispatch, &&L_ExitRegion, &&L_Halt,
       &&L_ConstIConstI, &&L_ConstIAdd, &&L_MovBr, &&L_CmpICondBr,
-      &&L_CmpCondBr};
+      &&L_CmpCondBr, &&L_ConstIDispatch};
   static_assert(sizeof(HTable) / sizeof(HTable[0]) ==
                     static_cast<size_t>(DOp::NumHandlers),
                 "handler table out of sync with DOp");
@@ -908,6 +908,28 @@ restart_frame:
           }
           R[IP->A] = Word::fromInt(V);
           BRANCH(V ? IP[1].B : IP[1].C);
+        }
+        CASE(ConstIDispatch) {
+          // The promoted key's last constant materialization falling into
+          // the region trap. Same body as Dispatch above (a goto into
+          // that block would jump past its declarations), reading the
+          // trap slot's operands from IP[1]; the key register is written
+          // into the frame storage the hook reads.
+          R[IP->A] = Word{static_cast<uint64_t>(IP->Imm)};
+          Fr.PC = static_cast<uint32_t>(IP + 1 - Instrs);
+          if (!Hook)
+            machineError("region trap with no run-time attached", Fr);
+          int64_t PointId = IP[1].Imm;
+          if (CO->IsDynamicCode)
+            Hook->onDynamicCodeExit(*this, CO);
+          RuntimeHook::Target T =
+              Hook->dispatch(*this, PointId, Frames.back().Regs);
+          if (!T.CO)
+            machineError("run-time returned no target", Frames.back());
+          Frame &Fr2 = Frames.back();
+          Fr2.CurCode = T.CO;
+          Fr2.PC = T.PC;
+          goto restart_frame;
         }
 
 #if !DYC_USE_CGOTO

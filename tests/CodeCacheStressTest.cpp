@@ -1,0 +1,229 @@
+//===- tests/CodeCacheStressTest.cpp - dispatch-cache churn stress ----------------===//
+//
+// Long interleaved insert/erase/lookup sequences against a reference model,
+// with the probe-count bound that makes them interesting: the double-hash
+// table erases by tombstone, and tombstones lengthen probe chains exactly
+// like live entries until insert reuse or a grow reclaims them. Heavy churn
+// must therefore keep totalProbes()/lookups() bounded — an implementation
+// that only counted live entries toward the load factor would degrade to
+// O(capacity) scans here. The cache_indexed policy is stressed across both
+// of its planes at once: the direct array for in-range index values and the
+// checked double-hash fallback for out-of-range ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CodeCache.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace dyc;
+using runtime::CacheResult;
+using runtime::CodeCache;
+
+namespace {
+
+/// Deterministic 64-bit LCG (MMIX constants) so the churn schedule is
+/// reproducible across platforms and runs.
+struct Lcg {
+  uint64_t S;
+  explicit Lcg(uint64_t Seed) : S(Seed) {}
+  uint64_t next() {
+    S = S * 6364136223846793005ull + 1442695040888963407ull;
+    return S >> 17;
+  }
+};
+
+std::vector<Word> key2(uint64_t A, uint64_t B) { return {Word{A}, Word{B}}; }
+
+/// Average probes per lookup must stay O(1) under churn. The table sits at
+/// no more than 2/3 load (tombstones included), where double hashing
+/// averages well under 3 probes; 8 leaves slack without hiding regressions.
+constexpr uint64_t MaxAvgProbes = 8;
+
+TEST(CodeCacheStress, CacheAllChurnMatchesReferenceModel) {
+  CodeCache C(ir::CachePolicy::CacheAll);
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> Ref;
+  Lcg R(0x9e3779b97f4a7c15ull);
+  uint32_t NextVal = 0;
+  for (int Op = 0; Op != 20000; ++Op) {
+    uint64_t A = R.next() % 61, B = R.next() % 7;
+    std::vector<Word> Key = key2(A, B);
+    switch (R.next() % 4) {
+    case 0:
+    case 1: { // lookups get half the schedule
+      CacheResult CR = C.lookup(Key);
+      auto It = Ref.find({A, B});
+      ASSERT_EQ(CR.Hit, It != Ref.end()) << "op " << Op;
+      if (CR.Hit) {
+        ASSERT_EQ(CR.Value, It->second) << "op " << Op;
+      }
+      break;
+    }
+    case 2:
+      C.insert(Key, NextVal);
+      Ref[{A, B}] = NextVal++;
+      break;
+    case 3:
+      C.erase(Key);
+      Ref.erase({A, B});
+      break;
+    }
+    ASSERT_EQ(C.entries(), Ref.size()) << "op " << Op;
+  }
+  ASSERT_GT(C.lookups(), 0u);
+  EXPECT_LT(C.totalProbes(), C.lookups() * MaxAvgProbes);
+}
+
+TEST(CodeCacheStress, TombstoneWavesKeepProbesBounded) {
+  CodeCache C(ir::CachePolicy::CacheAll);
+  // Each wave installs 32 keys, verifies them, then erases them all —
+  // leaving 32 tombstones for the next wave to probe through. 200 waves
+  // accumulate thousands of erases; insert-time tombstone reuse and the
+  // grow policy must keep both hit and miss probes short throughout.
+  for (int Wave = 0; Wave != 200; ++Wave) {
+    for (uint64_t K = 0; K != 32; ++K)
+      C.insert({Word{K}}, static_cast<uint32_t>(K));
+    for (uint64_t K = 0; K != 32; ++K) {
+      CacheResult CR = C.lookup({Word{K}});
+      ASSERT_TRUE(CR.Hit) << "wave " << Wave << " key " << K;
+      ASSERT_EQ(CR.Value, static_cast<uint32_t>(K));
+    }
+    for (uint64_t K = 0; K != 32; ++K)
+      C.erase({Word{K}});
+    ASSERT_EQ(C.entries(), 0u);
+    // Misses walk probe chains to an empty (never-used) slot; these are
+    // the lookups tombstone accumulation would hurt first.
+    for (uint64_t K = 0; K != 32; ++K)
+      ASSERT_FALSE(C.lookup({Word{K}}).Hit) << "wave " << Wave;
+  }
+  EXPECT_LT(C.totalProbes(), C.lookups() * MaxAvgProbes);
+}
+
+TEST(CodeCacheStress, IndexedChurnAcrossBothPlanes) {
+  // IndexPos = 1: the second key word indexes the direct array; values at
+  // or above MaxIndexedKey take the checked double-hash fallback. The two
+  // planes have different replacement semantics — the array replaces by
+  // index alone (other key words are unchecked invariants), the fallback
+  // by full key — so each gets its own reference model.
+  CodeCache C(ir::CachePolicy::CacheIndexed, 1);
+  std::map<uint64_t, uint32_t> RefIdx;
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> RefOvf;
+  Lcg R(0xdeadbeefcafef00dull);
+  uint32_t NextVal = 0;
+  constexpr uint64_t Base = CodeCache::MaxIndexedKey;
+  for (int Op = 0; Op != 20000; ++Op) {
+    bool InRange = R.next() % 3 != 0; // 2/3 direct-array traffic
+    uint64_t A = R.next() % 5;
+    uint64_t Idx = InRange ? R.next() % 256 : Base + R.next() % 64;
+    std::vector<Word> Key = key2(A, Idx);
+    switch (R.next() % 4) {
+    case 0:
+    case 1: {
+      CacheResult CR = C.lookup(Key);
+      if (InRange) {
+        auto It = RefIdx.find(Idx);
+        ASSERT_EQ(CR.Hit, It != RefIdx.end()) << "op " << Op;
+        if (CR.Hit) {
+          ASSERT_EQ(CR.Value, It->second);
+        }
+        ASSERT_EQ(CR.Probes, 0u) << "direct hit must not probe the table";
+      } else {
+        auto It = RefOvf.find({A, Idx});
+        ASSERT_EQ(CR.Hit, It != RefOvf.end()) << "op " << Op;
+        if (CR.Hit) {
+          ASSERT_EQ(CR.Value, It->second);
+        }
+        ASSERT_GE(CR.Probes, 1u) << "fallback must probe the table";
+      }
+      break;
+    }
+    case 2:
+      C.insert(Key, NextVal);
+      if (InRange)
+        RefIdx[Idx] = NextVal++;
+      else
+        RefOvf[{A, Idx}] = NextVal++;
+      break;
+    case 3:
+      C.erase(Key);
+      if (InRange)
+        RefIdx.erase(Idx);
+      else
+        RefOvf.erase({A, Idx});
+      break;
+    }
+    ASSERT_EQ(C.entries(), RefIdx.size() + RefOvf.size()) << "op " << Op;
+  }
+  ASSERT_GT(C.lookups(), 0u);
+  EXPECT_LT(C.totalProbes(), C.lookups() * MaxAvgProbes);
+}
+
+TEST(CodeCacheStress, EpochBumpsOnMutationOnly) {
+  // The run-time's inline caches validate (entry, probe count) memos
+  // against epoch(); the contract is that insert and erase — including
+  // no-op erases of absent keys — bump it, and lookups never do.
+  CodeCache C(ir::CachePolicy::CacheAll);
+  uint64_t E0 = C.epoch();
+  C.lookup(key2(1, 2));
+  EXPECT_EQ(C.epoch(), E0);
+  C.insert(key2(1, 2), 7);
+  EXPECT_GT(C.epoch(), E0);
+  uint64_t E1 = C.epoch();
+  for (int I = 0; I != 100; ++I)
+    C.lookup(key2(1, 2));
+  EXPECT_EQ(C.epoch(), E1);
+  C.erase(key2(1, 2));
+  EXPECT_GT(C.epoch(), E1);
+  uint64_t E2 = C.epoch();
+  C.erase(key2(1, 2)); // absent: still a mutation in the contract
+  EXPECT_GT(C.epoch(), E2);
+  // noteMemoizedHit replays counters without touching layout or epoch.
+  uint64_t L = C.lookups(), E3 = C.epoch();
+  C.noteMemoizedHit(3, true);
+  EXPECT_EQ(C.epoch(), E3);
+  EXPECT_EQ(C.lookups(), L + 1);
+  EXPECT_GE(C.totalProbes(), 3u);
+}
+
+TEST(CodeCacheStress, OneSlotChurn) {
+  CodeCache Checked(ir::CachePolicy::CacheOne);
+  CodeCache Unchecked(ir::CachePolicy::CacheOneUnchecked);
+  Lcg R(42);
+  uint64_t ResidentKey = 0;
+  bool Resident = false;
+  for (int Op = 0; Op != 5000; ++Op) {
+    uint64_t K = R.next() % 8;
+    switch (R.next() % 3) {
+    case 0: {
+      CacheResult CR = Checked.lookup({Word{K}});
+      ASSERT_EQ(CR.Hit, Resident && ResidentKey == K);
+      CacheResult CU = Unchecked.lookup({Word{K}});
+      ASSERT_EQ(CU.Hit, Resident); // any resident entry serves, unchecked
+      break;
+    }
+    case 1: {
+      uint32_t Displaced = CodeCache::NoValue;
+      bool Evicted = Checked.insert({Word{K}}, 1, &Displaced);
+      ASSERT_EQ(Evicted, Resident && ResidentKey != K);
+      ASSERT_EQ(Displaced != CodeCache::NoValue, Resident);
+      Unchecked.insert({Word{K}}, 1);
+      ResidentKey = K;
+      Resident = true;
+      break;
+    }
+    case 2:
+      Checked.erase({Word{K}});
+      Unchecked.erase({Word{K}});
+      if (Resident && ResidentKey == K)
+        Resident = false;
+      break;
+    }
+    ASSERT_EQ(Checked.entries(), Resident ? 1u : 0u);
+    ASSERT_EQ(Unchecked.entries(), Resident ? 1u : 0u);
+  }
+}
+
+} // namespace

@@ -177,6 +177,105 @@ TEST(InterpParity, EvictionSequenceComputesCorrectSums) {
       EXPECT_EQ(static_cast<int64_t>(P.Results[Idx++]), K * (K - 1) / 2);
 }
 
+// Dispatch-heavy workload under a tight chain budget, run with the
+// run-time's per-site inline caches on and off across both engines. The
+// inline cache is a host-speed memo only: every simulated counter — cycle
+// accounts, the region's dispatch/hit/miss/eviction statistics, even the
+// average probe count the cost model reports — must be bit-identical in
+// all four configurations. Monomorphic streaks (4x repeats) make the memo
+// actually fire; the key rotation and evictions force it to invalidate.
+struct DispatchTrace {
+  RunTrace T;
+  uint64_t Dispatches = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t Evictions = 0;
+  uint64_t SpecRuns = 0;
+  uint64_t ICHits = 0; ///< host-level, expected to differ with IC on/off
+  double AvgProbes = 0;
+};
+
+DispatchTrace traceDispatchHeavy(vm::VM::EngineKind Engine, bool ICOn) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(Ctx.compile(SumSrc, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+  runtime::ChainBudget Budget;
+  Budget.MaxEntries = 2;
+  auto E = Ctx.buildDynamic(OptFlags(), vm::CostModel(), vm::ICacheConfig(),
+                            Budget);
+  E->Machine->Engine = Engine;
+  E->RT->setInlineCacheEnabled(ICOn);
+  int FI = E->findFunction("f");
+  EXPECT_GE(FI, 0);
+  int Ord = E->regionOrdinalOf("f");
+  EXPECT_GE(Ord, 0);
+
+  DispatchTrace D;
+  const int64_t Keys[] = {3, 9, 17, 3, 9, 17, 5, 3, 17, 9, 5, 3};
+  for (int Round = 0; Round != 2; ++Round)
+    for (int64_t K : Keys)
+      for (int Rep = 0; Rep != 4; ++Rep)
+        D.T.Results.push_back(
+            E->Machine->run(static_cast<uint32_t>(FI), {Word::fromInt(K)})
+                .Bits);
+
+  D.T.ExecCycles = E->Machine->execCycles();
+  D.T.DynCompCycles = E->Machine->dynCompCycles();
+  D.T.InstrsExecuted = E->Machine->instrsExecuted();
+  D.T.ICacheHits = E->Machine->icache().hits();
+  D.T.ICacheMisses = E->Machine->icache().misses();
+  for (uint32_t F = 0; F != E->Prog.numFunctions(); ++F) {
+    D.T.FuncCalls.push_back(E->Machine->functionStats(F).Calls);
+    D.T.FuncInclusive.push_back(E->Machine->functionStats(F).InclusiveCycles);
+  }
+
+  const runtime::RegionStats &St = E->RT->stats(static_cast<size_t>(Ord));
+  D.Dispatches = St.Dispatches;
+  D.CacheHits = St.CacheHits;
+  D.CacheMisses = St.CacheMisses;
+  D.Evictions = St.Evictions;
+  D.SpecRuns = St.SpecializationRuns;
+  D.AvgProbes = E->RT->avgCacheProbes(static_cast<size_t>(Ord));
+  D.ICHits = E->RT->inlineCacheHits();
+  EXPECT_EQ(E->RT->inlineCacheEnabled(), ICOn);
+  return D;
+}
+
+TEST(InterpParity, InlineCachePreservesAllCountersUnderEviction) {
+  DispatchTrace Base = traceDispatchHeavy(vm::VM::EngineKind::Legacy, false);
+  EXPECT_EQ(Base.ICHits, 0u) << "IC off must never take the fast path";
+  EXPECT_GT(Base.Evictions, 0u) << "workload must exercise eviction";
+  EXPECT_GT(Base.CacheMisses, 0u);
+
+  struct Config {
+    vm::VM::EngineKind Engine;
+    bool ICOn;
+    const char *Name;
+  };
+  const Config Configs[] = {
+      {vm::VM::EngineKind::Legacy, true, "legacy, IC on"},
+      {vm::VM::EngineKind::Predecoded, false, "predecoded, IC off"},
+      {vm::VM::EngineKind::Predecoded, true, "predecoded, IC on"},
+  };
+  for (const Config &C : Configs) {
+    DispatchTrace D = traceDispatchHeavy(C.Engine, C.ICOn);
+    expectIdentical(Base.T, D.T, C.Name);
+    EXPECT_EQ(Base.Dispatches, D.Dispatches) << C.Name << ": Dispatches";
+    EXPECT_EQ(Base.CacheHits, D.CacheHits) << C.Name << ": CacheHits";
+    EXPECT_EQ(Base.CacheMisses, D.CacheMisses) << C.Name << ": CacheMisses";
+    EXPECT_EQ(Base.Evictions, D.Evictions) << C.Name << ": Evictions";
+    EXPECT_EQ(Base.SpecRuns, D.SpecRuns) << C.Name << ": SpecializationRuns";
+    EXPECT_DOUBLE_EQ(Base.AvgProbes, D.AvgProbes)
+        << C.Name << ": avgCacheProbes";
+    if (C.ICOn)
+      EXPECT_GT(D.ICHits, 0u)
+          << C.Name << ": monomorphic streaks must hit the inline cache";
+    else
+      EXPECT_EQ(D.ICHits, 0u) << C.Name;
+  }
+}
+
 // Satellite regression: Program::findFunction now resolves through a name
 // map; duplicate registrations must keep the old scan's first-wins order.
 TEST(InterpParity, FindFunctionFirstRegistrationWins) {
