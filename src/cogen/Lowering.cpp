@@ -421,6 +421,25 @@ lowerModule(const Module &M, vm::Program &Prog, bool WithRegions,
   return Out;
 }
 
+LoweredFunction lowerFunction(const ir::Function &F, const ir::Module &M,
+                              vm::Program &Prog, bool WithRegions,
+                              const bta::RegionInfo *Region, int Ordinal,
+                              const std::string &CodeName) {
+  FunctionLowering L{F, M, WithRegions,
+                     Region && !Region->Contexts.empty() ? Region : nullptr,
+                     Ordinal};
+  L.run();
+  if (!CodeName.empty())
+    L.CO.Name = CodeName;
+  LoweredFunction R;
+  R.VMIndex = Prog.addFunction(std::move(L.CO));
+  R.BlockPC = std::move(L.BlockPC);
+  R.StageBase = L.StageBase;
+  R.Scratch0 = L.Scratch0;
+  R.Scratch1 = L.Scratch1;
+  return R;
+}
+
 void bindExternals(const ir::Module &M, vm::Program &Prog) {
   vm::ExternalRegistry Catalog;
   Catalog.addStandardMath();

@@ -56,6 +56,18 @@ lowerModule(const ir::Module &M, vm::Program &Prog, bool WithRegions,
             const std::vector<bta::RegionInfo> &Regions,
             const std::vector<int> &AnnotatedOrdinal);
 
+/// Lowers one function into \p Prog *without* the module-mirror index
+/// invariant — the speculative run-time appends synthesized twins to a
+/// program that already holds the whole module. \p Region may be null (or
+/// have empty Contexts) for a plain static lowering; \p Ordinal is the
+/// region ordinal encoded into EnterRegion traps when \p WithRegions.
+/// \p CodeName, if nonempty, overrides the emitted code object's name (the
+/// IR function keeps its own name, which region disassembly uses).
+LoweredFunction lowerFunction(const ir::Function &F, const ir::Module &M,
+                              vm::Program &Prog, bool WithRegions,
+                              const bta::RegionInfo *Region, int Ordinal,
+                              const std::string &CodeName = "");
+
 /// Registers the module's externals into \p Prog from the standard
 /// library, asserting that indices line up.
 void bindExternals(const ir::Module &M, vm::Program &Prog);

@@ -64,6 +64,25 @@ DycContext::buildStatic(const vm::CostModel &CM,
 }
 
 std::unique_ptr<Executable>
+DycContext::buildSpeculative(const speculate::SpeculationPolicy &Policy,
+                             const OptFlags &Flags, const vm::CostModel &CM,
+                             const vm::ICacheConfig &IC,
+                             runtime::ChainBudget Budget) const {
+  auto E = std::make_unique<Executable>();
+  // The runtime strips annotations, binds externals, and lowers the
+  // generic module into E->Prog itself (twins are appended later, at
+  // promotion time).
+  E->Spec = std::make_unique<speculate::SpeculativeRuntime>(
+      M, E->Prog, Flags, Policy, Budget);
+  E->Lowered = E->Spec->lowered();
+  E->AnnotatedOrdinal.assign(M.numFunctions(), -1);
+  E->Machine = std::make_unique<vm::VM>(E->Prog, CM, IC);
+  E->Machine->Hook = E->Spec.get();
+  E->Spec->arm(*E->Machine);
+  return E;
+}
+
+std::unique_ptr<Executable>
 DycContext::buildDynamic(const OptFlags &Flags, const vm::CostModel &CM,
                          const vm::ICacheConfig &IC,
                          runtime::ChainBudget Budget) const {

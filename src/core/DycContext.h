@@ -30,6 +30,7 @@
 #include "cogen/CompilerGenerator.h"
 #include "runtime/Specializer.h"
 #include "server/SpecServer.h"
+#include "speculate/SpeculativeRuntime.h"
 #include "vm/VM.h"
 
 #include <memory>
@@ -45,6 +46,10 @@ namespace core {
 struct Executable {
   vm::Program Prog;
   std::unique_ptr<runtime::DycRuntime> RT; ///< null for static builds
+  /// The speculative run-time (buildSpeculative only; declared after RT
+  /// and before Machine so destruction runs Machine, then Spec, then the
+  /// program it lowered into).
+  std::unique_ptr<speculate::SpeculativeRuntime> Spec;
   std::unique_ptr<vm::VM> Machine;
   std::vector<cogen::LoweredFunction> Lowered;
   /// Function index -> annotated-region ordinal (-1 if unannotated).
@@ -85,6 +90,18 @@ public:
                const vm::CostModel &CM = vm::CostModel(),
                const vm::ICacheConfig &IC = vm::ICacheConfig(),
                runtime::ChainBudget Budget = {}) const;
+
+  /// Builds the speculative configuration: annotations are stripped and
+  /// the run-time re-discovers them online (profile -> promote -> guard
+  /// -> deopt -> demote). With \p Policy.Enabled false this behaves like
+  /// buildStatic plus an idle runtime.
+  std::unique_ptr<Executable>
+  buildSpeculative(const speculate::SpeculationPolicy &Policy =
+                       speculate::SpeculationPolicy(),
+                   const OptFlags &Flags = OptFlags(),
+                   const vm::CostModel &CM = vm::CostModel(),
+                   const vm::ICacheConfig &IC = vm::ICacheConfig(),
+                   runtime::ChainBudget Budget = {}) const;
 
   /// Builds the concurrent specialization service over this module. The
   /// context must outlive the server (the server keeps a reference to the

@@ -7,6 +7,15 @@
 namespace dyc {
 namespace profile {
 
+/// Returned by ValueProfiler::param for out-of-range queries. A namespace-
+/// level constant with static storage duration: references handed out for
+/// never-observed parameters stay valid for the life of the program, not
+/// just past the profiler that produced them, so callers may cache them
+/// without tracking which profiler (or whether any) they came from.
+namespace {
+const ParamProfile EmptyParamProfile{};
+} // namespace
+
 double ParamProfile::dominance() const {
   if (Observations == 0 || Values.empty())
     return 0.0;
@@ -16,39 +25,105 @@ double ParamProfile::dominance() const {
   return static_cast<double>(Best) / static_cast<double>(Observations);
 }
 
+uint64_t ParamProfile::dominantValue() const {
+  uint64_t BestVal = 0, BestCount = 0;
+  for (const auto &[V, N] : Values)
+    if (N > BestCount) { // strict: first (smallest) value wins ties
+      BestVal = V;
+      BestCount = N;
+    }
+  return BestVal;
+}
+
 void ValueProfiler::attach(vm::VM &M) {
+  for (const vm::VM *Seen : Attached)
+    if (Seen == &M)
+      fatal("ValueProfiler::attach: already attached to this VM");
+  Attached.push_back(&M);
   size_t N = M.program().numFunctions();
-  Profiles.resize(N);
-  Calls.assign(N, 0);
-  M.OnCall = [this](uint32_t Func, const Word *Args, uint32_t NArgs) {
-    if (Func >= Profiles.size()) {
-      Profiles.resize(Func + 1);
-      Calls.resize(Func + 1, 0);
-    }
-    ++Calls[Func];
-    std::vector<ParamProfile> &Ps = Profiles[Func];
-    if (Ps.size() < NArgs)
-      Ps.resize(NArgs);
-    for (uint32_t I = 0; I != NArgs; ++I) {
-      ParamProfile &P = Ps[I];
-      ++P.Observations;
-      if (P.Overflowed)
-        continue;
-      auto [It, Inserted] = P.Values.try_emplace(Args[I].Bits, 0);
-      ++It->second;
-      if (Inserted && P.Values.size() > MaxDistinct) {
-        P.Overflowed = true;
-        P.Values.clear();
-      }
-    }
+  if (Profiles.size() < N) {
+    Profiles.resize(N);
+    Calls.resize(N, 0);
+  }
+  // Chain, don't clobber: whatever observer was installed before keeps
+  // running, then this profiler samples the same call.
+  auto Prev = std::move(M.OnCall);
+  M.OnCall = [this, Prev = std::move(Prev)](uint32_t Func, const Word *Args,
+                                            uint32_t NArgs) {
+    if (Prev)
+      Prev(Func, Args, NArgs);
+    recordCall(Func, Args, NArgs);
   };
+}
+
+std::vector<ParamProfile> &ValueProfiler::profilesFor(uint32_t Func,
+                                                      uint32_t NParams) {
+  if (Func >= Profiles.size()) {
+    Profiles.resize(Func + 1);
+    Calls.resize(Func + 1, 0);
+  }
+  std::vector<ParamProfile> &Ps = Profiles[Func];
+  if (Ps.size() < NParams)
+    Ps.resize(NParams);
+  return Ps;
+}
+
+void ValueProfiler::recordCall(uint32_t Func, const Word *Args,
+                               uint32_t NArgs) {
+  std::vector<ParamProfile> &Ps = profilesFor(Func, NArgs);
+  ++Calls[Func];
+  for (uint32_t I = 0; I != NArgs; ++I) {
+    ParamProfile &P = Ps[I];
+    ++P.Observations;
+    if (P.Overflowed)
+      continue;
+    auto [It, Inserted] = P.Values.try_emplace(Args[I].Bits, 0);
+    ++It->second;
+    if (Inserted && P.Values.size() > MaxDistinct) {
+      P.Overflowed = true;
+      P.Values.clear();
+    }
+  }
+}
+
+void ValueProfiler::noteGuardFailure(uint32_t Func, uint32_t Param,
+                                     Word Seen) {
+  std::vector<ParamProfile> &Ps = profilesFor(Func, Param + 1);
+  ParamProfile &P = Ps[Param];
+  ++P.GuardFailures;
+  if (!P.Overflowed) {
+    auto [It, Inserted] = P.Values.try_emplace(Seen.Bits, 0);
+    ++It->second;
+    if (Inserted && P.Values.size() > MaxDistinct) {
+      P.Overflowed = true;
+      P.Values.clear();
+    }
+  }
+}
+
+void ValueProfiler::blacklist(uint32_t Func, uint32_t Param) {
+  profilesFor(Func, Param + 1)[Param].Blacklisted = true;
+}
+
+bool ValueProfiler::isBlacklisted(uint32_t Func, uint32_t Param) const {
+  return param(Func, Param).Blacklisted;
+}
+
+void ValueProfiler::resetFunction(uint32_t Func) {
+  if (Func >= Profiles.size())
+    return;
+  Calls[Func] = 0;
+  for (ParamProfile &P : Profiles[Func]) {
+    bool KeepBlacklist = P.Blacklisted;
+    P = ParamProfile();
+    P.Blacklisted = KeepBlacklist;
+  }
 }
 
 const ParamProfile &ValueProfiler::param(uint32_t Func,
                                          uint32_t Param) const {
-  static const ParamProfile Empty;
   if (Func >= Profiles.size() || Param >= Profiles[Func].size())
-    return Empty;
+    return EmptyParamProfile;
   return Profiles[Func][Param];
 }
 

@@ -38,11 +38,22 @@ struct ParamProfile {
   /// exceeded the parameter is considered too variable to specialize on.
   std::map<uint64_t, uint64_t> Values;
   bool Overflowed = false;
+  /// Speculation feedback: times a guard speculating on this parameter
+  /// compared unequal, and whether the promotion controller has given up
+  /// on it (thrashing). Blacklisting survives resetFunction so the same
+  /// bad speculation is not retried on fresh statistics.
+  uint64_t GuardFailures = 0;
+  bool Blacklisted = false;
 
   size_t distinctValues() const { return Values.size(); }
 
   /// Fraction of observations taken by the most common value.
   double dominance() const;
+
+  /// The most frequently observed value (smallest such value on a tie —
+  /// the map's ascending order makes the choice deterministic). Only
+  /// meaningful when !Values.empty().
+  uint64_t dominantValue() const;
 };
 
 /// Records argument values for every call in a VM run.
@@ -52,8 +63,32 @@ public:
   explicit ValueProfiler(size_t MaxDistinct = 16)
       : MaxDistinct(MaxDistinct) {}
 
-  /// Attaches to \p M (sets its call observer). Call before running.
+  /// Attaches to \p M (sets its call observer). Call before running. If
+  /// another observer is already installed it is *chained*, not replaced:
+  /// the previous observer runs first, then this profiler samples. A
+  /// second attach of the same profiler to the same VM is rejected (it
+  /// would double-count through its own chained tail).
   void attach(vm::VM &M);
+
+  /// Records one call observation directly (the speculative run-time
+  /// samples through this instead of the VM observer so it controls
+  /// exactly which calls are profiled).
+  void recordCall(uint32_t Func, const Word *Args, uint32_t NArgs);
+
+  /// Feedback from a failed speculation guard: the promoted parameter
+  /// \p Param of \p Func held \p Seen instead of the speculated value.
+  /// The observation also lands in the value set, so re-promotion after
+  /// a phase change speculates on the new dominant value.
+  void noteGuardFailure(uint32_t Func, uint32_t Param, Word Seen);
+
+  /// Marks \p Param of \p Func as not worth speculating on again.
+  void blacklist(uint32_t Func, uint32_t Param);
+  bool isBlacklisted(uint32_t Func, uint32_t Param) const;
+
+  /// Clears \p Func's call count and per-parameter statistics so a
+  /// demoted function must re-establish hotness and dominance before the
+  /// controller reconsiders it. Blacklist flags are preserved.
+  void resetFunction(uint32_t Func);
 
   const ParamProfile &param(uint32_t Func, uint32_t Param) const;
   uint64_t calls(uint32_t Func) const;
@@ -63,6 +98,10 @@ private:
   /// [function][param] -> profile.
   std::vector<std::vector<ParamProfile>> Profiles;
   std::vector<uint64_t> Calls;
+  /// VMs this profiler is already attached to (double-attach rejection).
+  std::vector<const vm::VM *> Attached;
+
+  std::vector<ParamProfile> &profilesFor(uint32_t Func, uint32_t NParams);
 };
 
 /// One make_static suggestion.

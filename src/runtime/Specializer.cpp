@@ -24,6 +24,23 @@ void DycRuntime::retireSlot(vm::VM &VMRef, Front &F, uint32_t Slot,
   F.Slots[Slot].reset();
 }
 
+void DycRuntime::releaseRegion(vm::VM &VMRef, size_t Ordinal) {
+  if (Ordinal >= Fronts.size())
+    return;
+  Front &F = Fronts[Ordinal];
+  for (uint32_t S = 0; S != F.Slots.size(); ++S) {
+    std::shared_ptr<SpecEntry> &E = F.Slots[S];
+    if (!E)
+      continue;
+    CodeCache &Cache = F.PromoCaches[E->PromoId];
+    Cache.erase(E->Key); // bumps the epoch: inline-cache memos die here
+    if (E->Chain)
+      VMRef.invalidateDecoded(E->Chain->CO);
+    Core.displaced(E, Cache.policy());
+    E.reset();
+  }
+}
+
 vm::RuntimeHook::Target DycRuntime::dispatch(vm::VM &VMRef, int64_t PointId,
                                              std::vector<Word> &Regs) {
   uint32_t Ord, PromoId;

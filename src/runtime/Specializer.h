@@ -63,6 +63,15 @@ public:
   /// reclaimed only after the VM leaves them.
   void onDynamicCodeExit(vm::VM &M, const vm::CodeObject *CO) override;
 
+  /// Unpublishes every resident specialization of region \p Ordinal:
+  /// cache entries are erased (bumping each cache's epoch, which kills
+  /// any inline-cache memo of them), predecoded translations of their
+  /// chains invalidated, and the entries handed to the core's capacity
+  /// manager as displaced — reclaimable at the next collectChains() safe
+  /// point once no executor is inside them. The speculative run-time's
+  /// demotion path uses this; a later dispatch simply respecializes.
+  void releaseRegion(vm::VM &VMRef, size_t Ordinal);
+
   /// The shared backend (tests and embedders reach chain lifecycle and
   /// capacity accounting through it).
   RegionExecutionCore &core() { return Core; }

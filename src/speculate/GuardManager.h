@@ -1,0 +1,83 @@
+//===- speculate/GuardManager.h - Guarded speculative dispatch sites --------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GuardSite materializes one speculative promotion: calls to Func are
+/// intercepted (VM::setCallGuard), the live arguments named by Params are
+/// compared against the speculated Values, and on equality the call is
+/// redirected to the synthesized twin — whose cache_one_unchecked region
+/// entry then costs no more than a memoized hit, so a passing guard adds
+/// only the compare itself over the annotated build's dispatch. A
+/// mismatch deoptimizes: the call proceeds to the original generic code
+/// (bit-identical results by construction), and per-parameter failure
+/// counters feed the demotion policy.
+///
+/// GuardManager is a plain registry; the decision logic lives in
+/// SpeculativeRuntime (lifecycle) and PromotionController (cost-benefit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SPECULATE_GUARDMANAGER_H
+#define DYC_SPECULATE_GUARDMANAGER_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dyc {
+namespace speculate {
+
+/// One guarded speculative dispatch site (at most one per function).
+struct GuardSite {
+  uint32_t Func = 0;    ///< original (generic) VM function index
+  uint32_t Twin = 0;    ///< synthesized annotated twin's VM index
+  uint32_t Ordinal = 0; ///< the twin's region ordinal in the inner runtime
+  std::vector<uint32_t> Params; ///< promoted parameter indices, ascending
+  std::vector<Word> Values;     ///< speculated (dominant) values, parallel
+  uint64_t Hits = 0;
+  uint64_t Failures = 0;
+  /// Times each promoted parameter individually compared unequal; the
+  /// demotion policy blacklists the worst offenders.
+  std::vector<uint64_t> ParamFailures;
+};
+
+/// Registry of active guard sites, keyed by original function index.
+class GuardManager {
+public:
+  GuardSite *find(uint32_t Func) {
+    auto It = Sites.find(Func);
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+  const GuardSite *find(uint32_t Func) const {
+    auto It = Sites.find(Func);
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+
+  /// Installs \p S (replacing any site for the same function) and returns
+  /// the stored site. The reference stays valid until remove() — node-
+  /// based map storage survives other insertions.
+  GuardSite &install(GuardSite S) {
+    uint32_t Func = S.Func;
+    return Sites.insert_or_assign(Func, std::move(S)).first->second;
+  }
+
+  void remove(uint32_t Func) { Sites.erase(Func); }
+
+  size_t size() const { return Sites.size(); }
+  const std::unordered_map<uint32_t, GuardSite> &sites() const {
+    return Sites;
+  }
+
+private:
+  std::unordered_map<uint32_t, GuardSite> Sites;
+};
+
+} // namespace speculate
+} // namespace dyc
+
+#endif // DYC_SPECULATE_GUARDMANAGER_H

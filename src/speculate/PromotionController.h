@@ -1,0 +1,118 @@
+//===- speculate/PromotionController.h - Cost-benefit promotion decisions ---------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost-benefit model the paper leaves as future work (sections 3.2
+/// and 6): given online value profiles, decide whether a hot function's
+/// quasi-invariant parameters are worth speculatively promoting, and if
+/// so synthesize the promotion — an annotated *twin* of the function with
+/// make_static(params : cache_one_unchecked) at entry, run through the
+/// ordinary BTA -> lowering -> generating-extension pipeline and
+/// registered as a fresh region with the inner run-time. No source
+/// annotations are consulted; this is make_static without the programmer.
+///
+/// The benefit metric is structural, computed from a trial BTA: the count
+/// of folded static branches, static `@` loads, and static pure calls
+/// across the would-be region's contexts. Static arithmetic counts for
+/// nothing — recomputing an add costs no more than the guard that would
+/// protect its folded value. Parameters whose removal keeps the metric
+/// unchanged are greedily dropped, so the guard stays as narrow as the
+/// benefit allows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SPECULATE_PROMOTIONCONTROLLER_H
+#define DYC_SPECULATE_PROMOTIONCONTROLLER_H
+
+#include "bta/OptFlags.h"
+#include "profile/ValueProfiler.h"
+#include "runtime/Specializer.h"
+#include "speculate/SpeculationPolicy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dyc {
+namespace speculate {
+
+/// Decides and executes speculative promotions over a stripped module.
+class PromotionController {
+public:
+  /// Outcome of one promotion attempt.
+  struct Decision {
+    bool Promoted = false;
+    uint32_t TwinIdx = 0; ///< VM index of the synthesized twin
+    uint32_t Ordinal = 0; ///< region ordinal registered with the runtime
+    std::vector<uint32_t> Params; ///< promoted parameter indices, ascending
+    std::vector<Word> Values;     ///< speculated values, parallel to Params
+    /// Instructions the trial BTAs analyzed (promote or decline) — the
+    /// deterministic basis for the simulated synthesis charge.
+    uint64_t AnalyzedInstrs = 0;
+  };
+
+  /// \p SpecM is the stripped module twins are appended to; \p Prog the
+  /// VM program they are lowered into. Both must outlive the controller,
+  /// as must \p Inner (the runtime twins register regions with) and
+  /// \p Prof (the profile decisions read).
+  PromotionController(ir::Module &SpecM, vm::Program &Prog,
+                      runtime::DycRuntime &Inner, const OptFlags &Flags,
+                      const SpeculationPolicy &Policy,
+                      profile::ValueProfiler &Prof)
+      : SpecM(SpecM), Prog(Prog), Inner(Inner), Flags(Flags), Policy(Policy),
+        Prof(Prof) {}
+
+  /// Considers promoting \p Func (its VM index, which equals its module
+  /// index for generic functions). On success the twin is synthesized,
+  /// lowered, and registered; the caller installs the guard site.
+  Decision attempt(uint32_t Func);
+
+  /// One trial BTA's worth of evidence about promoting \p Params of
+  /// \p Func. Also the basis of `dycc --advise`.
+  struct Trial {
+    /// Folded static branches, `@` loads, and pure calls — the paper's
+    /// headline optimizations. Static arithmetic counts for nothing
+    /// here: recomputing an add costs no more than a guard word.
+    uint64_t Benefit = 0;
+    /// The `@` loads and pure calls within Benefit. Zero means the
+    /// promotion is pure unrolling, held to MinUnrollOnlyBenefit.
+    uint64_t DataFolds = 0;
+    uint64_t StaticWork = 0; ///< all static instructions, across contexts
+    uint64_t DynWork = 0;    ///< residual (emitted) instructions
+    uint64_t AnalyzedInstrs = 0; ///< twin size the trial BTA walked
+  };
+  Trial probe(uint32_t Func, const std::vector<uint32_t> &Params) const;
+
+private:
+  /// Copy of \p F with make_static(\p Params + derived loop-carried
+  /// locals : cache_one_unchecked) prepended to the entry block,
+  /// normalized for analysis. The clone keeps F's name so chain names
+  /// ("name.chainN") match an annotated build's; lowering gives the
+  /// twin's CodeObject a distinct name.
+  ir::Function annotatedClone(const ir::Function &F,
+                              const std::vector<uint32_t> &Params) const;
+
+  /// Loop-carried locals that must ride along in the annotation: the
+  /// BTA keeps only *annotated* variables static across loop heads
+  /// (mirroring the paper's explicitly annotated loop indices), so a
+  /// synthesized promotion has to annotate what a programmer would have
+  /// — every register that is derivably static from \p Params, assigned
+  /// inside a loop, and live into that loop's header.
+  std::vector<ir::Reg>
+  loopCarriedStatics(const ir::Function &F,
+                     const std::vector<uint32_t> &Params) const;
+
+  ir::Module &SpecM;
+  vm::Program &Prog;
+  runtime::DycRuntime &Inner;
+  const OptFlags &Flags;
+  const SpeculationPolicy &Policy;
+  profile::ValueProfiler &Prof;
+};
+
+} // namespace speculate
+} // namespace dyc
+
+#endif // DYC_SPECULATE_PROMOTIONCONTROLLER_H

@@ -1,0 +1,72 @@
+//===- speculate/SpeculationPolicy.h - Promotion cost-benefit knobs ---------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunables of the speculative promotion subsystem — the automation the
+/// paper names as future work (sections 3.2 and 6: value profiling plus a
+/// cost-benefit model selecting what to specialize). The defaults are
+/// deliberately conservative: speculation must observe a sustained
+/// invariant before synthesizing a promotion, and a few guard failures
+/// are enough to demote it again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_SPECULATE_SPECULATIONPOLICY_H
+#define DYC_SPECULATE_SPECULATIONPOLICY_H
+
+#include <cstdint>
+
+namespace dyc {
+namespace speculate {
+
+/// Cost-benefit knobs for online speculative promotion.
+struct SpeculationPolicy {
+  /// Master switch; off means buildSpeculative behaves like buildStatic
+  /// (no guards armed, no profiling cost).
+  bool Enabled = true;
+
+  /// Calls a function must accumulate before the controller considers
+  /// promoting it (the paper's break-even reasoning: synthesis costs
+  /// thousands of cycles, so cold functions must never pay it).
+  uint64_t HotCalls = 16;
+
+  /// Minimum share of observations the dominant value of a parameter
+  /// must hold to be speculated on. Near 1.0: a speculated value that is
+  /// wrong even occasionally costs a guard failure per miss.
+  double MinDominance = 0.95;
+
+  /// Minimum structural benefit (folded static branches + static `@`
+  /// loads + static calls reachable under the candidate promotion, as
+  /// counted by BTA) for a promotion to be worth a guarded dispatch.
+  /// Static arithmetic alone counts for nothing — it is as cheap
+  /// re-executed as a guard is.
+  uint64_t MinStructuralBenefit = 1;
+
+  /// Stricter benefit floor when the candidate folds NO loads or calls —
+  /// pure loop unrolling. A single folded branch is just the region's
+  /// own driver loop: specialization then replicates the body once per
+  /// iteration, growing code in proportion to the (analysis-invisible)
+  /// trip count while folding no data, and an over-I-cache chain runs
+  /// slower than the generic loop — the paper's pnmconvol lesson
+  /// (section 4.4.4). Nested static control (romberg's triangle of
+  /// loops) is the unroll-only shape that does pay off.
+  uint64_t MinUnrollOnlyBenefit = 2;
+
+  /// Guard failures at one site before the promotion is demoted: the
+  /// thrashing parameters are blacklisted, the profile reset, and the
+  /// region's chains released.
+  uint64_t DemoteFailures = 8;
+
+  /// Promotions one function may consume across its lifetime. After the
+  /// last one demotes, its call guard is removed and it runs generically
+  /// forever — the backstop against promote/demote oscillation.
+  uint32_t MaxPromotions = 4;
+};
+
+} // namespace speculate
+} // namespace dyc
+
+#endif // DYC_SPECULATE_SPECULATIONPOLICY_H

@@ -1,0 +1,23 @@
+//===- speculate/SpeculationStats.cpp ------------------------------------------------===//
+
+#include "speculate/SpeculationStats.h"
+
+#include "support/Support.h"
+
+namespace dyc {
+namespace speculate {
+
+std::string SpeculationStats::toString() const {
+  return formatString(
+      "observed %llu calls; %llu promoted, %llu declined, %llu demoted; "
+      "guards: %llu checks, %llu hits, %llu failures; "
+      "%llu params blacklisted",
+      (unsigned long long)CallsObserved, (unsigned long long)Promotions,
+      (unsigned long long)PromotionsDeclined, (unsigned long long)Demotions,
+      (unsigned long long)GuardChecks, (unsigned long long)GuardHits,
+      (unsigned long long)GuardFailures,
+      (unsigned long long)ParamsBlacklisted);
+}
+
+} // namespace speculate
+} // namespace dyc

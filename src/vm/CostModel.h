@@ -83,6 +83,14 @@ struct CostModel {
   uint32_t SpecZcpTableOp = 4;    ///< completion-table check/update
   uint32_t SpecStrengthCheck = 2; ///< emit-time special-value test
 
+  // --- Speculative-promotion costs (section 6's envisioned automation) -----
+  uint32_t ProfileSample = 2;     ///< online value-profile sample at a call
+  uint32_t SpecGuardBase = 4;     ///< guarded call site: counter + branch
+  uint32_t SpecGuardPerWord = 2;  ///< per promoted word compared by a guard
+  uint32_t SpecSynthBase = 1200;  ///< synthesizing one promotion: BTA +
+                                  ///< lowering + generating-extension build
+  uint32_t SpecSynthPerInstr = 8; ///< per analyzed source IR instruction
+
   /// Execution cost of \p I, excluding I-cache effects, calls' callee
   /// cycles, and run-time trap costs (EnterRegion/Dispatch are charged by
   /// the run-time according to the active policy). \p InDynCode applies

@@ -37,6 +37,11 @@ RuntimeHook::~RuntimeHook() = default;
 
 void RuntimeHook::onDynamicCodeExit(VM &, const CodeObject *) {}
 
+uint32_t RuntimeHook::onGuardedCall(VM &, uint32_t Callee, const Word *,
+                                    uint32_t) {
+  return Callee;
+}
+
 uint32_t Program::addFunction(CodeObject CO) {
   CO.BaseAddr = allocCodeAddr(CO.Code.size() * 4 + 64);
   uint32_t Idx = static_cast<uint32_t>(Funcs.size());
@@ -109,6 +114,13 @@ Word VM::run(uint32_t FuncIdx, const std::vector<Word> &Args) {
   // through many short-lived chains; this bounds their decode footprint.
   if (BaseDepth == 0 && Decoded.size() > 4096)
     Decoded.clear();
+  if (Hook && callGuard(FuncIdx)) [[unlikely]] {
+    FuncIdx = Hook->onGuardedCall(*this, FuncIdx, Args.data(),
+                                  static_cast<uint32_t>(Args.size()));
+    // The hook may have added functions (synthesized twins).
+    if (FuncStats.size() < Prog.numFunctions()) [[unlikely]]
+      FuncStats.resize(Prog.numFunctions());
+  }
   Frame F;
   F.FuncCode = F.CurCode = &Prog.function(FuncIdx);
   F.FuncIdx = FuncIdx;
@@ -275,12 +287,22 @@ void VM::stepOne(size_t BaseDepth) {
     if (Callee >= Prog.numFunctions())
       machineError("call to nonexistent function", Fr);
     Fr.PC = NextPC;
+    // The caller's register *buffer* is stable even if the hook below
+    // re-enters the VM and Frames reallocates (the vector object moves,
+    // its heap storage does not) — so the argument copy reads through
+    // ArgPtr, and Fr/R are never touched past this point.
+    const Word *ArgPtr = R.data() + I.B;
+    if (Hook && callGuard(Callee)) [[unlikely]] {
+      Callee = Hook->onGuardedCall(*this, Callee, ArgPtr, I.C);
+      if (FuncStats.size() < Prog.numFunctions()) [[unlikely]]
+        FuncStats.resize(Prog.numFunctions());
+    }
     Frame NF;
     NF.FuncCode = NF.CurCode = &Prog.function(Callee);
     NF.FuncIdx = Callee;
     NF.Regs.assign(NF.FuncCode->NumRegs, Word());
     for (uint32_t K = 0; K != I.C; ++K)
-      NF.Regs[K] = R[I.B + K];
+      NF.Regs[K] = ArgPtr[K];
     NF.RetReg = I.A;
     NF.StartCycles = ExecCycles;
     ++FuncStats[Callee].Calls;
@@ -775,12 +797,20 @@ restart_frame:
           uint32_t NArgs = IP->C;
           uint32_t RetReg = IP->A;
           Fr.PC = static_cast<uint32_t>(IP - Instrs) + 1;
+          // R is the frame's stable register buffer; the hook may re-enter
+          // the VM and move the Frame object, but not its heap storage.
+          const Word *ArgPtr = R + ArgBase;
+          if (Hook && callGuard(Callee)) [[unlikely]] {
+            Callee = Hook->onGuardedCall(*this, Callee, ArgPtr, NArgs);
+            if (FuncStats.size() < Prog.numFunctions()) [[unlikely]]
+              FuncStats.resize(Prog.numFunctions());
+          }
           Frame NF;
           NF.FuncCode = NF.CurCode = &Prog.function(Callee);
           NF.FuncIdx = Callee;
           NF.Regs.assign(NF.FuncCode->NumRegs, Word());
           for (uint32_t K = 0; K != NArgs; ++K)
-            NF.Regs[K] = R[ArgBase + K];
+            NF.Regs[K] = ArgPtr[K];
           NF.RetReg = RetReg;
           NF.StartCycles = ExecCycles;
           ++FuncStats[Callee].Calls;

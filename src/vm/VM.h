@@ -27,6 +27,7 @@
 #include "vm/ExternalFunctions.h"
 #include "vm/ICache.h"
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -63,7 +64,10 @@ public:
   ExternalRegistry Externals;
 
 private:
-  std::vector<CodeObject> Funcs;
+  /// Deque, not vector: the speculative run-time appends synthesized twin
+  /// functions while frames hold CodeObject pointers into the program, so
+  /// growth must never relocate existing elements.
+  std::deque<CodeObject> Funcs;
   /// Name -> index; first registration of a name wins, matching the old
   /// linear scan's front-to-back resolution order.
   std::unordered_map<std::string, uint32_t> FuncIndex;
@@ -98,6 +102,18 @@ public:
   /// active-executor reference counts on code chains so the capacity
   /// manager can tell when evicted code has drained. Default: no-op.
   virtual void onDynamicCodeExit(VM &M, const CodeObject *CO);
+
+  /// Invoked for a call to a guarded function (see VM::setCallGuard)
+  /// *before* the callee frame is built, with the live argument values.
+  /// Returns the function index to actually call — \p Callee to proceed
+  /// generically, or a different index to redirect the call (speculative
+  /// promotion enters a synthesized twin this way). The implementation may
+  /// charge simulated cycles and may add functions to the program, but the
+  /// returned index must accept the same \p NArgs arguments. \p Args
+  /// points into the caller's register frame buffer, which stays valid
+  /// across program growth. Default: returns \p Callee.
+  virtual uint32_t onGuardedCall(VM &M, uint32_t Callee, const Word *Args,
+                                 uint32_t NArgs);
 };
 
 /// Per-function execution statistics (inclusive cycles let the harness
@@ -185,6 +201,18 @@ public:
 
   RuntimeHook *Hook = nullptr;
 
+  /// Marks \p Func so calls to it consult RuntimeHook::onGuardedCall. The
+  /// flag array is sparse and branch-free to test on the call path; calls
+  /// to unguarded functions cost nothing extra.
+  void setCallGuard(uint32_t Func, bool On) {
+    if (CallGuards.size() <= Func)
+      CallGuards.resize(Func + 1, 0);
+    CallGuards[Func] = On ? 1 : 0;
+  }
+  bool callGuard(uint32_t Func) const {
+    return Func < CallGuards.size() && CallGuards[Func] != 0;
+  }
+
   /// Optional observer invoked at every function entry (both top-level
   /// runs and internal calls) with the argument values. Used by the value
   /// profiler; null by default and free when unset.
@@ -231,6 +259,8 @@ private:
   int64_t MemBrk = 16; // low addresses reserved (address 0 acts as "null")
   std::vector<Frame> Frames;
   std::vector<FunctionStats> FuncStats;
+  /// Per-function guarded-call flags (see setCallGuard).
+  std::vector<uint8_t> CallGuards;
   DecodedCache Decoded;
   /// OnCall presence, latched at run() entry so the per-call path tests a
   /// bool instead of a std::function.

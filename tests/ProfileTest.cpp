@@ -83,6 +83,72 @@ TEST(ValueProfilerTest, OverflowMarksVariableParams) {
   EXPECT_TRUE(P.param(static_cast<uint32_t>(F), 0).Overflowed);
 }
 
+TEST(ValueProfilerTest, AttachChainsExistingObserver) {
+  // Regression: attach used to clobber whatever call observer the VM
+  // already had (the speculative runtime's, the test harness's). It must
+  // chain — the prior observer keeps firing, then the profiler samples.
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile("int id(int x) { return x; }", Errors));
+  auto E = Ctx.buildStatic();
+  uint64_t PriorFired = 0;
+  E->Machine->OnCall = [&](uint32_t, const Word *, uint32_t) {
+    ++PriorFired;
+  };
+  ValueProfiler P;
+  P.attach(*E->Machine);
+  int F = E->findFunction("id");
+  for (int64_t V = 0; V != 5; ++V)
+    E->Machine->run(F, {Word::fromInt(7)});
+  EXPECT_EQ(PriorFired, 5u) << "prior observer was clobbered";
+  EXPECT_EQ(P.calls(static_cast<uint32_t>(F)), 5u);
+  EXPECT_EQ(P.param(static_cast<uint32_t>(F), 0).Observations, 5u);
+}
+
+TEST(ValueProfilerTest, DoubleAttachIsFatal) {
+  // Re-attaching the same profiler to the same VM would make it sample
+  // through its own chained tail and double-count every call.
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile("int id(int x) { return x; }", Errors));
+  auto E = Ctx.buildStatic();
+  ValueProfiler P;
+  P.attach(*E->Machine);
+  EXPECT_DEATH(P.attach(*E->Machine), "already attached");
+}
+
+TEST(ValueProfilerTest, DominanceIsZeroWithoutObservations) {
+  profile::ParamProfile Empty;
+  EXPECT_DOUBLE_EQ(Empty.dominance(), 0.0);
+  // Queries about never-observed functions/parameters answer the same.
+  ValueProfiler P;
+  EXPECT_EQ(P.param(42, 3).Observations, 0u);
+  EXPECT_DOUBLE_EQ(P.param(42, 3).dominance(), 0.0);
+  EXPECT_EQ(P.calls(42), 0u);
+}
+
+TEST(AnnotationAdvisor, OverflowedParameterIsDisqualified) {
+  // A parameter that blew past MaxDistinct is too variable to cache on;
+  // with no other candidate the function yields no suggestion at all.
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile("int id(int x) { return x; }", Errors));
+  auto E = Ctx.buildStatic();
+  ValueProfiler P(4);
+  P.attach(*E->Machine);
+  int F = E->findFunction("id");
+  for (int64_t V = 0; V != 10; ++V)
+    E->Machine->run(F, {Word::fromInt(V)});
+  ASSERT_TRUE(P.param(static_cast<uint32_t>(F), 0).Overflowed);
+  AdvisorPolicy Loose;
+  Loose.MinCycleShare = 0.0;
+  Loose.MinCalls = 1;
+  std::vector<Suggestion> Sugg =
+      profile::adviseAnnotations(Ctx.module(), *E->Machine, P, Loose);
+  for (const Suggestion &S : Sugg)
+    EXPECT_NE(S.FuncName, "id") << "overflowed parameter suggested";
+}
+
 TEST(AnnotationAdvisor, FindsTheHotInvariantParameters) {
   core::DycContext Ctx;
   std::vector<std::string> Errors;

@@ -1,0 +1,373 @@
+//===- tests/SpeculationTest.cpp - Speculative promotion subsystem ----------------===//
+//
+// End-to-end tests of the profile -> promote -> guard -> deopt -> demote
+// loop: unannotated Table 3 kernels must converge to the same specialized
+// chains an annotated build produces, recover most of its cycle savings,
+// and deoptimize with bit-identical outputs (and eventual demotion) when
+// the speculated values stop holding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DycContext.h"
+#include "core/Harness.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <vector>
+
+using namespace dyc;
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+namespace {
+
+/// exit_region resume pcs address the *generic* code object, whose layout
+/// differs between an annotated original (make_static mid-function) and a
+/// synthesized twin (make_static at entry); they are not chain content.
+std::string normalizeResume(const std::string &S) {
+  return std::regex_replace(S, std::regex("resume @\\d+"), "resume @_");
+}
+
+enum class Mode { Static, Annotated, Speculative };
+
+/// One built configuration of a workload. Heap-allocated and immovable:
+/// the runtime references the context's module.
+struct Built {
+  core::DycContext Ctx;
+  std::unique_ptr<core::Executable> E;
+  WorkloadSetup S;
+  int MainIdx = -1;
+  int RegionIdx = -1;
+};
+
+std::unique_ptr<Built> build(const Workload &W, Mode M,
+                             vm::VM::EngineKind Engine) {
+  auto B = std::make_unique<Built>();
+  core::compileWorkload(W, B->Ctx);
+  switch (M) {
+  case Mode::Static:
+    B->E = B->Ctx.buildStatic();
+    break;
+  case Mode::Annotated:
+    B->E = B->Ctx.buildDynamic();
+    break;
+  case Mode::Speculative:
+    B->E = B->Ctx.buildSpeculative();
+    break;
+  }
+  B->E->Machine->Engine = Engine;
+  B->S = W.Setup(*B->E->Machine);
+  B->MainIdx = B->E->findFunction(W.MainFunc);
+  B->RegionIdx = B->E->findFunction(W.RegionFunc);
+  EXPECT_GE(B->MainIdx, 0);
+  EXPECT_GE(B->RegionIdx, 0);
+  return B;
+}
+
+void expectSameOutput(const Built &A, const Built &B) {
+  ASSERT_EQ(A.S.OutLen, B.S.OutLen);
+  for (int64_t I = 0; I != A.S.OutLen; ++I)
+    EXPECT_EQ(A.E->Machine->memory()[A.S.OutBase + I].Bits,
+              B.E->Machine->memory()[B.S.OutBase + I].Bits)
+        << "output word " << I;
+}
+
+const char *const Kernels[] = {"binary", "chebyshev", "dotproduct", "query",
+                               "romberg"};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Convergence: one unannotated main run promotes the kernel function and
+// produces exactly the chains the annotated build produces.
+//===----------------------------------------------------------------------===//
+
+TEST(Speculation, ConvergesToAnnotatedChains) {
+  for (const char *Name : Kernels) {
+    SCOPED_TRACE(Name);
+    const Workload &W = workloads::workloadByName(Name);
+
+    auto A = build(W, Mode::Annotated, vm::VM::EngineKind::Predecoded);
+    Word RetA = A->E->Machine->run(static_cast<uint32_t>(A->MainIdx),
+                                   A->S.MainArgs);
+
+    auto P = build(W, Mode::Speculative, vm::VM::EngineKind::Predecoded);
+    Word RetP = P->E->Machine->run(static_cast<uint32_t>(P->MainIdx),
+                                   P->S.MainArgs);
+
+    EXPECT_EQ(RetA.Bits, RetP.Bits);
+    expectSameOutput(*A, *P);
+
+    const speculate::SpeculativeRuntime &Spec = *P->E->Spec;
+    EXPECT_GE(Spec.stats().Promotions, 1u);
+    EXPECT_EQ(Spec.stats().Demotions, 0u);
+    EXPECT_GT(Spec.stats().GuardHits, 0u);
+
+    int SpecOrd = Spec.ordinalOf(static_cast<uint32_t>(P->RegionIdx));
+    ASSERT_GE(SpecOrd, 0) << "kernel function was not promoted";
+    int AnnOrd = A->E->regionOrdinalOf(W.RegionFunc);
+    ASSERT_GE(AnnOrd, 0);
+
+    std::string AnnDis = normalizeResume(
+        A->E->RT->disassembleRegion(static_cast<size_t>(AnnOrd)));
+    std::string SpecDis = normalizeResume(
+        Spec.disassembleRegion(static_cast<size_t>(SpecOrd)));
+    EXPECT_FALSE(AnnDis.empty());
+    EXPECT_EQ(AnnDis, SpecDis);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The speculated promotion recovers at least 80% of the annotated build's
+// cycle savings over the static build (synthesis, profiling, and guard
+// costs included; a few main runs amortize the warm-up).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t totalCost(Built &B, int Reps) {
+  for (int I = 0; I != Reps; ++I)
+    B.E->Machine->run(static_cast<uint32_t>(B.MainIdx), B.S.MainArgs);
+  return B.E->Machine->execCycles() + B.E->Machine->dynCompCycles();
+}
+
+} // namespace
+
+TEST(Speculation, RecoversMostAnnotatedSavings) {
+  // Enough main runs to amortize the one-time warm-up (HotCalls generic
+  // executions plus the synthesis charge); steady state the speculative
+  // build pays only the per-call sampling and guard cycles.
+  const int Reps = 24;
+  for (const char *Name : Kernels) {
+    SCOPED_TRACE(Name);
+    const Workload &W = workloads::workloadByName(Name);
+    auto S = build(W, Mode::Static, vm::VM::EngineKind::Predecoded);
+    auto A = build(W, Mode::Annotated, vm::VM::EngineKind::Predecoded);
+    auto P = build(W, Mode::Speculative, vm::VM::EngineKind::Predecoded);
+    uint64_t CS = totalCost(*S, Reps);
+    uint64_t CA = totalCost(*A, Reps);
+    uint64_t CP = totalCost(*P, Reps);
+    expectSameOutput(*S, *P);
+    ASSERT_LT(CA, CS) << "annotated build shows no savings to recover";
+    double SavedA = static_cast<double>(CS - CA);
+    double SavedP = CP < CS ? static_cast<double>(CS - CP) : 0.0;
+    EXPECT_GE(SavedP, 0.8 * SavedA)
+        << "static " << CS << " annotated " << CA << " speculative " << CP;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine parity: the whole speculative lifecycle is simulated-
+// deterministic, so both VM engines produce bit-identical counters.
+//===----------------------------------------------------------------------===//
+
+TEST(Speculation, EngineParity) {
+  for (const char *Name : {"query", "dotproduct"}) {
+    SCOPED_TRACE(Name);
+    const Workload &W = workloads::workloadByName(Name);
+    auto L = build(W, Mode::Speculative, vm::VM::EngineKind::Legacy);
+    auto P = build(W, Mode::Speculative, vm::VM::EngineKind::Predecoded);
+    for (int I = 0; I != 3; ++I) {
+      Word RL = L->E->Machine->run(static_cast<uint32_t>(L->MainIdx),
+                                   L->S.MainArgs);
+      Word RP = P->E->Machine->run(static_cast<uint32_t>(P->MainIdx),
+                                   P->S.MainArgs);
+      EXPECT_EQ(RL.Bits, RP.Bits);
+    }
+    EXPECT_EQ(L->E->Machine->execCycles(), P->E->Machine->execCycles());
+    EXPECT_EQ(L->E->Machine->dynCompCycles(),
+              P->E->Machine->dynCompCycles());
+    EXPECT_EQ(L->E->Machine->instrsExecuted(),
+              P->E->Machine->instrsExecuted());
+    const speculate::SpeculationStats &SL = L->E->Spec->stats();
+    const speculate::SpeculationStats &SP = P->E->Spec->stats();
+    EXPECT_EQ(SL.CallsObserved, SP.CallsObserved);
+    EXPECT_EQ(SL.Promotions, SP.Promotions);
+    EXPECT_EQ(SL.GuardChecks, SP.GuardChecks);
+    EXPECT_EQ(SL.GuardHits, SP.GuardHits);
+    EXPECT_EQ(SL.GuardFailures, SP.GuardFailures);
+    expectSameOutput(*L, *P);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Guard-failure stress: rotate one argument until the site demotes, then
+// keep rotating until the controller re-promotes on the surviving
+// parameters. Every call must stay bit-identical with the static build,
+// and released chains must not leak.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *const StressSrc = R"(
+int f(int* a, int x, int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    s = s + a@[x] + i;
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+struct StressRig {
+  core::DycContext Ctx;
+  std::unique_ptr<core::Executable> Spec;
+  std::unique_ptr<core::Executable> Stat;
+  int FI = -1;
+  int64_t A = 0;
+
+  void call(int64_t X, int64_t N) {
+    std::vector<Word> Args = {Word::fromInt(A), Word::fromInt(X),
+                              Word::fromInt(N)};
+    Word RS = Spec->Machine->run(static_cast<uint32_t>(FI), Args);
+    Word RG = Stat->Machine->run(static_cast<uint32_t>(FI), Args);
+    ASSERT_EQ(RS.Bits, RG.Bits) << "deoptimized result diverged";
+  }
+};
+
+std::unique_ptr<StressRig> buildStress(vm::VM::EngineKind Engine) {
+  auto R = std::make_unique<StressRig>();
+  std::vector<std::string> Errs;
+  EXPECT_TRUE(R->Ctx.compile(StressSrc, Errs)) << (Errs.empty() ? "" : Errs[0]);
+  R->Spec = R->Ctx.buildSpeculative();
+  R->Stat = R->Ctx.buildStatic();
+  R->Spec->Machine->Engine = Engine;
+  R->Stat->Machine->Engine = Engine;
+  R->FI = R->Spec->findFunction("f");
+  EXPECT_GE(R->FI, 0);
+  // Identical quasi-invariant memory in both machines.
+  R->A = R->Spec->Machine->allocMemory(8);
+  int64_t A2 = R->Stat->Machine->allocMemory(8);
+  EXPECT_EQ(R->A, A2);
+  for (int I = 0; I != 8; ++I) {
+    R->Spec->Machine->memory()[R->A + I] = Word::fromInt(I * 3 + 1);
+    R->Stat->Machine->memory()[R->A + I] = Word::fromInt(I * 3 + 1);
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(Speculation, GuardFailureDeoptsAndDemotes) {
+  for (vm::VM::EngineKind Engine :
+       {vm::VM::EngineKind::Legacy, vm::VM::EngineKind::Predecoded}) {
+    SCOPED_TRACE(Engine == vm::VM::EngineKind::Legacy ? "legacy"
+                                                      : "predecoded");
+    auto R = buildStress(Engine);
+    const speculate::SpeculativeRuntime &Spec = *R->Spec->Spec;
+    uint32_t FI = static_cast<uint32_t>(R->FI);
+
+    // Phase 1: a sustained invariant promotes all three parameters.
+    for (int I = 0; I != 20; ++I)
+      R->call(3, 4);
+    EXPECT_EQ(Spec.stats().Promotions, 1u);
+    {
+      const speculate::GuardSite *S = Spec.guards().find(FI);
+      ASSERT_NE(S, nullptr);
+      EXPECT_EQ(S->Params, (std::vector<uint32_t>{0, 1, 2}));
+      EXPECT_GT(S->Hits, 0u);
+    }
+    EXPECT_EQ(R->Spec->Spec->runtime().core().liveChains(), 1u);
+
+    // Phase 2: rotating n fails the guard (deopt to generic every time)
+    // until the site demotes and blacklists the thrashing parameter.
+    for (int I = 0; I != 8; ++I)
+      R->call(3, 5 + I);
+    EXPECT_EQ(Spec.stats().GuardFailures, 8u);
+    EXPECT_EQ(Spec.stats().Demotions, 1u);
+    EXPECT_EQ(Spec.stats().ParamsBlacklisted, 1u);
+    EXPECT_TRUE(R->Spec->Spec->profiler().isBlacklisted(FI, 2));
+    EXPECT_FALSE(R->Spec->Spec->profiler().isBlacklisted(FI, 0));
+    EXPECT_EQ(Spec.guards().find(FI), nullptr);
+    EXPECT_EQ(Spec.ordinalOf(FI), -1);
+    // The released twin's chain was reclaimed at the demotion safe point.
+    EXPECT_EQ(R->Spec->Spec->runtime().core().liveChains(), 0u);
+
+    // Phase 3: with n still varying, re-heating re-promotes on the
+    // surviving invariant parameters only; the new twin handles dynamic
+    // n (no unrolling) behind a narrower guard.
+    for (int I = 0; I != 16; ++I)
+      R->call(3, 100 + I);
+    EXPECT_EQ(Spec.stats().Promotions, 2u);
+    {
+      const speculate::GuardSite *S = Spec.guards().find(FI);
+      ASSERT_NE(S, nullptr);
+      EXPECT_EQ(S->Params, (std::vector<uint32_t>{0, 1}));
+    }
+    for (int I = 0; I != 4; ++I)
+      R->call(3, 1000 + I); // guard passes; n is dynamic inside the twin
+    // 5 = the promoting call itself (it falls through to its own guard)
+    // plus the four rotated calls.
+    EXPECT_EQ(Spec.guards().find(FI)->Hits, 5u);
+    EXPECT_EQ(R->Spec->Spec->runtime().core().liveChains(), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled policy: buildSpeculative with Enabled=false behaves exactly
+// like buildStatic (no guards, no profiling charges).
+//===----------------------------------------------------------------------===//
+
+TEST(Speculation, DisabledPolicyMatchesStatic) {
+  const Workload &W = workloads::workloadByName("dotproduct");
+  auto S = build(W, Mode::Static, vm::VM::EngineKind::Predecoded);
+  Word RS = S->E->Machine->run(static_cast<uint32_t>(S->MainIdx),
+                               S->S.MainArgs);
+
+  auto B = std::make_unique<Built>();
+  core::compileWorkload(W, B->Ctx);
+  speculate::SpeculationPolicy Off;
+  Off.Enabled = false;
+  B->E = B->Ctx.buildSpeculative(Off);
+  B->S = W.Setup(*B->E->Machine);
+  B->MainIdx = B->E->findFunction(W.MainFunc);
+  Word RB = B->E->Machine->run(static_cast<uint32_t>(B->MainIdx),
+                               B->S.MainArgs);
+
+  EXPECT_EQ(RS.Bits, RB.Bits);
+  // Never dearer than static — in fact strictly cheaper: the stripped
+  // generic module lacks the make_static pseudo-instructions the static
+  // build still executes (one cycle each, once per kernel call).
+  EXPECT_LT(B->E->Machine->execCycles(), S->E->Machine->execCycles());
+  EXPECT_EQ(B->E->Machine->dynCompCycles(), 0u);
+  EXPECT_EQ(B->E->Spec->stats().CallsObserved, 0u);
+  expectSameOutput(*S, *B);
+}
+
+//===----------------------------------------------------------------------===//
+// A function judged not worth promoting is declined once and its guard
+// removed — the sampling cost stops.
+//===----------------------------------------------------------------------===//
+
+TEST(Speculation, UnprofitableFunctionDeclinedOnce) {
+  // No `@` loads, no pure calls, no static-foldable branches once only
+  // the parameters are static: structural benefit 0.
+  const char *Src = R"(
+int plain(int a, int b) {
+  return a * b + a - b;
+}
+)";
+  core::DycContext Ctx;
+  std::vector<std::string> Errs;
+  ASSERT_TRUE(Ctx.compile(Src, Errs));
+  auto E = Ctx.buildSpeculative();
+  int FI = E->findFunction("plain");
+  ASSERT_GE(FI, 0);
+  std::vector<Word> Args = {Word::fromInt(6), Word::fromInt(7)};
+  for (int I = 0; I != 24; ++I)
+    EXPECT_EQ(E->Machine->run(static_cast<uint32_t>(FI), Args).Bits,
+              Word::fromInt(41).Bits);
+  const speculate::SpeculationStats &St = E->Spec->stats();
+  EXPECT_EQ(St.Promotions, 0u);
+  EXPECT_EQ(St.PromotionsDeclined, 1u);
+  // The guard came off at the decline: exactly HotCalls observations.
+  EXPECT_EQ(St.CallsObserved, 16u);
+  EXPECT_GT(E->Machine->dynCompCycles(), 0u) << "trial BTA was not charged";
+  EXPECT_FALSE(St.toString().empty());
+}

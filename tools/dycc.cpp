@@ -17,6 +17,7 @@
 #include "bta/BTAnalysis.h"
 #include "core/DycContext.h"
 #include "profile/ValueProfiler.h"
+#include "speculate/SpeculativeRuntime.h"
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +40,11 @@ void usage() {
           "  --stats               print cycle counts and region stats\n"
           "  --profile             value-profile the run and suggest\n"
           "                        make_static annotations\n"
+          "  --speculate           strip the annotations and run the\n"
+          "                        speculative promotion run-time instead\n"
+          "  --advise              after a --speculate run, print the\n"
+          "                        promotion controller's evidence per\n"
+          "                        function (implies --speculate)\n"
           "  --icache KB           L1 I-cache size (default 8)\n");
   for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
     fprintf(stderr, "  --no-%-27s disable this optimization\n",
@@ -64,7 +70,8 @@ int main(int argc, char **argv) {
   std::vector<Word> RunArgs;
   uint64_t Iterations = 1;
   bool Static = false, DumpIR = false, DumpBTA = false, DumpGenExt = false,
-       DumpResidual = false, Stats = false, Profile = false;
+       DumpResidual = false, Stats = false, Profile = false,
+       Speculate = false, Advise = false;
   OptFlags Flags;
   vm::ICacheConfig ICCfg;
 
@@ -96,6 +103,11 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (A == "--profile") {
       Profile = true;
+    } else if (A == "--speculate") {
+      Speculate = true;
+    } else if (A == "--advise") {
+      Advise = true;
+      Speculate = true;
     } else if (A == "--icache" && I + 1 < argc) {
       ICCfg.SizeBytes = strtoul(argv[++I], nullptr, 10) * 1024;
     } else if (A.rfind("--no-", 0) == 0) {
@@ -151,9 +163,16 @@ int main(int argc, char **argv) {
                    .c_str());
   }
 
+  if (Static && Speculate) {
+    fprintf(stderr, "dycc: --static and --speculate are exclusive\n");
+    return 2;
+  }
   std::unique_ptr<core::Executable> E =
       Static ? Ctx.buildStatic(vm::CostModel(), ICCfg)
-             : Ctx.buildDynamic(Flags, vm::CostModel(), ICCfg);
+      : Speculate
+          ? Ctx.buildSpeculative(speculate::SpeculationPolicy(), Flags,
+                                 vm::CostModel(), ICCfg)
+          : Ctx.buildDynamic(Flags, vm::CostModel(), ICCfg);
 
   if (DumpGenExt && E->RT) {
     for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
@@ -194,11 +213,74 @@ int main(int argc, char **argv) {
       for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
         printf("region %zu: %s\n", Ord,
                E->RT->stats(Ord).toString().c_str());
+    if (E->Spec) {
+      const speculate::SpeculationStats &S = E->Spec->stats();
+      printf("speculation: %llu calls observed, %llu promoted, "
+             "%llu declined, %llu demoted\n",
+             (unsigned long long)S.CallsObserved,
+             (unsigned long long)S.Promotions,
+             (unsigned long long)S.PromotionsDeclined,
+             (unsigned long long)S.Demotions);
+      printf("guards: %llu checks, %llu hits, %llu failures\n",
+             (unsigned long long)S.GuardChecks,
+             (unsigned long long)S.GuardHits,
+             (unsigned long long)S.GuardFailures);
+      runtime::DycRuntime &RT = E->Spec->runtime();
+      for (size_t Ord = 0; Ord != RT.numRegions(); ++Ord)
+        printf("region %zu: %s\n", Ord, RT.stats(Ord).toString().c_str());
+    }
   }
 
   if (DumpResidual && E->RT)
     for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
       printf("%s", E->RT->disassembleRegion(Ord).c_str());
+  if (DumpResidual && E->Spec) {
+    runtime::DycRuntime &RT = E->Spec->runtime();
+    for (size_t Ord = 0; Ord != RT.numRegions(); ++Ord)
+      printf("%s", RT.disassembleRegion(Ord).c_str());
+  }
+
+  if (Advise) {
+    // The promotion controller's evidence, function by function: the
+    // online profile (calls, per-parameter dominance) and the trial-BTA
+    // structural benefit of promoting every parameter.
+    speculate::SpeculativeRuntime &Spec = *E->Spec;
+    const profile::ValueProfiler &P = Spec.profiler();
+    printf("promotion advisor (speculative run-time evidence):\n");
+    const ir::Module &M = Spec.specModule();
+    for (size_t FI = 0; FI != Ctx.module().numFunctions(); ++FI) {
+      const ir::Function &Fn = M.function(static_cast<int>(FI));
+      if (Fn.NumParams == 0)
+        continue;
+      std::vector<uint32_t> All;
+      for (uint32_t PI = 0; PI != Fn.NumParams; ++PI)
+        All.push_back(PI);
+      speculate::PromotionController::Trial T =
+          Spec.controller().probe(static_cast<uint32_t>(FI), All);
+      printf("  %s: %llu calls, benefit %llu (%llu data folds), "
+             "static/dynamic work %llu/%llu%s\n",
+             Fn.Name.c_str(),
+             (unsigned long long)P.calls(static_cast<uint32_t>(FI)),
+             (unsigned long long)T.Benefit,
+             (unsigned long long)T.DataFolds,
+             (unsigned long long)T.StaticWork,
+             (unsigned long long)T.DynWork,
+             Spec.ordinalOf(static_cast<uint32_t>(FI)) >= 0
+                 ? "  [promoted]"
+                 : "");
+      for (uint32_t PI = 0; PI != Fn.NumParams; ++PI) {
+        const profile::ParamProfile &PP =
+            P.param(static_cast<uint32_t>(FI), PI);
+        if (PP.Observations == 0 && !PP.Blacklisted)
+          continue;
+        printf("    %-12s %llu observations, dominance %.2f%s%s\n",
+               Fn.regName(PI).c_str(),
+               (unsigned long long)PP.Observations, PP.dominance(),
+               PP.Overflowed ? ", overflowed" : "",
+               PP.Blacklisted ? ", blacklisted" : "");
+      }
+    }
+  }
 
   if (Profile) {
     std::vector<profile::Suggestion> Sugg = profile::adviseAnnotations(
