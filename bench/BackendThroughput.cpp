@@ -1,0 +1,315 @@
+//===- bench/BackendThroughput.cpp -------------------------------------------------===//
+//
+// Host throughput of the two execution backends. Two scenarios:
+//
+//  1. Inline, per workload: builds the dynamic configuration twice — once
+//     on the bytecode backend (translate-on-first-touch), once on the
+//     template backend (prebuilt superblock translations) — and times the
+//     same region-invocation sequence through both on the predecoded
+//     engine. The simulated counters must be bit-identical (hard check);
+//     host speed is the measurement.
+//
+//  2. Server, multi-client churn: one SpecServer under a tight chain
+//     budget with N client VMs interleaving hot keys, so every
+//     re-specialization is consumed by all clients. On the bytecode
+//     backend each client re-translates each fresh chain itself (N builds
+//     per chain); the template backend builds once at emit time and every
+//     client adopts (1 build + N adoptions). The translation-build
+//     reduction is deterministic and is what --check gates on; wall-clock
+//     ratios are reported but machine-dependent.
+//
+// Flags:
+//   --quick        shrink the measured invocation counts (CI smoke)
+//   --json FILE    write the measurements as JSON (BENCH_backend.json)
+//   --check        exit nonzero if the backends' simulated counters
+//                  diverge anywhere, or the server scenario's template
+//                  clients fail to adopt (builds not reduced)
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Backend.h"
+#include "core/Harness.h"
+#include "server/SpecServer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dyc;
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+namespace {
+
+bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+const char *jsonPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BackendRun {
+  uint64_t SimInstrs = 0;
+  double Seconds = 0;
+  uint64_t ExecCycles = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t DecodeBuilds = 0;
+  uint64_t DecodeAdopts = 0;
+  double InstrsPerSec() const { return Seconds > 0 ? SimInstrs / Seconds : 0; }
+  double NsPerInstr() const {
+    return SimInstrs ? Seconds * 1e9 / SimInstrs : 0;
+  }
+};
+
+OptFlags withBackend(ExecBackend B) {
+  OptFlags Fl;
+  Fl.Backend = B;
+  return Fl;
+}
+
+/// Builds \p W fresh on \p Backend, warms with one invocation
+/// (specialization happens there), then times \p Invokes more on the
+/// predecoded engine.
+BackendRun runInline(const Workload &W, ExecBackend Backend,
+                     uint64_t Invokes) {
+  core::DycContext Ctx;
+  core::compileWorkload(W, Ctx);
+  auto E = Ctx.buildDynamic(withBackend(Backend));
+  E->Machine->Engine = vm::VM::EngineKind::Predecoded;
+  WorkloadSetup S = W.Setup(*E->Machine);
+  int FI = E->findFunction(W.RegionFunc);
+  if (FI < 0)
+    fatal(W.Name + ": region function not found");
+
+  E->Machine->run(static_cast<uint32_t>(FI), S.RegionArgs); // warmup
+
+  BackendRun R;
+  uint64_t I0 = E->Machine->instrsExecuted();
+  double T0 = nowSeconds();
+  for (uint64_t I = 0; I != Invokes; ++I)
+    E->Machine->run(static_cast<uint32_t>(FI), S.RegionArgs);
+  R.Seconds = nowSeconds() - T0;
+  R.SimInstrs = E->Machine->instrsExecuted() - I0;
+  R.ExecCycles = E->Machine->execCycles();
+  R.ICacheMisses = E->Machine->icache().misses();
+  R.DecodeBuilds = E->Machine->decodeBuilds();
+  R.DecodeAdopts = E->Machine->decodeAdopts();
+  return R;
+}
+
+uint64_t calibrate(const Workload &W, double TargetSeconds) {
+  const uint64_t Probe = 16;
+  BackendRun R = runInline(W, ExecBackend::Bytecode, Probe);
+  if (R.Seconds <= 0)
+    return Probe;
+  double Scale = TargetSeconds / (R.Seconds / Probe);
+  return std::clamp<uint64_t>(static_cast<uint64_t>(Scale), Probe, 50000);
+}
+
+struct Row {
+  std::string Name;
+  uint64_t Invocations = 0;
+  BackendRun Bytecode, Template;
+  double Ratio = 0; ///< template instrs/s over bytecode instrs/s
+  bool CountersIdentical = false;
+};
+
+const char *ServerSrc = "int f(int n) {\n"
+                        "  int i;\n"
+                        "  make_static(n, i : cache_all);\n"
+                        "  int s = 0;\n"
+                        "  for (i = 0; i < n; i = i + 1) { s = s + i; }\n"
+                        "  return s;\n"
+                        "}";
+
+struct ServerRun {
+  double Seconds = 0;
+  uint64_t ClientBuilds = 0; ///< summed over all client VMs
+  uint64_t ClientAdopts = 0;
+  uint64_t ArtifactsReleased = 0;
+  uint64_t Checksum = 0;
+};
+
+ServerRun runServer(ExecBackend Backend, unsigned Clients, int Rounds) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  if (!Ctx.compile(ServerSrc, Errors))
+    fatal("server kernel failed to compile");
+  server::ServerConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.OnMiss = server::MissPolicy::Block;
+  Cfg.Budget.MaxEntries = 2; // churn: 4 live keys, 2 cached chains
+  auto Server = Ctx.buildServer(withBackend(Backend), std::move(Cfg));
+  std::vector<std::unique_ptr<vm::VM>> Vs;
+  for (unsigned C = 0; C != Clients; ++C)
+    Vs.push_back(Server->makeClientVM());
+  int FS = Server->findFunction("f");
+  if (FS < 0)
+    fatal("server kernel: f not found");
+
+  ServerRun R;
+  const int64_t Keys[] = {3, 9, 17, 5};
+  double T0 = nowSeconds();
+  // Key-major interleave: each fresh specialization is consumed by every
+  // client before the next key evicts it.
+  for (int Round = 0; Round != Rounds; ++Round)
+    for (int64_t K : Keys)
+      for (auto &V : Vs)
+        R.Checksum +=
+            static_cast<uint64_t>(V->run(static_cast<uint32_t>(FS),
+                                         {Word::fromInt(K)})
+                                      .asInt());
+  Server->drain();
+  R.Seconds = nowSeconds() - T0;
+  for (auto &V : Vs) {
+    R.ClientBuilds += V->decodeBuilds();
+    R.ClientAdopts += V->decodeAdopts();
+  }
+  R.ArtifactsReleased = Server->backend().stats().ArtifactsReleased.load(
+      std::memory_order_relaxed);
+  return R;
+}
+
+void writeJson(const char *Path, const std::vector<Row> &Rows,
+               const ServerRun &SB, const ServerRun &ST, unsigned Clients,
+               bool Check, bool CheckPassed) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"backend_throughput\",\n");
+  std::fprintf(F, "  \"dispatch\": \"%s\",\n", vm::VM::dispatchMode());
+  std::fprintf(F, "  \"workloads\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"invocations\": %llu,\n"
+                 "     \"sim_instrs\": %llu,\n"
+                 "     \"counters_identical\": %s,\n"
+                 "     \"bytecode\": {\"host_instrs_per_sec\": %.0f, "
+                 "\"ns_per_instr\": %.3f, \"decode_builds\": %llu},\n"
+                 "     \"template\": {\"host_instrs_per_sec\": %.0f, "
+                 "\"ns_per_instr\": %.3f, \"decode_builds\": %llu, "
+                 "\"decode_adopts\": %llu},\n"
+                 "     \"ratio\": %.3f}%s\n",
+                 R.Name.c_str(), (unsigned long long)R.Invocations,
+                 (unsigned long long)R.Template.SimInstrs,
+                 R.CountersIdentical ? "true" : "false",
+                 R.Bytecode.InstrsPerSec(), R.Bytecode.NsPerInstr(),
+                 (unsigned long long)R.Bytecode.DecodeBuilds,
+                 R.Template.InstrsPerSec(), R.Template.NsPerInstr(),
+                 (unsigned long long)R.Template.DecodeBuilds,
+                 (unsigned long long)R.Template.DecodeAdopts, R.Ratio,
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(
+      F,
+      "  \"server_churn\": {\"clients\": %u,\n"
+      "    \"bytecode\": {\"seconds\": %.4f, \"client_decode_builds\": %llu},\n"
+      "    \"template\": {\"seconds\": %.4f, \"client_decode_builds\": %llu, "
+      "\"client_decode_adopts\": %llu, \"artifacts_released\": %llu},\n"
+      "    \"builds_saved\": %lld, \"speedup\": %.3f},\n",
+      Clients, SB.Seconds, (unsigned long long)SB.ClientBuilds, ST.Seconds,
+      (unsigned long long)ST.ClientBuilds,
+      (unsigned long long)ST.ClientAdopts,
+      (unsigned long long)ST.ArtifactsReleased,
+      (long long)(SB.ClientBuilds - ST.ClientBuilds),
+      ST.Seconds > 0 ? SB.Seconds / ST.Seconds : 0);
+  std::fprintf(F, "  \"check\": %s,\n  \"check_passed\": %s\n}\n",
+               Check ? "true" : "false", CheckPassed ? "true" : "false");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = hasFlag(Argc, Argv, "--quick") ||
+               [] {
+                 const char *E = std::getenv("DYC_BENCH_QUICK");
+                 return E && E[0] == '1';
+               }();
+  bool Check = hasFlag(Argc, Argv, "--check");
+  const char *Json = jsonPath(Argc, Argv);
+
+  const std::vector<std::string> Names = {"dotproduct", "pnmconvol",
+                                          "chebyshev", "dinero"};
+  double Target = Quick ? 0.05 : 0.4;
+
+  std::printf("execution-backend throughput (dispatch: %s, engine: "
+              "predecoded)\n",
+              vm::VM::dispatchMode());
+  std::printf("%-12s %10s %14s %14s %8s %7s\n", "workload", "invokes",
+              "bytecode i/s", "template i/s", "ratio", "parity");
+
+  std::vector<Row> Rows;
+  bool CheckPassed = true;
+  for (const std::string &Name : Names) {
+    const Workload &W = workloads::workloadByName(Name);
+    Row R;
+    R.Name = Name;
+    R.Invocations = calibrate(W, Target);
+    R.Bytecode = runInline(W, ExecBackend::Bytecode, R.Invocations);
+    R.Template = runInline(W, ExecBackend::Template, R.Invocations);
+    R.Ratio = R.Bytecode.Seconds > 0 && R.Template.Seconds > 0
+                  ? R.Template.InstrsPerSec() / R.Bytecode.InstrsPerSec()
+                  : 0;
+    R.CountersIdentical =
+        R.Bytecode.SimInstrs == R.Template.SimInstrs &&
+        R.Bytecode.ExecCycles == R.Template.ExecCycles &&
+        R.Bytecode.ICacheMisses == R.Template.ICacheMisses;
+    if (!R.CountersIdentical)
+      CheckPassed = false;
+    std::printf("%-12s %10llu %14.0f %14.0f %7.2fx %7s\n", Name.c_str(),
+                (unsigned long long)R.Invocations,
+                R.Bytecode.InstrsPerSec(), R.Template.InstrsPerSec(),
+                R.Ratio, R.CountersIdentical ? "ok" : "FAIL");
+    Rows.push_back(std::move(R));
+  }
+
+  const unsigned Clients = 8;
+  const int Rounds = Quick ? 20 : 200;
+  ServerRun SB = runServer(ExecBackend::Bytecode, Clients, Rounds);
+  ServerRun ST = runServer(ExecBackend::Template, Clients, Rounds);
+  bool ServerOk = ST.Checksum == SB.Checksum &&
+                  ST.ClientAdopts > 0 && ST.ClientBuilds < SB.ClientBuilds;
+  if (!ServerOk)
+    CheckPassed = false;
+  std::printf("\nserver churn (%u clients, %d rounds): bytecode %llu client "
+              "translate-builds in %.3fs; template %llu builds + %llu "
+              "adoptions in %.3fs (%.2fx, %lld builds saved) %s\n",
+              Clients, Rounds, (unsigned long long)SB.ClientBuilds,
+              SB.Seconds, (unsigned long long)ST.ClientBuilds,
+              (unsigned long long)ST.ClientAdopts, ST.Seconds,
+              ST.Seconds > 0 ? SB.Seconds / ST.Seconds : 0,
+              (long long)(SB.ClientBuilds - ST.ClientBuilds),
+              ServerOk ? "ok" : "FAIL");
+
+  if (Json)
+    writeJson(Json, Rows, SB, ST, Clients, Check, CheckPassed);
+
+  if (Check && !CheckPassed) {
+    std::fprintf(stderr, "FAIL: backend counter parity or server adoption "
+                         "check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- backend/Backend.cpp - Backend seam shared pieces --------------------===//
+
+#include "backend/Backend.h"
+
+#include "backend/BytecodeBackend.h"
+#include "backend/TemplateBackend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dyc {
+namespace backend {
+
+const char *backendName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Bytecode:
+    return "bytecode";
+  case BackendKind::Template:
+    return "template";
+  }
+  return "bytecode";
+}
+
+BackendKind resolveBackendKind(ExecBackend Requested) {
+  switch (Requested) {
+  case ExecBackend::Bytecode:
+    return BackendKind::Bytecode;
+  case ExecBackend::Template:
+    return BackendKind::Template;
+  case ExecBackend::Default:
+    break;
+  }
+  if (const char *Env = std::getenv("DYC_BACKEND")) {
+    if (std::strcmp(Env, "template") == 0)
+      return BackendKind::Template;
+    if (std::strcmp(Env, "bytecode") == 0)
+      return BackendKind::Bytecode;
+  }
+  return BackendKind::Bytecode;
+}
+
+CompiledRegion::~CompiledRegion() = default;
+
+ExecutionBackend::~ExecutionBackend() = default;
+
+void ExecutionBackend::beginRegion(vm::CodeObject &CO, vm::Program &Prog,
+                                   uint64_t ReserveBytes) {
+  CO.IsDynamicCode = true;
+  CO.BaseAddr = Prog.allocCodeAddr(ReserveBytes);
+}
+
+void ExecutionBackend::releaseArtifact(const vm::CodeObject &) {}
+
+void ExecutionBackend::attach(vm::VM &) {}
+
+size_t ExecutionBackend::residentArtifacts() const { return 0; }
+
+std::unique_ptr<ExecutionBackend> createBackend(BackendKind K) {
+  switch (K) {
+  case BackendKind::Template:
+    return std::make_unique<TemplateBackend>();
+  case BackendKind::Bytecode:
+    break;
+  }
+  return std::make_unique<BytecodeBackend>();
+}
+
+} // namespace backend
+} // namespace dyc

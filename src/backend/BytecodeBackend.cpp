@@ -1,0 +1,16 @@
+//===- backend/BytecodeBackend.cpp - Default bytecode client ---------------===//
+
+#include "backend/BytecodeBackend.h"
+
+namespace dyc {
+namespace backend {
+
+std::shared_ptr<CompiledRegion>
+BytecodeBackend::compileRegion(const RegionEmission &E, vm::VM &) {
+  Stats.RegionsCompiled.fetch_add(1, std::memory_order_relaxed);
+  Stats.InstrsCompiled.fetch_add(E.CO.Code.size(), std::memory_order_relaxed);
+  return nullptr; // the bytecode itself is the artifact
+}
+
+} // namespace backend
+} // namespace dyc

@@ -1,0 +1,36 @@
+//===- backend/BytecodeBackend.h - Default bytecode client ------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The default client of the backend seam: the residual bytecode IS the
+/// executable artifact. compileRegion is the identity — each VM's
+/// DecodedCache translates on first touch exactly as it did before the
+/// seam existed — so this backend is behavior-preserving by construction:
+/// byte-identical disassembly, bit-identical simulated counters, and the
+/// same host-side translation schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_BACKEND_BYTECODEBACKEND_H
+#define DYC_BACKEND_BYTECODEBACKEND_H
+
+#include "backend/Backend.h"
+
+namespace dyc {
+namespace backend {
+
+class BytecodeBackend final : public ExecutionBackend {
+public:
+  BackendKind kind() const override { return BackendKind::Bytecode; }
+
+  std::shared_ptr<CompiledRegion> compileRegion(const RegionEmission &E,
+                                                vm::VM &SpecVM) override;
+};
+
+} // namespace backend
+} // namespace dyc
+
+#endif // DYC_BACKEND_BYTECODEBACKEND_H

@@ -1,0 +1,48 @@
+//===- backend/TemplateBackend.cpp - Macro-op template backend -------------===//
+
+#include "backend/TemplateBackend.h"
+
+#include <algorithm>
+
+namespace dyc {
+namespace backend {
+
+std::shared_ptr<CompiledRegion>
+TemplateBackend::compileRegion(const RegionEmission &E, vm::VM &SpecVM) {
+  // Every PC at which control can enter the chain from outside becomes a
+  // block leader of the prebuilt translation, so adopters never fall off
+  // the superblock fast path into lazy leader promotion.
+  std::vector<uint32_t> Entries;
+  Entries.reserve(1 + E.ExitStubs.size() + E.DispatchStubs.size());
+  Entries.push_back(E.EntryPC);
+  for (const auto &KV : E.ExitStubs)
+    Entries.push_back(KV.second);
+  for (const auto &KV : E.DispatchStubs)
+    Entries.push_back(KV.second);
+  std::sort(Entries.begin(), Entries.end());
+  Entries.erase(std::unique(Entries.begin(), Entries.end()), Entries.end());
+
+  std::shared_ptr<const vm::DecodedCode> DC =
+      vm::buildDecoded(E.CO, SpecVM.costModel(), SpecVM.icache().config(),
+                       std::move(Entries));
+
+  Stats.RegionsCompiled.fetch_add(1, std::memory_order_relaxed);
+  Stats.InstrsCompiled.fetch_add(E.CO.Code.size(), std::memory_order_relaxed);
+  Stats.Superblocks.fetch_add(DC->Blocks.size(), std::memory_order_relaxed);
+  uint64_t Fused = 0;
+  for (const vm::DecodedInstr &D : DC->Instrs)
+    if (D.H >= static_cast<uint16_t>(vm::DOp::ConstIConstI) &&
+        D.H < static_cast<uint16_t>(vm::DOp::NumHandlers))
+      ++Fused;
+  Stats.Superinstructions.fetch_add(Fused, std::memory_order_relaxed);
+
+  Registry->install(E.CO.BaseAddr, DC);
+
+  auto Art = std::make_shared<TemplateCompiledRegion>();
+  Art->BaseAddr = E.CO.BaseAddr;
+  Art->Code = std::move(DC);
+  return Art;
+}
+
+} // namespace backend
+} // namespace dyc

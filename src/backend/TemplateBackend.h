@@ -1,0 +1,73 @@
+//===- backend/TemplateBackend.h - Macro-op template backend ----------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macro-op template backend: each specialized region is pre-fused
+/// into straight-line superblocks with quickened superinstructions *at
+/// emit time* (the payoff Brunthaler's speculative-staging work predicts
+/// for a staged backend), and the finished translation is installed in a
+/// PrebuiltTranslations registry that every attached VM adopts — hot
+/// chains skip DecodedCache translate-on-first-touch entirely, and N
+/// client VMs share one translation instead of building N.
+///
+/// The translation is built with every outside entry point — the region
+/// entry, interned exit stubs, and dispatch stubs — promoted to a block
+/// leader up front, so mid-chain entries that would otherwise trigger
+/// lazy promoteLeader rebuilds are already on the superblock fast path.
+///
+/// Cost-model neutrality: the prebuilt translation is the same
+/// DecodedCode the VM would have built lazily, and extra block leaders
+/// only *split* superblocks — a split I-cache line segment replays
+/// identically through ICache::accessRun (the second segment's first
+/// fetch hits the line the first segment just touched), and per-block
+/// cycle sums are computed before quickening. No simulated cycles are
+/// charged for prebuilding: translation is host-side work in both
+/// backends, exactly like DecodedCache builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_BACKEND_TEMPLATEBACKEND_H
+#define DYC_BACKEND_TEMPLATEBACKEND_H
+
+#include "backend/Backend.h"
+#include "vm/Decoded.h"
+
+namespace dyc {
+namespace backend {
+
+/// The installable artifact: one shared, immutable predecoded translation.
+class TemplateCompiledRegion final : public CompiledRegion {
+public:
+  uint64_t BaseAddr = 0;
+  std::shared_ptr<const vm::DecodedCode> Code;
+};
+
+class TemplateBackend final : public ExecutionBackend {
+public:
+  TemplateBackend() : Registry(std::make_shared<vm::PrebuiltTranslations>()) {}
+
+  BackendKind kind() const override { return BackendKind::Template; }
+
+  std::shared_ptr<CompiledRegion> compileRegion(const RegionEmission &E,
+                                                vm::VM &SpecVM) override;
+
+  void releaseArtifact(const vm::CodeObject &CO) override {
+    if (Registry->release(CO.BaseAddr))
+      Stats.ArtifactsReleased.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void attach(vm::VM &M) override { M.setPrebuiltTranslations(Registry); }
+
+  size_t residentArtifacts() const override { return Registry->size(); }
+
+private:
+  std::shared_ptr<vm::PrebuiltTranslations> Registry;
+};
+
+} // namespace backend
+} // namespace dyc
+
+#endif // DYC_BACKEND_TEMPLATEBACKEND_H

@@ -38,6 +38,18 @@
 
 namespace dyc {
 
+/// Which execution backend the run-time compiles specialized regions
+/// through (the pluggable seam of src/backend/Backend.h). Backends change
+/// how the host executes a region, never what the cost model observes:
+/// simulated counters are bit-identical across backends by contract.
+enum class ExecBackend {
+  Default,  ///< resolve from the DYC_BACKEND environment variable
+            ///< ("bytecode" / "template"); Bytecode when unset
+  Bytecode, ///< residual bytecode only; each VM translates lazily
+  Template, ///< macro-op template backend: superblocks pre-fused at emit
+            ///< time, shared across every attached VM
+};
+
 /// DyC optimization toggles (all on by default, the paper's "with all
 /// optimizations" configuration).
 struct OptFlags {
@@ -55,6 +67,10 @@ struct OptFlags {
   /// in RegionStats::CodeCapHits (soft limit) rather than aborting. Also
   /// sizes the simulated address reservation per code chain.
   size_t MaxRegionInstrs = 1u << 20;
+
+  /// Execution backend the front end's RegionExecutionCore compiles
+  /// through. Not a toggle: it cannot change observable behavior.
+  ExecBackend Backend = ExecBackend::Default;
 
   /// Named accessors for the ablation harness (Table 5 columns).
   static constexpr unsigned NumToggles = 9;

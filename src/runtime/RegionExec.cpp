@@ -76,6 +76,7 @@ void RegionExecutionCore::addRegion(cogen::GenExtFunction GX) {
   auto R = std::make_unique<RegionState>();
   R->CtxPlacements.assign(GX.Region.Contexts.size(), 0);
   R->GX = std::move(GX);
+  R->Stats.Backend = BK->name();
   Regions.push_back(std::move(R));
   Books.emplace_back();
 }
@@ -184,11 +185,11 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
   Chain->Region = static_cast<uint32_t>(Ordinal);
   Chain->CO.NumRegs = R.GX.NumRegs;
-  Chain->CO.IsDynamicCode = true;
-  // The simulated address reservation covers the region code cap so
-  // distinct chains' I-cache footprints never alias.
-  Chain->CO.BaseAddr =
-      Prog.allocCodeAddr(static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
+  // The backend opens the chain's code buffer: dynamic-code marking plus
+  // the simulated address reservation (the region code cap, so distinct
+  // chains' I-cache footprints never alias).
+  BK->beginRegion(Chain->CO, Prog,
+                  static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
   Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
                    std::to_string(Chain->Ordinal);
 
@@ -204,6 +205,15 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
     Entry = Driver.run(P.TargetCtx, std::move(Vals));
   }
   Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
+  // Hand the finished emission — the bytecode stream plus every PC where
+  // control can enter from outside — to the backend. The bytecode backend
+  // returns no artifact (VMs translate lazily); the template backend
+  // pre-fuses the chain into superblocks and installs the shared
+  // translation before publication.
+  Chain->Artifact = BK->compileRegion(
+      backend::RegionEmission{Chain->CO, Entry, Chain->ExitStubs,
+                              Chain->DispatchStubs},
+      VMRef);
   Chains.add(Chain);
 
   auto E = std::allocate_shared<SpecEntry>(PoolAllocator<SpecEntry>(R.Pool));
@@ -253,6 +263,11 @@ void RegionExecutionCore::admit(std::shared_ptr<SpecEntry> E,
     if (Cand->Chain) {
       Cand->Chain->Evicted.store(true, std::memory_order_release);
       B.Instrs -= Cand->Chain->Instrs;
+      // Eagerly retire the backend artifact: adopters keep executing off
+      // their own shared references, but the registry must not pin an
+      // evicted chain's translation.
+      BK->releaseArtifact(Cand->Chain->CO);
+      Cand->Chain->Artifact.reset();
     }
     ++Regions[Cand->Region]->Stats.Evictions;
     B.Records.erase(B.Records.begin() + static_cast<long>(B.Hand));
@@ -263,8 +278,11 @@ void RegionExecutionCore::admit(std::shared_ptr<SpecEntry> E,
 void RegionExecutionCore::displaced(const std::shared_ptr<SpecEntry> &E,
                                     ir::CachePolicy Policy) {
   assert(E->Region < Books.size() && "bad region ordinal");
-  if (E->Chain)
+  if (E->Chain) {
     E->Chain->Evicted.store(true, std::memory_order_release);
+    BK->releaseArtifact(E->Chain->CO);
+    E->Chain->Artifact.reset();
+  }
   // One-slot mismatch replacement is the inline runtime's historical
   // eviction event; hashed/indexed displacement (same key or same index
   // word) replaces rather than evicts.

@@ -37,18 +37,27 @@
 /// reuses an address, so a freed chain's stale translation can never be
 /// reached through a newly published chain. A front end that unpublishes
 /// a chain (admit's eviction callback, one-slot displacement) should also
-/// call VM::invalidateDecoded on its CodeObject so the translation cache
-/// does not pin memory for code the registry is about to free; the VM
-/// additionally revalidates every translation against (Code.size(),
-/// Version) when it enters a code object, which is what makes Emitter
-/// rewrites (branch patching, hole filling — they bump Version) safe even
-/// without eager invalidation.
+/// call backend().invalidate(VM, CO) — VM::invalidateDecoded plus
+/// backend-artifact release — so neither the translation cache nor the
+/// backend's registry pins memory for code the registry is about to free;
+/// the VM additionally revalidates every translation against
+/// (Code.size(), Version) when it enters a code object, which is what
+/// makes Emitter rewrites (branch patching, hole filling — they bump
+/// Version) safe even without eager invalidation.
+///
+/// Execution backends: the core owns one backend::ExecutionBackend,
+/// selected from OptFlags::Backend at construction, and brackets every
+/// specialization run with it (beginRegion / compileRegion). The core
+/// itself releases backend artifacts when it evicts or displaces a chain,
+/// so eager reclamation holds for all front ends — including the server,
+/// whose client VMs the core cannot reach.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYC_RUNTIME_REGIONEXEC_H
 #define DYC_RUNTIME_REGIONEXEC_H
 
+#include "backend/Backend.h"
 #include "bta/OptFlags.h"
 #include "cogen/CompilerGenerator.h"
 #include "runtime/RuntimeStats.h"
@@ -91,6 +100,12 @@ struct CodeChain {
   uint64_t Ordinal = 0; ///< creation order across all regions
   uint32_t Region = 0;  ///< owning region ordinal
   uint32_t Instrs = 0;  ///< CO.Code.size() at publication
+  /// The backend's installed artifact for this chain (null for the
+  /// bytecode backend). Written at publication and reset at
+  /// eviction/displacement, both under the owner's serialization; clients
+  /// never read it — they reach prebuilt state through the backend's
+  /// registry.
+  std::shared_ptr<backend::CompiledRegion> Artifact;
 };
 
 /// Maps a CodeObject back to its owning chain so onDynamicCodeExit — which
@@ -182,7 +197,22 @@ class RegionExecutionCore {
 public:
   RegionExecutionCore(const ir::Module &M, vm::Program &Prog,
                       const OptFlags &Flags, ChainBudget Budget = {})
-      : M(M), Prog(Prog), Flags(Flags), Budget(Budget) {}
+      : M(M), Prog(Prog), Flags(Flags), Budget(Budget),
+        BK(backend::createBackend(
+            backend::resolveBackendKind(Flags.Backend))) {}
+
+  // --- Execution backend ------------------------------------------------------
+
+  /// The backend every specialization run compiles through. attach /
+  /// releaseArtifact / invalidate are internally thread-safe;
+  /// compileRegion runs under the caller's specialization serialization.
+  backend::ExecutionBackend &backend() const { return *BK; }
+  const char *backendName() const { return BK->name(); }
+
+  /// Connects \p M to the backend's execution substrate. Front ends call
+  /// this for every VM that will execute chains — clients and the
+  /// specialization VM itself.
+  void attachVM(vm::VM &M) const { BK->attach(M); }
 
   /// Registers the generating extension for the next annotated function.
   /// Must be called in annotated-ordinal order (the order lowerModule
@@ -297,6 +327,7 @@ private:
   vm::Program &Prog;
   OptFlags Flags;
   ChainBudget Budget;
+  std::unique_ptr<backend::ExecutionBackend> BK;
 
   std::vector<std::unique_ptr<RegionState>> Regions;
   std::vector<RegionBook> Books; ///< parallel to Regions

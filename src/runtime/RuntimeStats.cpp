@@ -8,7 +8,7 @@ namespace dyc {
 namespace runtime {
 
 std::string RegionStats::toString() const {
-  return formatString(
+  std::string S = formatString(
       "runs=%llu items=%llu gen=%llu sloads=%llu scalls=%llu(memo %llu) "
       "zcp=%llu dae=%llu mat=%llu sr=%llu folded-br=%llu dyn-br=%llu "
       "disp=%llu hit=%llu miss=%llu sites=%llu evict=%llu cap-hits=%llu "
@@ -28,6 +28,9 @@ std::string RegionStats::toString() const {
       (unsigned long long)DispatchSitesCreated,
       (unsigned long long)Evictions, (unsigned long long)CodeCapHits,
       (unsigned long long)MaxBlockInstances);
+  if (!Backend.empty())
+    S += " backend=" + Backend;
+  return S;
 }
 
 } // namespace runtime

@@ -50,6 +50,11 @@ struct RegionStats {
   uint64_t MaxBlockInstances = 0; ///< max specializations of one context —
                                   ///< >1 is loop-unrolling evidence
 
+  /// Name of the execution backend the owning core compiles through
+  /// ("bytecode" / "template"); set once at region registration. Rendered
+  /// by toString when present so stats output is backend-attributed.
+  std::string Backend;
+
   std::string toString() const;
 };
 

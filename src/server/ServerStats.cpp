@@ -26,7 +26,7 @@ ServerStatsSnapshot ServerStats::snapshot() const {
 }
 
 std::string ServerStatsSnapshot::toString() const {
-  return formatString(
+  std::string S = formatString(
       "disp=%llu hit=%llu miss=%llu fallback=%llu enq=%llu coalesced=%llu "
       "inline=%llu runs=%llu evict=%llu chains=%llu collected=%llu "
       "snaps=%llu/%llu",
@@ -38,6 +38,9 @@ std::string ServerStatsSnapshot::toString() const {
       (unsigned long long)ChainsCollected,
       (unsigned long long)SnapshotsFreed,
       (unsigned long long)SnapshotsRetired);
+  if (!Backend.empty())
+    S += " backend=" + Backend;
+  return S;
 }
 
 } // namespace server

@@ -38,6 +38,9 @@ struct ServerStatsSnapshot {
   uint64_t ChainsCollected = 0; ///< evicted chains freed after draining
   uint64_t SnapshotsRetired = 0;
   uint64_t SnapshotsFreed = 0;
+  /// Execution backend the server's core compiles through ("bytecode" /
+  /// "template"); filled by SpecServer::stats, not by ServerStats itself.
+  std::string Backend;
 
   std::string toString() const;
 };

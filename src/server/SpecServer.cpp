@@ -75,6 +75,10 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
 
   SpecVM = std::make_unique<vm::VM>(Prog, this->Cfg.CM, this->Cfg.IC);
   SpecVM->Hook = this;
+  // The specialization VM executes chains too (static calls at specialize
+  // time dispatch again on the worker), so it joins the backend's
+  // substrate like any client.
+  Core.attachVM(*SpecVM);
   if (this->Cfg.MemoryImage)
     this->Cfg.MemoryImage(*SpecVM);
 
@@ -93,6 +97,7 @@ SpecServer::~SpecServer() {
 std::unique_ptr<vm::VM> SpecServer::makeClientVM() {
   auto V = std::make_unique<vm::VM>(Prog, Cfg.CM, Cfg.IC);
   V->Hook = this;
+  Core.attachVM(*V);
   if (Cfg.MemoryImage)
     Cfg.MemoryImage(*V);
   return V;

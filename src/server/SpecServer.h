@@ -115,8 +115,14 @@ public:
   ServerStatsSnapshot stats() const {
     ServerStatsSnapshot S = St.snapshot();
     S.SnapshotsRetired = Cache.retiredSnapshots(); // currently in graveyard
+    S.Backend = Core.backendName();
     return S;
   }
+
+  /// Name of the execution backend the server's core compiles through.
+  const char *backendName() const { return Core.backendName(); }
+  /// The backend itself (stats are atomic; safe to read concurrently).
+  backend::ExecutionBackend &backend() const { return Core.backend(); }
   /// Copy of the core's per-region specializer counters.
   runtime::RegionStats regionStats(size_t Ordinal) const;
   size_t residentEntries(size_t Ordinal) const;

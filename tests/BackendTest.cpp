@@ -1,0 +1,329 @@
+//===- tests/BackendTest.cpp - execution-backend seam parity tests -----------------===//
+//
+// The backend seam's hard invariant: backends change how the host executes
+// specialized regions, never what the cost model observes. These tests run
+// every Table 3 workload through both backends (bytecode and template)
+// under both VM engines and compare the complete observable state —
+// simulated counters, results, output memory, and the golden disassembly
+// of every region — plus the speculation path, an eviction-churn artifact
+// lifecycle regression, the server front end, and the flag/env selection
+// rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Backend.h"
+#include "core/Harness.h"
+#include "server/SpecServer.h"
+#include "speculate/SpeculativeRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace dyc;
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+namespace {
+
+OptFlags withBackend(ExecBackend B) {
+  OptFlags Fl;
+  Fl.Backend = B;
+  return Fl;
+}
+
+/// Everything one run exposes to its environment, plus the per-region
+/// disassembly (the golden-output axis: superblock pre-fusion must not
+/// change one byte of the emitted code).
+struct BackendTrace {
+  uint64_t ExecCycles = 0;
+  uint64_t DynCompCycles = 0;
+  uint64_t InstrsExecuted = 0;
+  uint64_t ICacheHits = 0;
+  uint64_t ICacheMisses = 0;
+  std::vector<uint64_t> Results;
+  std::vector<uint64_t> FuncCalls;
+  std::vector<uint64_t> FuncInclusive;
+  uint64_t MemHash = 0;
+  std::vector<std::string> Disassembly; ///< per region
+  uint64_t DecodeAdopts = 0;            ///< host-level; template only
+};
+
+uint64_t hashRange(vm::VM &M, int64_t Base, int64_t Len) {
+  if (Len <= 0)
+    return 0;
+  return hashWords(M.memory().data() + Base, static_cast<size_t>(Len));
+}
+
+void captureMachine(core::Executable &E, BackendTrace &T) {
+  T.ExecCycles = E.Machine->execCycles();
+  T.DynCompCycles = E.Machine->dynCompCycles();
+  T.InstrsExecuted = E.Machine->instrsExecuted();
+  T.ICacheHits = E.Machine->icache().hits();
+  T.ICacheMisses = E.Machine->icache().misses();
+  for (uint32_t F = 0; F != E.Prog.numFunctions(); ++F) {
+    T.FuncCalls.push_back(E.Machine->functionStats(F).Calls);
+    T.FuncInclusive.push_back(E.Machine->functionStats(F).InclusiveCycles);
+  }
+  T.DecodeAdopts = E.Machine->decodeAdopts();
+}
+
+BackendTrace traceWorkload(const Workload &W, vm::VM::EngineKind Engine,
+                           ExecBackend Backend, uint64_t Invokes) {
+  core::DycContext Ctx;
+  core::compileWorkload(W, Ctx);
+  auto E = Ctx.buildDynamic(withBackend(Backend));
+  E->Machine->Engine = Engine;
+  WorkloadSetup S = W.Setup(*E->Machine);
+  int FI = E->findFunction(W.RegionFunc);
+  EXPECT_GE(FI, 0) << W.Name << ": region function not found";
+
+  BackendTrace T;
+  for (uint64_t I = 0; I != Invokes; ++I)
+    T.Results.push_back(
+        E->Machine->run(static_cast<uint32_t>(FI), S.RegionArgs).Bits);
+
+  captureMachine(*E, T);
+  T.MemHash = hashRange(*E->Machine, S.OutBase, S.OutLen);
+  for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
+    T.Disassembly.push_back(E->RT->disassembleRegion(Ord));
+  return T;
+}
+
+void expectIdentical(const BackendTrace &B, const BackendTrace &T,
+                     const std::string &What) {
+  EXPECT_EQ(B.ExecCycles, T.ExecCycles) << What << ": ExecCycles";
+  EXPECT_EQ(B.DynCompCycles, T.DynCompCycles) << What << ": DynCompCycles";
+  EXPECT_EQ(B.InstrsExecuted, T.InstrsExecuted)
+      << What << ": InstrsExecuted";
+  EXPECT_EQ(B.ICacheHits, T.ICacheHits) << What << ": ICache hits";
+  EXPECT_EQ(B.ICacheMisses, T.ICacheMisses) << What << ": ICache misses";
+  EXPECT_EQ(B.Results, T.Results) << What << ": invocation results";
+  EXPECT_EQ(B.FuncCalls, T.FuncCalls) << What << ": per-function calls";
+  EXPECT_EQ(B.FuncInclusive, T.FuncInclusive)
+      << What << ": per-function inclusive cycles";
+  EXPECT_EQ(B.MemHash, T.MemHash) << What << ": output memory";
+  EXPECT_EQ(B.Disassembly, T.Disassembly) << What << ": golden disassembly";
+}
+
+class BackendParity : public ::testing::TestWithParam<std::string> {};
+
+// All 5 Table 3 workloads, both VM engines: the template backend's
+// pre-fused superblocks must replay bit-identical counters and emit
+// byte-identical code.
+TEST_P(BackendParity, CountersAndDisassemblyIdenticalOnWorkload) {
+  const Workload &W = workloads::workloadByName(GetParam());
+  uint64_t Invokes = std::min<uint64_t>(W.RegionInvocations, 40);
+  for (vm::VM::EngineKind Engine :
+       {vm::VM::EngineKind::Legacy, vm::VM::EngineKind::Predecoded}) {
+    std::string What =
+        W.Name + (Engine == vm::VM::EngineKind::Legacy ? " (legacy)"
+                                                       : " (predecoded)");
+    BackendTrace B =
+        traceWorkload(W, Engine, ExecBackend::Bytecode, Invokes);
+    BackendTrace T =
+        traceWorkload(W, Engine, ExecBackend::Template, Invokes);
+    expectIdentical(B, T, What);
+    EXPECT_EQ(B.DecodeAdopts, 0u) << What;
+    if (Engine == vm::VM::EngineKind::Predecoded) {
+      EXPECT_GT(T.DecodeAdopts, 0u)
+          << What << ": template backend must serve prebuilt translations";
+    }
+  }
+}
+
+std::vector<std::string> workloadNames() {
+  std::vector<std::string> Names;
+  for (const Workload &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, BackendParity,
+                         ::testing::ValuesIn(workloadNames()));
+
+const char *SumSrc = "int f(int n) {\n"
+                     "  int i;\n"
+                     "  make_static(n, i : cache_all);\n"
+                     "  int s = 0;\n"
+                     "  for (i = 0; i < n; i = i + 1) { s = s + i; }\n"
+                     "  return s;\n"
+                     "}";
+
+// Speculation on/off axis: the guarded-twin path synthesizes regions
+// through the same seam, and deopt/demotion release chains through it.
+BackendTrace traceSpeculative(ExecBackend Backend, bool SpecOn) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(Ctx.compile(SumSrc, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+  speculate::SpeculationPolicy Policy;
+  Policy.Enabled = SpecOn;
+  auto E = Ctx.buildSpeculative(Policy, withBackend(Backend));
+  int FI = E->findFunction("f");
+  EXPECT_GE(FI, 0);
+
+  BackendTrace T;
+  // Enough monomorphic calls to clear HotCalls and promote, then a value
+  // switch to exercise the guard.
+  for (int I = 0; I != 24; ++I)
+    T.Results.push_back(
+        E->Machine->run(static_cast<uint32_t>(FI), {Word::fromInt(9)}).Bits);
+  for (int I = 0; I != 4; ++I)
+    T.Results.push_back(
+        E->Machine->run(static_cast<uint32_t>(FI), {Word::fromInt(5)}).Bits);
+  captureMachine(*E, T);
+  return T;
+}
+
+TEST(BackendParity, SpeculativePromotionPathIdentical) {
+  for (bool SpecOn : {false, true}) {
+    BackendTrace B = traceSpeculative(ExecBackend::Bytecode, SpecOn);
+    BackendTrace T = traceSpeculative(ExecBackend::Template, SpecOn);
+    expectIdentical(B, T,
+                    SpecOn ? "speculation on" : "speculation off");
+  }
+}
+
+// Satellite regression: eviction + respecialization churn must eagerly
+// release template-backend artifacts — the registry never pins evicted
+// chains' translations — while keeping every counter bit-identical to the
+// bytecode backend.
+BackendTrace traceEvictionChurn(ExecBackend Backend, uint64_t *Resident,
+                                uint64_t *Released) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(Ctx.compile(SumSrc, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+  runtime::ChainBudget Budget;
+  Budget.MaxEntries = 2; // evict aggressively
+  auto E = Ctx.buildDynamic(withBackend(Backend), vm::CostModel(),
+                            vm::ICacheConfig(), Budget);
+  int FI = E->findFunction("f");
+  EXPECT_GE(FI, 0);
+
+  BackendTrace T;
+  const int64_t Keys[] = {3, 9, 17, 3, 9, 17, 5, 3, 17, 9, 5, 3};
+  for (int Round = 0; Round != 3; ++Round)
+    for (int64_t K : Keys)
+      T.Results.push_back(
+          E->Machine->run(static_cast<uint32_t>(FI), {Word::fromInt(K)})
+              .Bits);
+  captureMachine(*E, T);
+
+  backend::ExecutionBackend &BK = E->RT->core().backend();
+  *Resident = BK.residentArtifacts();
+  *Released = BK.stats().ArtifactsReleased.load(std::memory_order_relaxed);
+  // Artifacts never outlive the resident-entry set.
+  EXPECT_LE(BK.residentArtifacts(), E->RT->core().residentEntries(0))
+      << BK.name();
+
+  // Unpublishing everything drains the registry completely.
+  E->RT->releaseRegion(*E->Machine, 0);
+  EXPECT_EQ(BK.residentArtifacts(), 0u) << BK.name();
+  return T;
+}
+
+TEST(BackendLifecycle, EvictionChurnReleasesArtifactsEagerly) {
+  uint64_t ResB = 0, RelB = 0, ResT = 0, RelT = 0;
+  BackendTrace B = traceEvictionChurn(ExecBackend::Bytecode, &ResB, &RelB);
+  BackendTrace T = traceEvictionChurn(ExecBackend::Template, &ResT, &RelT);
+  // Disassembly is only captured pre-release in the workload tracer; here
+  // only counters are compared.
+  expectIdentical(B, T, "eviction churn");
+  EXPECT_EQ(ResB, 0u);
+  EXPECT_EQ(RelB, 0u);
+  EXPECT_GT(RelT, 0u) << "churn must have released template artifacts";
+  EXPECT_LE(ResT, 2u) << "registry must track the chain budget";
+  EXPECT_GT(T.DecodeAdopts, 0u);
+}
+
+// Server front end: client VMs adopt prebuilt translations through
+// makeClientVM's attach, the SpecVM itself is attached, and eviction under
+// a tight budget still drains the registry. Single worker + Block policy
+// keeps the whole schedule deterministic, so client counters must be
+// bit-identical across backends too.
+struct ServerTrace {
+  std::vector<int64_t> Results;
+  uint64_t ClientExec = 0;
+  uint64_t ClientInstrs = 0;
+  uint64_t ClientAdopts = 0;
+  uint64_t ClientBuilds = 0;
+};
+
+ServerTrace traceServerChurn(ExecBackend Backend) {
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(Ctx.compile(SumSrc, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+  server::ServerConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.OnMiss = server::MissPolicy::Block;
+  Cfg.Budget.MaxEntries = 2;
+  auto Server = Ctx.buildServer(withBackend(Backend), std::move(Cfg));
+  auto Client = Server->makeClientVM();
+  int FS = Server->findFunction("f");
+  EXPECT_GE(FS, 0);
+
+  ServerTrace T;
+  const int64_t Keys[] = {3, 9, 17, 3, 9, 17, 5, 3, 17, 9, 5, 3};
+  for (int Round = 0; Round != 3; ++Round)
+    for (int64_t K : Keys)
+      T.Results.push_back(
+          Client->run(static_cast<uint32_t>(FS), {Word::fromInt(K)})
+              .asInt());
+  Server->drain();
+
+  T.ClientExec = Client->execCycles();
+  T.ClientInstrs = Client->instrsExecuted();
+  T.ClientAdopts = Client->decodeAdopts();
+  T.ClientBuilds = Client->decodeBuilds();
+
+  EXPECT_EQ(std::string(Server->backendName()),
+            backend::backendName(backend::resolveBackendKind(Backend)));
+  EXPECT_NE(Server->stats().toString().find("backend="), std::string::npos);
+  return T;
+}
+
+TEST(BackendLifecycle, ServerChurnIdenticalAndAdopting) {
+  ServerTrace B = traceServerChurn(ExecBackend::Bytecode);
+  ServerTrace T = traceServerChurn(ExecBackend::Template);
+  EXPECT_EQ(B.Results, T.Results);
+  EXPECT_EQ(B.ClientExec, T.ClientExec);
+  EXPECT_EQ(B.ClientInstrs, T.ClientInstrs);
+  EXPECT_EQ(B.ClientAdopts, 0u);
+  EXPECT_GT(T.ClientAdopts, 0u)
+      << "server clients must adopt prebuilt translations";
+  // Adoption substitutes for client-side builds: the template client
+  // translates strictly less than the bytecode client.
+  EXPECT_LT(T.ClientBuilds, B.ClientBuilds);
+}
+
+// Selection semantics: explicit flag beats the environment; Default
+// follows DYC_BACKEND; unset/unknown environment falls back to bytecode.
+TEST(BackendSelection, FlagAndEnvironmentRules) {
+  unsetenv("DYC_BACKEND");
+  EXPECT_EQ(backend::resolveBackendKind(ExecBackend::Default),
+            backend::BackendKind::Bytecode);
+  setenv("DYC_BACKEND", "template", 1);
+  EXPECT_EQ(backend::resolveBackendKind(ExecBackend::Default),
+            backend::BackendKind::Template);
+  EXPECT_EQ(backend::resolveBackendKind(ExecBackend::Bytecode),
+            backend::BackendKind::Bytecode)
+      << "explicit flag must beat the environment";
+  setenv("DYC_BACKEND", "nonsense", 1);
+  EXPECT_EQ(backend::resolveBackendKind(ExecBackend::Default),
+            backend::BackendKind::Bytecode);
+  unsetenv("DYC_BACKEND");
+
+  // The resolved name reaches RegionStats and the runtime accessor.
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(SumSrc, Errors));
+  auto E = Ctx.buildDynamic(withBackend(ExecBackend::Template));
+  EXPECT_STREQ(E->RT->backendName(), "template");
+  EXPECT_NE(E->RT->stats(0).toString().find("backend=template"),
+            std::string::npos);
+}
+
+} // namespace

@@ -191,6 +191,13 @@ TEST_P(FuzzEquivalence, StaticAndDynamicAgreeUnderAllConfigs) {
     Fl.toggle(T) = false;
     Configs.push_back(Fl);
   }
+  // Backend axis: the template backend must be invisible to program
+  // results (all-on flags, prebuilt-translation execution substrate).
+  {
+    OptFlags Tmpl;
+    Tmpl.Backend = ExecBackend::Template;
+    Configs.push_back(Tmpl);
+  }
 
   for (size_t C = 0; C != Configs.size(); ++C) {
     auto DynE = Ctx.buildDynamic(Configs[C]);
@@ -347,11 +354,16 @@ TEST_P(SpeculationFuzz, SpeculativeLifecycleStaysBitIdentical) {
   speculate::SpeculationPolicy Off;
   Off.Enabled = false;
   auto SpecOff = Ctx.buildSpeculative(Off);
+  // Backend axis: the full speculative lifecycle (promote, guard, demote)
+  // on the template backend's prebuilt-translation substrate.
+  OptFlags Tmpl;
+  Tmpl.Backend = ExecBackend::Template;
+  auto SpecTmpl = Ctx.buildSpeculative(speculate::SpeculationPolicy(), Tmpl);
 
-  // Identical memory images in all three machines.
+  // Identical memory images in all four machines.
   DeterministicRNG In(Seed ^ 0x77);
   std::vector<core::Executable *> Es = {StaticE.get(), SpecOn.get(),
-                                        SpecOff.get()};
+                                        SpecOff.get(), SpecTmpl.get()};
   int64_t A = 0, B = 0;
   for (core::Executable *E : Es) {
     A = E->Machine->allocMemory(16);
@@ -384,13 +396,25 @@ TEST_P(SpeculationFuzz, SpeculativeLifecycleStaysBitIdentical) {
     Word RS = StaticE->Machine->run(static_cast<uint32_t>(F), Args);
     Word ROn = SpecOn->Machine->run(static_cast<uint32_t>(F), Args);
     Word ROff = SpecOff->Machine->run(static_cast<uint32_t>(F), Args);
+    Word RTm = SpecTmpl->Machine->run(static_cast<uint32_t>(F), Args);
     ASSERT_EQ(ROn.Bits, RS.Bits)
         << "speculation-on diverged at call " << C << " seed " << Seed
         << "\n" << Src;
     ASSERT_EQ(ROff.Bits, RS.Bits)
         << "speculation-off diverged at call " << C << " seed " << Seed
         << "\n" << Src;
+    ASSERT_EQ(RTm.Bits, RS.Bits)
+        << "template backend diverged at call " << C << " seed " << Seed
+        << "\n" << Src;
   }
+  // Identical speculative decisions on both backends: the seam must not
+  // perturb profiling, promotion, or the guard lifecycle.
+  EXPECT_EQ(SpecTmpl->Spec->stats().Promotions,
+            SpecOn->Spec->stats().Promotions);
+  EXPECT_EQ(SpecTmpl->Spec->stats().GuardHits,
+            SpecOn->Spec->stats().GuardHits);
+  EXPECT_EQ(SpecTmpl->Machine->execCycles(), SpecOn->Machine->execCycles())
+      << "seed " << Seed;
   for (int I = 0; I != 16; ++I) {
     EXPECT_EQ(SpecOn->Machine->memory()[B + I].Bits,
               StaticE->Machine->memory()[B + I].Bits)

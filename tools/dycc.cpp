@@ -45,7 +45,9 @@ void usage() {
           "  --advise              after a --speculate run, print the\n"
           "                        promotion controller's evidence per\n"
           "                        function (implies --speculate)\n"
-          "  --icache KB           L1 I-cache size (default 8)\n");
+          "  --icache KB           L1 I-cache size (default 8)\n"
+          "  --backend NAME        execution backend: bytecode | template\n"
+          "                        (default: $DYC_BACKEND, else bytecode)\n");
   for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
     fprintf(stderr, "  --no-%-27s disable this optimization\n",
             OptFlags::toggleName(T));
@@ -110,6 +112,21 @@ int main(int argc, char **argv) {
       Speculate = true;
     } else if (A == "--icache" && I + 1 < argc) {
       ICCfg.SizeBytes = strtoul(argv[++I], nullptr, 10) * 1024;
+    } else if (A == "--backend" || A.rfind("--backend=", 0) == 0) {
+      std::string Name;
+      if (A == "--backend" && I + 1 < argc)
+        Name = argv[++I];
+      else if (A.size() > 10)
+        Name = A.substr(10);
+      if (Name == "bytecode")
+        Flags.Backend = ExecBackend::Bytecode;
+      else if (Name == "template")
+        Flags.Backend = ExecBackend::Template;
+      else {
+        fprintf(stderr, "dycc: unknown backend '%s' (bytecode | template)\n",
+                Name.c_str());
+        return 2;
+      }
     } else if (A.rfind("--no-", 0) == 0) {
       bool Known = false;
       for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
@@ -209,6 +226,10 @@ int main(int argc, char **argv) {
     printf("I-cache: %llu hits, %llu misses\n",
            (unsigned long long)E->Machine->icache().hits(),
            (unsigned long long)E->Machine->icache().misses());
+    if (E->RT || E->Spec)
+      printf("execution backend:          %s\n",
+             E->RT ? E->RT->backendName()
+                   : E->Spec->runtime().backendName());
     if (E->RT)
       for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
         printf("region %zu: %s\n", Ord,
@@ -246,7 +267,9 @@ int main(int argc, char **argv) {
     // structural benefit of promoting every parameter.
     speculate::SpeculativeRuntime &Spec = *E->Spec;
     const profile::ValueProfiler &P = Spec.profiler();
-    printf("promotion advisor (speculative run-time evidence):\n");
+    printf("promotion advisor (speculative run-time evidence; "
+           "%s backend):\n",
+           Spec.runtime().backendName());
     const ir::Module &M = Spec.specModule();
     for (size_t FI = 0; FI != Ctx.module().numFunctions(); ++FI) {
       const ir::Function &Fn = M.function(static_cast<int>(FI));
