@@ -35,6 +35,7 @@
 #define DYC_BTA_OPTFLAGS_H
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dyc {
 
@@ -48,6 +49,33 @@ enum class ExecBackend {
   Bytecode, ///< residual bytecode only; each VM translates lazily
   Template, ///< macro-op template backend: superblocks pre-fused at emit
             ///< time, shared across every attached VM
+};
+
+/// Tiered-execution policy (the src/tier/ controller). Tiering changes
+/// *when* specialization work happens — never what executes or what the
+/// simulated counters charge per executed dispatch — so it is policy, not
+/// a toggle: at steady state every configuration reaches byte-identical
+/// chains and bit-identical per-round counters.
+struct TieringPolicy {
+  /// Master switch; off preserves the eager (pre-tiering) behavior of
+  /// whatever miss policy the front end configured.
+  bool Enabled = false;
+  /// Dispatch-key heat at which a cold key stops single-stepping and runs
+  /// predecoded generic code. 0 = born warm.
+  uint32_t WarmThreshold = 2;
+  /// Heat at which a warm key requests background specialization.
+  /// 0 = born hot (every miss enqueues immediately).
+  uint32_t HotThreshold = 8;
+  /// Background-compile admission cap: a hot miss does not enqueue while
+  /// this many submitted jobs are unfinished. 0 = unlimited.
+  uint32_t MaxInFlightCompiles = 4;
+  /// Back-edge polls a frame must have answered before an OSR transfer is
+  /// taken (lets tests script the transfer point deterministically).
+  uint32_t OsrMinPolls = 1;
+  /// Test hook: hot misses block on the compile and install synchronously,
+  /// mirroring MissPolicy::Block cycle-for-cycle. With thresholds at 0
+  /// this makes a tiered run bit-identical to an eager one end to end.
+  bool SyncInstall = false;
 };
 
 /// DyC optimization toggles (all on by default, the paper's "with all
@@ -71,6 +99,10 @@ struct OptFlags {
   /// Execution backend the front end's RegionExecutionCore compiles
   /// through. Not a toggle: it cannot change observable behavior.
   ExecBackend Backend = ExecBackend::Default;
+
+  /// Tiered-execution policy (see TieringPolicy). Like Backend, not a
+  /// toggle: steady-state behavior is invariant.
+  TieringPolicy Tier;
 
   /// Named accessors for the ablation harness (Table 5 columns).
   static constexpr unsigned NumToggles = 9;

@@ -49,6 +49,15 @@ DycContext::buildServer(const OptFlags &Flags,
   return std::make_unique<server::SpecServer>(M, Flags, std::move(Cfg));
 }
 
+std::unique_ptr<server::SpecServer>
+DycContext::buildTiered(const OptFlags &Flags,
+                        server::ServerConfig Cfg) const {
+  OptFlags TF = Flags;
+  TF.Tier.Enabled = true;
+  Cfg.OnMiss = server::MissPolicy::Fallback;
+  return std::make_unique<server::SpecServer>(M, TF, std::move(Cfg));
+}
+
 std::unique_ptr<Executable>
 DycContext::buildStatic(const vm::CostModel &CM,
                         const vm::ICacheConfig &IC) const {

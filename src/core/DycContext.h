@@ -110,6 +110,14 @@ public:
   buildServer(const OptFlags &Flags = OptFlags(),
               server::ServerConfig Cfg = server::ServerConfig()) const;
 
+  /// Builds the tiered specialization service: buildServer with
+  /// Flags.Tier.Enabled forced on and the miss policy forced to Fallback
+  /// (tiered dispatch never waits on compilation; synchronous installs,
+  /// if wanted, come from Flags.Tier.SyncInstall).
+  std::unique_ptr<server::SpecServer>
+  buildTiered(const OptFlags &Flags = OptFlags(),
+              server::ServerConfig Cfg = server::ServerConfig()) const;
+
   /// Runs BTA only (no code generation); one RegionInfo per function.
   std::vector<bta::RegionInfo> analyze(const OptFlags &Flags) const;
 

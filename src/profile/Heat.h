@@ -1,0 +1,78 @@
+//===- profile/Heat.h - Shared heat-counter bank ----------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One sampling mechanism for "how hot is this thing": a growable bank of
+/// relaxed atomic counters indexed by a dense ordinal. The ValueProfiler
+/// counts per-function calls through it, and the tier controller counts
+/// per-region dispatch heat through it — so tiering decisions and
+/// speculative promotion read the same kind of evidence instead of each
+/// maintaining a private sampling path.
+///
+/// Concurrency: bump/get/reset on an index below size() are lock-free
+/// (relaxed atomics — heat is advisory, cross-counter ordering does not
+/// matter). Growth (ensure) takes a mutex; the deque storage never
+/// relocates existing counters, so readers race-free against growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_PROFILE_HEAT_H
+#define DYC_PROFILE_HEAT_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace dyc {
+namespace profile {
+
+class HeatCounters {
+public:
+  HeatCounters() = default;
+  explicit HeatCounters(size_t N) { ensure(N); }
+
+  /// Grows the bank to at least \p N counters (new counters start at 0).
+  void ensure(size_t N) {
+    if (N <= Count.load(std::memory_order_acquire))
+      return;
+    std::lock_guard<std::mutex> Lock(GrowMutex);
+    while (Bank.size() < N)
+      Bank.emplace_back(0);
+    Count.store(Bank.size(), std::memory_order_release);
+  }
+
+  /// Increments counter \p Idx and returns its new value. \p Idx must be
+  /// below size() (callers ensure() up front).
+  uint64_t bump(size_t Idx) {
+    return Bank[Idx].fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  uint64_t get(size_t Idx) const {
+    if (Idx >= Count.load(std::memory_order_acquire))
+      return 0;
+    return Bank[Idx].load(std::memory_order_relaxed);
+  }
+
+  void reset(size_t Idx) {
+    if (Idx < Count.load(std::memory_order_acquire))
+      Bank[Idx].store(0, std::memory_order_relaxed);
+  }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+private:
+  std::mutex GrowMutex;
+  /// Deque, not vector: growth must never relocate live atomics.
+  std::deque<std::atomic<uint64_t>> Bank;
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace profile
+} // namespace dyc
+
+#endif // DYC_PROFILE_HEAT_H

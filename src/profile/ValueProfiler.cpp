@@ -41,10 +41,9 @@ void ValueProfiler::attach(vm::VM &M) {
       fatal("ValueProfiler::attach: already attached to this VM");
   Attached.push_back(&M);
   size_t N = M.program().numFunctions();
-  if (Profiles.size() < N) {
+  if (Profiles.size() < N)
     Profiles.resize(N);
-    Calls.resize(N, 0);
-  }
+  Calls.ensure(N);
   // Chain, don't clobber: whatever observer was installed before keeps
   // running, then this profiler samples the same call.
   auto Prev = std::move(M.OnCall);
@@ -58,10 +57,9 @@ void ValueProfiler::attach(vm::VM &M) {
 
 std::vector<ParamProfile> &ValueProfiler::profilesFor(uint32_t Func,
                                                       uint32_t NParams) {
-  if (Func >= Profiles.size()) {
+  if (Func >= Profiles.size())
     Profiles.resize(Func + 1);
-    Calls.resize(Func + 1, 0);
-  }
+  Calls.ensure(Func + 1);
   std::vector<ParamProfile> &Ps = Profiles[Func];
   if (Ps.size() < NParams)
     Ps.resize(NParams);
@@ -71,7 +69,7 @@ std::vector<ParamProfile> &ValueProfiler::profilesFor(uint32_t Func,
 void ValueProfiler::recordCall(uint32_t Func, const Word *Args,
                                uint32_t NArgs) {
   std::vector<ParamProfile> &Ps = profilesFor(Func, NArgs);
-  ++Calls[Func];
+  Calls.bump(Func);
   for (uint32_t I = 0; I != NArgs; ++I) {
     ParamProfile &P = Ps[I];
     ++P.Observations;
@@ -112,7 +110,7 @@ bool ValueProfiler::isBlacklisted(uint32_t Func, uint32_t Param) const {
 void ValueProfiler::resetFunction(uint32_t Func) {
   if (Func >= Profiles.size())
     return;
-  Calls[Func] = 0;
+  Calls.reset(Func);
   for (ParamProfile &P : Profiles[Func]) {
     bool KeepBlacklist = P.Blacklisted;
     P = ParamProfile();
@@ -128,7 +126,7 @@ const ParamProfile &ValueProfiler::param(uint32_t Func,
 }
 
 uint64_t ValueProfiler::calls(uint32_t Func) const {
-  return Func < Calls.size() ? Calls[Func] : 0;
+  return Calls.get(Func);
 }
 
 std::string Suggestion::toString() const {

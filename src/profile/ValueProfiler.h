@@ -22,6 +22,7 @@
 #define DYC_PROFILE_VALUEPROFILER_H
 
 #include "ir/Module.h"
+#include "profile/Heat.h"
 #include "vm/VM.h"
 
 #include <map>
@@ -97,7 +98,9 @@ private:
   size_t MaxDistinct;
   /// [function][param] -> profile.
   std::vector<std::vector<ParamProfile>> Profiles;
-  std::vector<uint64_t> Calls;
+  /// Per-function call heat, on the shared HeatCounters bank (the same
+  /// mechanism the tier controller samples region heat through).
+  HeatCounters Calls;
   /// VMs this profiler is already attached to (double-attach rejection).
   std::vector<const vm::VM *> Attached;
 

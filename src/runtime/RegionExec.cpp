@@ -201,7 +201,7 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
     BumpArena::Scope ScratchScope(R.Scratch);
     UnrollDriver Driver(*this, R, static_cast<uint32_t>(Ordinal), VMRef,
                         Flags, Chain->CO, Chain->ExitStubs,
-                        Chain->DispatchStubs, R.Scratch);
+                        Chain->DispatchStubs, Chain->OsrEntries, R.Scratch);
     Entry = Driver.run(P.TargetCtx, std::move(Vals));
   }
   Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());

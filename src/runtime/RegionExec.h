@@ -92,6 +92,11 @@ struct CodeChain {
   /// Stubs created by this run only (exit block -> PC, site -> PC).
   std::map<ir::BlockId, uint32_t> ExitStubs;
   std::map<uint32_t, uint32_t> DispatchStubs;
+  /// Mid-loop (OSR) entry points: IR block -> chain PC, recorded for
+  /// blocks the run placed exactly once. A multi-placed block (unrolled
+  /// loop head) has no single residual pc a generic frame could transfer
+  /// to, so it is excluded. Immutable after the run, like the stub maps.
+  std::map<ir::BlockId, uint32_t> OsrEntries;
   /// Clients currently executing inside CO.
   std::atomic<uint32_t> ActiveRefs{0};
   /// Set (under the owner's serialization) when the chain's cache entry is

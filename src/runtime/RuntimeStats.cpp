@@ -28,6 +28,14 @@ std::string RegionStats::toString() const {
       (unsigned long long)DispatchSitesCreated,
       (unsigned long long)Evictions, (unsigned long long)CodeCapHits,
       (unsigned long long)MaxBlockInstances);
+  if (TierEnabled)
+    S += formatString(
+        " cold=%llu warm=%llu warm-promo=%llu hot-promo=%llu "
+        "hot-installs=%llu osr=%llu osr-polls=%llu",
+        (unsigned long long)ColdExecs, (unsigned long long)WarmExecs,
+        (unsigned long long)WarmPromotions,
+        (unsigned long long)HotPromotions, (unsigned long long)HotInstalls,
+        (unsigned long long)OsrEntries, (unsigned long long)OsrPolls);
   if (!Backend.empty())
     S += " backend=" + Backend;
   return S;

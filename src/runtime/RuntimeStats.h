@@ -50,6 +50,18 @@ struct RegionStats {
   uint64_t MaxBlockInstances = 0; ///< max specializations of one context —
                                   ///< >1 is loop-unrolling evidence
 
+  /// Tiered execution (filled by the tiered SpecServer from its
+  /// TierController; all zero — and unrendered — otherwise). TierEnabled
+  /// gates the toString suffix so untieried output is byte-stable.
+  bool TierEnabled = false;
+  uint64_t ColdExecs = 0;
+  uint64_t WarmExecs = 0;
+  uint64_t WarmPromotions = 0;
+  uint64_t HotPromotions = 0;
+  uint64_t HotInstalls = 0;
+  uint64_t OsrEntries = 0;
+  uint64_t OsrPolls = 0;
+
   /// Name of the execution backend the owning core compiles through
   /// ("bytecode" / "template"); set once at region registration. Rendered
   /// by toString when present so stats output is backend-attributed.

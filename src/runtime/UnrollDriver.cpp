@@ -282,6 +282,20 @@ UnrollDriver::EdgeLabel UnrollDriver::labelFor(const bta::Edge &Ed,
 std::optional<UnrollDriver::Item> UnrollDriver::place(Item &Cur) {
   std::vector<uint64_t> K = keyOf(Cur);
   Memo[K] = static_cast<int64_t>(bufSize());
+  // OSR entry bookkeeping: an IR block placed exactly once this run has a
+  // unique residual pc a generic frame can transfer to at a back-edge
+  // (its static state is fully determined by the dispatch key). A second
+  // placement (loop unrolling) disqualifies the block for this chain.
+  {
+    ir::BlockId B = GX.Region.context(Cur.Ctx).Block;
+    if (!OsrMultiPlaced.count(B)) {
+      auto [It, Fresh] = OsrEntries.emplace(B, bufSize());
+      if (!Fresh) {
+        OsrEntries.erase(It);
+        OsrMultiPlaced.insert(B);
+      }
+    }
+  }
   ++R.Stats.WorkItems;
   charge(CM.SpecPerWorkItem);
   uint32_t &Count = R.CtxPlacements[Cur.Ctx];

@@ -38,6 +38,7 @@
 
 #include <deque>
 #include <optional>
+#include <set>
 
 namespace dyc {
 namespace runtime {
@@ -54,10 +55,11 @@ public:
                vm::VM &M, const OptFlags &Flags, vm::CodeObject &Buf,
                std::map<ir::BlockId, uint32_t> &ExitStubs,
                std::map<uint32_t, uint32_t> &DispatchStubs,
+               std::map<ir::BlockId, uint32_t> &OsrEntries,
                BumpArena &Scratch)
       : Core(Core), R(R), Ordinal(Ordinal), M(M), CM(M.costModel()),
         GX(R.GX), Buf(Buf), ExitStubs(ExitStubs),
-        DispatchStubs(DispatchStubs),
+        DispatchStubs(DispatchStubs), OsrEntries(OsrEntries),
         E(Buf, R.Stats, M, R.GX, Flags.MaxRegionInstrs),
         D(E, R.Stats, M, Flags, R.GX),
         Queue(ArenaAllocator<Item>(Scratch)),
@@ -124,6 +126,12 @@ private:
   vm::CodeObject &Buf;
   std::map<ir::BlockId, uint32_t> &ExitStubs;
   std::map<uint32_t, uint32_t> &DispatchStubs;
+  /// This run's once-placed IR-block entry pcs (see CodeChain::OsrEntries).
+  std::map<ir::BlockId, uint32_t> &OsrEntries;
+  /// Blocks placed more than once this run — removed from OsrEntries and
+  /// never re-added. Driver-local because RegionState::CtxPlacements
+  /// accumulates across runs.
+  std::set<ir::BlockId> OsrMultiPlaced;
 
   Emitter E;
   DeferralEngine D;

@@ -13,6 +13,10 @@ ServerStatsSnapshot ServerStats::snapshot() const {
   S.CacheHits = CacheHits.load(std::memory_order_relaxed);
   S.CacheMisses = CacheMisses.load(std::memory_order_relaxed);
   S.Fallbacks = Fallbacks.load(std::memory_order_relaxed);
+  S.FallbacksInFlight = FallbacksInFlight.load(std::memory_order_relaxed);
+  S.FallbacksFailed = FallbacksFailed.load(std::memory_order_relaxed);
+  S.FallbacksNotRequested =
+      FallbacksNotRequested.load(std::memory_order_relaxed);
   S.JobsEnqueued = JobsEnqueued.load(std::memory_order_relaxed);
   S.JobsCoalesced = JobsCoalesced.load(std::memory_order_relaxed);
   S.InlineSpecs = InlineSpecs.load(std::memory_order_relaxed);
@@ -38,6 +42,20 @@ std::string ServerStatsSnapshot::toString() const {
       (unsigned long long)ChainsCollected,
       (unsigned long long)SnapshotsFreed,
       (unsigned long long)SnapshotsRetired);
+  if (FallbacksInFlight || FallbacksFailed || FallbacksNotRequested)
+    S += formatString(" fb-inflight=%llu fb-failed=%llu fb-skip=%llu",
+                      (unsigned long long)FallbacksInFlight,
+                      (unsigned long long)FallbacksFailed,
+                      (unsigned long long)FallbacksNotRequested);
+  if (TierEnabled)
+    S += formatString(
+        " tier[cold=%llu warm=%llu warm-promo=%llu hot-promo=%llu "
+        "hot-installs=%llu osr=%llu osr-polls=%llu qdepth=%llu]",
+        (unsigned long long)ColdExecs, (unsigned long long)WarmExecs,
+        (unsigned long long)WarmPromotions,
+        (unsigned long long)HotPromotions, (unsigned long long)HotInstalls,
+        (unsigned long long)OsrEntries, (unsigned long long)OsrPolls,
+        (unsigned long long)CompileQueueDepth);
   if (!Backend.empty())
     S += " backend=" + Backend;
   return S;

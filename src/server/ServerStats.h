@@ -28,7 +28,14 @@ struct ServerStatsSnapshot {
   uint64_t Dispatches = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
-  uint64_t Fallbacks = 0;      ///< misses served by the static path
+  uint64_t Fallbacks = 0;      ///< misses served by the static path (total)
+  /// Fallbacks split by cause: the miss joined (or started) a compile
+  /// that is still in flight, vs. no compile exists for it — the job was
+  /// refused (shutdown) or, under tiering, the key has not reached the
+  /// hot tier. InFlight + Failed + NotRequested == Fallbacks.
+  uint64_t FallbacksInFlight = 0;
+  uint64_t FallbacksFailed = 0;
+  uint64_t FallbacksNotRequested = 0; ///< tiered cold/warm executions
   uint64_t JobsEnqueued = 0;
   uint64_t JobsCoalesced = 0;  ///< misses that joined an in-flight job
   uint64_t InlineSpecs = 0;    ///< nested misses specialized on a worker
@@ -38,6 +45,19 @@ struct ServerStatsSnapshot {
   uint64_t ChainsCollected = 0; ///< evicted chains freed after draining
   uint64_t SnapshotsRetired = 0;
   uint64_t SnapshotsFreed = 0;
+  /// Tiered execution (all filled by SpecServer::stats from its
+  /// TierController; zero and unrendered when tiering is off).
+  bool TierEnabled = false;
+  uint64_t ColdExecs = 0;
+  uint64_t WarmExecs = 0;
+  uint64_t WarmPromotions = 0;
+  uint64_t HotPromotions = 0;
+  uint64_t HotInstalls = 0;
+  uint64_t OsrEntries = 0;
+  uint64_t OsrPolls = 0;
+  /// Gauge, not a counter: submitted-but-unfinished compile jobs at the
+  /// instant of the snapshot.
+  uint64_t CompileQueueDepth = 0;
   /// Execution backend the server's core compiles through ("bytecode" /
   /// "template"); filled by SpecServer::stats, not by ServerStats itself.
   std::string Backend;
@@ -53,6 +73,9 @@ struct ServerStats {
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
   std::atomic<uint64_t> Fallbacks{0};
+  std::atomic<uint64_t> FallbacksInFlight{0};
+  std::atomic<uint64_t> FallbacksFailed{0};
+  std::atomic<uint64_t> FallbacksNotRequested{0};
   std::atomic<uint64_t> JobsEnqueued{0};
   std::atomic<uint64_t> JobsCoalesced{0};
   std::atomic<uint64_t> InlineSpecs{0};

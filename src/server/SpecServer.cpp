@@ -2,8 +2,11 @@
 
 #include "server/SpecServer.h"
 
+#include "analysis/LoopInfo.h"
 #include "bta/BTAnalysis.h"
 #include "cogen/CompilerGenerator.h"
+
+#include <chrono>
 
 namespace dyc {
 namespace server {
@@ -70,6 +73,27 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
     for (size_t P = 0; P != Core.numPromos(Ord); ++P) {
       const bta::PromoPoint &PP = Core.promo(Ord, P);
       Cache.addPoint(PP.Policy, PP.IndexKeyPos);
+    }
+  }
+
+  // Tiering: the controller sizes its heat/counter banks to the region
+  // count, and each region gets its loop heads resolved to fallback pcs
+  // once, so arming OSR watches on a miss is just table walks.
+  RegionLoopHeads.resize(Core.numRegions());
+  if (Flags.Tier.Enabled) {
+    Tier = std::make_unique<tier::TierController>(Flags.Tier,
+                                                  Core.numRegions());
+    for (size_t Ord = 0; Ord != Core.numRegions(); ++Ord) {
+      int FuncIdx = Core.regionFuncIdx(static_cast<uint32_t>(Ord));
+      const ir::Function &F = M.function(FuncIdx);
+      analysis::CFG G(F);
+      analysis::Dominators Dom(F, G);
+      analysis::LoopInfo LI(F, G, Dom);
+      const cogen::LoweredFunction &LF =
+          FallbackLowered[static_cast<size_t>(FuncIdx)];
+      for (const analysis::Loop &L : LI.loops())
+        if (static_cast<size_t>(L.Header) < LF.BlockPC.size())
+          RegionLoopHeads[Ord].emplace_back(L.Header, LF.BlockPC[L.Header]);
     }
   }
 
@@ -205,22 +229,56 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
     return enterChain(*Rec);
   }
 
-  auto Job = std::make_unique<SpecJob>();
-  Job->Id.Point = Point;
-  Job->Id.Key = std::move(KeyVec);
-  Job->RegionOrd = Ord;
-  Job->PromoId = PromoId;
-  Job->BakedVals = Baked; // copied: the fallback path below reads it too
-  Job->KeyVals = std::move(KeyVals);
-  bool Created = false;
-  std::shared_ptr<SpecJob> Shared = Queue.submit(std::move(Job), Created);
-  if (Created) {
-    St.JobsEnqueued.fetch_add(1, std::memory_order_relaxed);
-  } else if (Shared) {
-    St.JobsCoalesced.fetch_add(1, std::memory_order_relaxed);
+  // Tier classification. Without tiering every miss is "hot" (the eager
+  // behavior); with it, cold and warm misses run the generic code and
+  // request nothing — only hot misses create compile work. Tiering
+  // changes only *when* specialization happens: the executed code and the
+  // per-dispatch simulated charges are tier-invariant.
+  bool Hot = true, ColdInterp = false;
+  if (Tier) {
+    tier::TierDecision D = Tier->onMiss(Ord);
+    Hot = D.Compile;
+    ColdInterp = D.Interpret;
   }
 
-  if (Shared && Cfg.OnMiss == MissPolicy::Block) {
+  // Backpressure on the background path: once the queue holds enough
+  // in-flight compiles, a hot miss skips submitting and retries on a
+  // later miss. (Synchronous installs never skip — they must block.)
+  bool WantJob = Hot;
+  if (Tier && WantJob && !Tier->policy().SyncInstall &&
+      Tier->policy().MaxInFlightCompiles != 0 &&
+      Queue.pending() >= Tier->policy().MaxInFlightCompiles)
+    WantJob = false;
+  // A hot async miss arms OSR watches after the fallback decision, and
+  // the watch records keep the full cache key — so that path copies the
+  // key into the job instead of moving it.
+  bool ArmOsr = Tier && Hot && !Tier->policy().SyncInstall;
+
+  std::shared_ptr<SpecJob> Shared;
+  if (WantJob) {
+    auto Job = std::make_unique<SpecJob>();
+    Job->Id.Point = Point;
+    if (ArmOsr)
+      Job->Id.Key = KeyVec;
+    else
+      Job->Id.Key = std::move(KeyVec);
+    Job->RegionOrd = Ord;
+    Job->PromoId = PromoId;
+    Job->BakedVals = Baked; // copied: the fallback path below reads it too
+    Job->KeyVals = std::move(KeyVals);
+    bool Created = false;
+    Shared = Queue.submit(std::move(Job), Created);
+    if (Created) {
+      St.JobsEnqueued.fetch_add(1, std::memory_order_relaxed);
+    } else if (Shared) {
+      St.JobsCoalesced.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool CompileDead = false;
+  bool BlockNow = (!Tier && Cfg.OnMiss == MissPolicy::Block) ||
+                  (Tier && Hot && Tier->policy().SyncInstall);
+  if (Shared && BlockNow) {
     // The insert itself is work done on the client's behalf; the
     // specialization cycles land on the server's VM.
     ClientVM.chargeDynComp(ClientVM.costModel().SpecCacheInsert);
@@ -231,11 +289,109 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
       Rec->Use->RefBit.store(true, std::memory_order_release);
       return enterChain(*Rec);
     }
+    CompileDead = true; // job abandoned at shutdown
   }
-  // Fallback policy, queue shutdown, or a job abandoned at shutdown: run
-  // the statically compiled region.
+  // Fallback policy, tiered cold/warm execution, queue shutdown, or a job
+  // abandoned at shutdown: run the statically compiled region.
   St.Fallbacks.fetch_add(1, std::memory_order_relaxed);
-  return fallbackTarget(Ord, P, Regs, Baked);
+  if (!WantJob)
+    St.FallbacksNotRequested.fetch_add(1, std::memory_order_relaxed);
+  else if (Shared && !CompileDead)
+    St.FallbacksInFlight.fetch_add(1, std::memory_order_relaxed);
+  else
+    St.FallbacksFailed.fetch_add(1, std::memory_order_relaxed);
+
+  // Hot async miss: arm back-edge watches so the frame can pick up the
+  // chain mid-loop once the background compile lands. (Armed even when
+  // backpressure skipped the submit — an earlier job may still land.)
+  if (ArmOsr)
+    armOsrWatches(ClientVM, Ord, PromoId, Point, KeyVec);
+
+  Target T = fallbackTarget(Ord, P, Regs, Baked);
+  T.Interpret = ColdInterp;
+  return T;
+}
+
+void SpecServer::armOsrWatches(vm::VM &ClientVM, uint32_t Ord,
+                               uint32_t PromoId, size_t Point,
+                               const std::vector<Word> &Key) {
+  const std::vector<std::pair<ir::BlockId, uint32_t>> &Heads =
+      RegionLoopHeads[Ord];
+  if (Heads.empty())
+    return;
+  int FuncIdx = Core.regionFuncIdx(Ord);
+  const cogen::LoweredFunction &LF =
+      FallbackLowered[static_cast<size_t>(FuncIdx)];
+  uint64_t Base = FallbackProg.function(LF.VMIndex).BaseAddr;
+  std::lock_guard<std::mutex> Lock(OsrMutex);
+  for (const std::pair<ir::BlockId, uint32_t> &HP : Heads) {
+    uint64_t Token = OsrTokens.fetch_add(1, std::memory_order_relaxed) + 1;
+    OsrRecord R;
+    R.Point = Point;
+    R.Key = Key;
+    R.Ord = Ord;
+    R.PromoId = PromoId;
+    R.HeadBlock = HP.first;
+    OsrTable.emplace(Token, std::move(R));
+    ClientVM.armOsr(Base, HP.second, Token);
+  }
+}
+
+vm::RuntimeHook::Target SpecServer::onOsrPoll(vm::VM &ClientVM,
+                                              uint64_t Token,
+                                              std::vector<Word> &Regs) {
+  // Same reader discipline as dispatch: the gate keeps reclamation from
+  // freeing the snapshot or chain under the probe. Lock order matches
+  // dispatch/armOsrWatches: gate, then OsrMutex.
+  std::shared_lock<std::shared_mutex> Gate(DispatchGate);
+  std::lock_guard<std::mutex> Lock(OsrMutex);
+  auto It = OsrTable.find(Token);
+  if (It == OsrTable.end())
+    return {};
+  OsrRecord &R = It->second;
+  R.Polls++;
+  if (Tier) {
+    Tier->noteOsrPoll(R.Ord);
+    if (R.Polls < static_cast<uint64_t>(Tier->policy().OsrMinPolls))
+      return {};
+  }
+  ShardedCache::Lookup L = Cache.lookup(R.Point, R.Key);
+  if (!L.Rec)
+    return {}; // compile not landed yet; keep spinning
+  auto EIt = L.Rec->Chain->OsrEntries.find(R.HeadBlock);
+  if (EIt == L.Rec->Chain->OsrEntries.end()) {
+    // The chain has no residual pc for this head (the loop unrolled
+    // away); this watch can never fire — disarm it. disarmOsr does not
+    // notify onOsrDrop, so erasing here is the only cleanup.
+    ClientVM.disarmOsr(Token);
+    OsrTable.erase(It);
+    return {};
+  }
+  // A mid-loop transfer is a dispatch the frame did not have to take:
+  // charge the probe exactly as the trap path would have, and keep the
+  // usage/executor books identical to enterChain. Not counted in
+  // Dispatches/CacheHits — those mean trap dispatches.
+  const bta::PromoPoint &P = Core.promo(R.Ord, R.PromoId);
+  runtime::chargeDispatchCost(ClientVM, P.Policy, R.Key.size(), L.Probes);
+  uint64_t Now = Tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  L.Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+  L.Rec->Use->LastUse.store(Now, std::memory_order_relaxed);
+  L.Rec->Use->RefBit.store(true, std::memory_order_release);
+  L.Rec->Chain->ActiveRefs.fetch_add(1, std::memory_order_acq_rel);
+  if (Regs.size() < L.Rec->Chain->CO.NumRegs)
+    Regs.resize(L.Rec->Chain->CO.NumRegs);
+  if (Tier)
+    Tier->noteOsrEntry(R.Ord);
+  Target T;
+  T.CO = &L.Rec->Chain->CO;
+  T.PC = EIt->second;
+  OsrTable.erase(It);
+  return T;
+}
+
+void SpecServer::onOsrDrop(vm::VM &, uint64_t Token) {
+  std::lock_guard<std::mutex> Lock(OsrMutex);
+  OsrTable.erase(Token);
 }
 
 std::shared_ptr<CacheRecord>
@@ -271,6 +427,8 @@ SpecServer::specializeAndPublish(uint32_t Ord, uint32_t PromoId, size_t Point,
     Cache.erase(&Victim);
     St.Evictions.fetch_add(1, std::memory_order_relaxed);
   });
+  if (Tier)
+    Tier->noteInstall(Ord);
   return Rec;
 }
 
@@ -281,6 +439,11 @@ std::string SpecServer::disassembleRegion(size_t Ordinal) const {
 
 void SpecServer::workerLoop() {
   while (std::shared_ptr<SpecJob> Job = Queue.pop()) {
+    // Test hook: hold the popped job until released, so tests can pin a
+    // compile in flight and observe fallback/OSR behavior.
+    if (Cfg.HoldCompiles)
+      while (Cfg.HoldCompiles->load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
     std::shared_ptr<CacheRecord> Rec =
         specializeAndPublish(Job->RegionOrd, Job->PromoId, Job->Id.Point,
                              Job->Id.Key, Job->BakedVals, Job->KeyVals);
@@ -322,7 +485,19 @@ void SpecServer::onDynamicCodeExit(vm::VM &, const vm::CodeObject *CO) {
 
 runtime::RegionStats SpecServer::regionStats(size_t Ordinal) const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
-  return Core.stats(Ordinal);
+  runtime::RegionStats RS = Core.stats(Ordinal);
+  if (Tier) {
+    RS.TierEnabled = true;
+    tier::TierCounters T = Tier->counters(Ordinal);
+    RS.ColdExecs = T.ColdExecs;
+    RS.WarmExecs = T.WarmExecs;
+    RS.WarmPromotions = T.WarmPromotions;
+    RS.HotPromotions = T.HotPromotions;
+    RS.HotInstalls = T.HotInstalls;
+    RS.OsrEntries = T.OsrEntries;
+    RS.OsrPolls = T.OsrPolls;
+  }
+  return RS;
 }
 
 size_t SpecServer::residentEntries(size_t Ordinal) const {

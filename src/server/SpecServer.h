@@ -45,10 +45,12 @@
 #include "server/ServerStats.h"
 #include "server/ShardedCache.h"
 #include "server/SpecJob.h"
+#include "tier/TierController.h"
 #include "vm/VM.h"
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <shared_mutex>
 #include <thread>
@@ -75,6 +77,11 @@ struct ServerConfig {
   std::function<void(vm::VM &)> MemoryImage;
   vm::CostModel CM;
   vm::ICacheConfig IC;
+  /// Test hook: while the pointee is true, workers hold popped jobs
+  /// without specializing them. Lets tests pin a compile in flight and
+  /// observe the fallback/OSR machinery deterministically. Null (the
+  /// default) means never hold.
+  std::shared_ptr<std::atomic<bool>> HoldCompiles;
 };
 
 /// The service. Construct from a compiled module; make client VMs; run
@@ -102,6 +109,14 @@ public:
   Target dispatch(vm::VM &M, int64_t PointId,
                   std::vector<Word> &Regs) override;
   void onDynamicCodeExit(vm::VM &M, const vm::CodeObject *CO) override;
+  /// Back-edge OSR poll from a client spinning in fallback code: if the
+  /// watched key's chain has been published (with a residual pc for the
+  /// watched loop head), transfers the frame into it mid-loop. Does not
+  /// re-enter the VM. Charges the client the normal dispatch-probe cost
+  /// only when a transfer happens.
+  Target onOsrPoll(vm::VM &M, uint64_t Token,
+                   std::vector<Word> &Regs) override;
+  void onOsrDrop(vm::VM &M, uint64_t Token) override;
 
   /// Blocks until the job queue is empty and no worker is mid-job.
   void drain();
@@ -116,8 +131,23 @@ public:
     ServerStatsSnapshot S = St.snapshot();
     S.SnapshotsRetired = Cache.retiredSnapshots(); // currently in graveyard
     S.Backend = Core.backendName();
+    S.CompileQueueDepth = Queue.pending();
+    if (Tier) {
+      S.TierEnabled = true;
+      tier::TierCounters T = Tier->totals();
+      S.ColdExecs = T.ColdExecs;
+      S.WarmExecs = T.WarmExecs;
+      S.WarmPromotions = T.WarmPromotions;
+      S.HotPromotions = T.HotPromotions;
+      S.HotInstalls = T.HotInstalls;
+      S.OsrEntries = T.OsrEntries;
+      S.OsrPolls = T.OsrPolls;
+    }
     return S;
   }
+
+  /// The tiering controller, or null when tiering is off.
+  const tier::TierController *tierController() const { return Tier.get(); }
 
   /// Name of the execution backend the server's core compiles through.
   const char *backendName() const { return Core.backendName(); }
@@ -150,6 +180,11 @@ private:
   Target fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
                         std::vector<Word> &Regs,
                         const std::vector<Word> &BakedVals);
+  /// Arms one OSR watch per loop head of region \p Ord on the client's
+  /// current (fallback) frame, keyed to the missed cache entry. Called
+  /// from dispatch on a tiered hot-tier async miss.
+  void armOsrWatches(vm::VM &ClientVM, uint32_t Ord, uint32_t PromoId,
+                     size_t Point, const std::vector<Word> &Key);
   void workerLoop();
 
   const ir::Module &M;
@@ -186,6 +221,28 @@ private:
   std::atomic<uint64_t> Tick{0}; ///< global dispatch clock (recency)
   std::mutex DrainMutex;
   std::condition_variable DrainCV;
+
+  /// Tiering (null unless OptFlags::Tier.Enabled): classifies misses and
+  /// owns the transition counters.
+  std::unique_ptr<tier::TierController> Tier;
+  /// Region ordinal -> (loop-head block, its pc in the fallback lowering).
+  /// Computed once at construction when tiering is on; the OSR watches a
+  /// hot miss arms come from this table.
+  std::vector<std::vector<std::pair<ir::BlockId, uint32_t>>> RegionLoopHeads;
+
+  /// One armed OSR watch: which cache entry the spinning fallback frame
+  /// is waiting for, and which loop head it spins at.
+  struct OsrRecord {
+    size_t Point = 0;
+    std::vector<Word> Key;
+    uint32_t Ord = 0;
+    uint32_t PromoId = 0;
+    ir::BlockId HeadBlock = 0;
+    uint64_t Polls = 0;
+  };
+  std::mutex OsrMutex; ///< guards OsrTable (lock order: gate, then this)
+  std::map<uint64_t, OsrRecord> OsrTable;
+  std::atomic<uint64_t> OsrTokens{0};
 
   ServerStats St;
 };

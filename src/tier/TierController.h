@@ -1,0 +1,119 @@
+//===- tier/TierController.h - Cold/warm/hot tier state machine -------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiering controller: drives each dynamic region through the three
+/// execution tiers the system already owns —
+///
+///   cold : generic (fallback) code single-stepped in the VM::stepOne
+///          switch loop (RuntimeHook::Target::Interpret);
+///   warm : the same generic code through the predecoded/quickened
+///          threaded engine;
+///   hot  : background specialization requested from the SpecServer
+///          worker pool, installed through the RCU snapshot path, with
+///          mid-loop (OSR) entry at back-edge safe points.
+///
+/// Heat is per region, counted on dispatch *misses* through the shared
+/// profile::HeatCounters bank (hits already run specialized code — there
+/// is no tier decision to make). Tiering changes only *when* work
+/// happens: every executed dispatch charges the same simulated cost in
+/// every tier, cold/warm execution is engine-parity-invariant by the VM
+/// contract, and once all keys are installed a tiered run's per-round
+/// counters are bit-identical to the eager configuration's.
+///
+/// Thread-safety: onMiss and the note* hooks are called by concurrent
+/// client threads (under the server's dispatch gate); all state is
+/// atomic. Counter snapshots are monotonic, relaxed reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_TIER_TIERCONTROLLER_H
+#define DYC_TIER_TIERCONTROLLER_H
+
+#include "bta/OptFlags.h"
+#include "profile/Heat.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dyc {
+namespace tier {
+
+enum class TierLevel : uint8_t { Cold, Warm, Hot };
+
+const char *tierLevelName(TierLevel L);
+
+/// Monotonic per-region (and, summed, per-server) tier transition
+/// counters. Snapshot form — plain integers.
+struct TierCounters {
+  uint64_t ColdExecs = 0;      ///< misses answered with single-stepped code
+  uint64_t WarmExecs = 0;      ///< misses answered with predecoded code
+  uint64_t WarmPromotions = 0; ///< cold -> warm transitions
+  uint64_t HotPromotions = 0;  ///< warm -> hot transitions
+  uint64_t HotInstalls = 0;    ///< chains published while tiered
+  uint64_t OsrEntries = 0;     ///< mid-loop transfers into a chain
+  uint64_t OsrPolls = 0;       ///< back-edge polls answered (no charge)
+};
+
+/// What the dispatch path should do with one miss.
+struct TierDecision {
+  TierLevel Level = TierLevel::Hot;
+  bool Compile = false;   ///< request background specialization
+  bool Interpret = false; ///< run the fallback frame in the switch loop
+};
+
+class TierController {
+public:
+  /// \p NumRegions fixes the bank size — every dispatch resolves to a
+  /// region ordinal below it.
+  TierController(const TieringPolicy &Policy, size_t NumRegions);
+
+  const TieringPolicy &policy() const { return P; }
+
+  /// Classifies one dispatch miss on \p RegionOrd: bumps the region's
+  /// heat, records the tier transition if the bump crossed a threshold,
+  /// and counts the execution under its tier.
+  TierDecision onMiss(size_t RegionOrd);
+
+  /// Current tier of \p RegionOrd (from its heat; never cools down).
+  TierLevel level(size_t RegionOrd) const;
+
+  /// A chain for \p RegionOrd was published through the background path.
+  void noteInstall(size_t RegionOrd);
+  /// An OSR transfer into \p RegionOrd's chain happened at a back edge.
+  void noteOsrEntry(size_t RegionOrd);
+  /// An armed back-edge poll was answered (transfer or not).
+  void noteOsrPoll(size_t RegionOrd);
+
+  TierCounters counters(size_t RegionOrd) const;
+  /// Sum over all regions.
+  TierCounters totals() const;
+
+private:
+  struct RegionCounters {
+    std::atomic<uint64_t> ColdExecs{0};
+    std::atomic<uint64_t> WarmExecs{0};
+    std::atomic<uint64_t> WarmPromotions{0};
+    std::atomic<uint64_t> HotPromotions{0};
+    std::atomic<uint64_t> HotInstalls{0};
+    std::atomic<uint64_t> OsrEntries{0};
+    std::atomic<uint64_t> OsrPolls{0};
+  };
+
+  TierLevel levelOf(uint64_t Heat) const;
+
+  TieringPolicy P;
+  /// Per-region miss heat — the same bank type the ValueProfiler counts
+  /// call heat through (one sampling mechanism, two consumers).
+  profile::HeatCounters Heat;
+  std::vector<RegionCounters> C;
+};
+
+} // namespace tier
+} // namespace dyc
+
+#endif // DYC_TIER_TIERCONTROLLER_H

@@ -42,6 +42,66 @@ uint32_t RuntimeHook::onGuardedCall(VM &, uint32_t Callee, const Word *,
   return Callee;
 }
 
+RuntimeHook::Target RuntimeHook::onOsrPoll(VM &, uint64_t,
+                                           std::vector<Word> &) {
+  return Target();
+}
+
+void RuntimeHook::onOsrDrop(VM &, uint64_t) {}
+
+void VM::armOsr(uint64_t Base, uint32_t HeadPC, uint64_t Token) {
+  assert(!Frames.empty() && "armOsr with no live frame");
+  OsrWatch W;
+  W.Base = Base;
+  W.HeadPC = HeadPC;
+  W.Token = Token;
+  W.Depth = Frames.size() - 1;
+  OsrWatches.push_back(W);
+}
+
+void VM::disarmOsr(uint64_t Token) {
+  for (size_t I = 0; I != OsrWatches.size(); ++I)
+    if (OsrWatches[I].Token == Token) {
+      OsrWatches.erase(OsrWatches.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+}
+
+void VM::dropOsrWatches(size_t MinDepth) {
+  for (size_t I = OsrWatches.size(); I-- != 0;)
+    if (OsrWatches[I].Depth >= MinDepth) {
+      uint64_t Token = OsrWatches[I].Token;
+      OsrWatches.erase(OsrWatches.begin() + static_cast<ptrdiff_t>(I));
+      if (Hook)
+        Hook->onOsrDrop(*this, Token);
+    }
+}
+
+bool VM::osrPoll() {
+  Frame &Fr = Frames.back();
+  size_t Depth = Frames.size() - 1;
+  for (size_t I = 0; I != OsrWatches.size(); ++I) {
+    const OsrWatch &W = OsrWatches[I];
+    if (W.Depth != Depth || W.HeadPC != Fr.PC ||
+        W.Base != Fr.CurCode->BaseAddr)
+      continue;
+    if (!Hook)
+      return false;
+    uint64_t Token = W.Token;
+    // The hook must not re-enter the VM (contract on onOsrPoll), so Fr
+    // stays valid across the call even though it may mutate Regs.
+    RuntimeHook::Target T = Hook->onOsrPoll(*this, Token, Fr.Regs);
+    if (!T.CO)
+      return false;
+    disarmOsr(Token);
+    Fr.CurCode = T.CO;
+    Fr.PC = T.PC;
+    Fr.Interpret = T.Interpret;
+    return true;
+  }
+  return false;
+}
+
 uint32_t Program::addFunction(CodeObject CO) {
   CO.BaseAddr = allocCodeAddr(CO.Code.size() * 4 + 64);
   uint32_t Idx = static_cast<uint32_t>(Funcs.size());
@@ -341,6 +401,8 @@ void VM::stepOne(size_t BaseDepth) {
     if (Hook && Fr.CurCode->IsDynamicCode)
       Hook->onDynamicCodeExit(*this, Fr.CurCode);
     Frames.pop_back();
+    if (!OsrWatches.empty()) [[unlikely]]
+      dropOsrWatches(Frames.size());
     if (Frames.size() == BaseDepth) {
       LastResult = Res;
       return;
@@ -356,6 +418,9 @@ void VM::stepOne(size_t BaseDepth) {
       machineError("region trap with no run-time attached", Fr);
     if (Fr.CurCode->IsDynamicCode)
       Hook->onDynamicCodeExit(*this, Fr.CurCode);
+    // A re-dispatch supersedes any OSR watch armed for this frame.
+    if (!OsrWatches.empty()) [[unlikely]]
+      dropOsrWatches(Frames.size() - 1);
     RuntimeHook::Target T = Hook->dispatch(*this, I.Imm, Fr.Regs);
     if (!T.CO)
       machineError("run-time returned no target", Fr);
@@ -364,14 +429,18 @@ void VM::stepOne(size_t BaseDepth) {
     Frame &Fr2 = Frames.back();
     Fr2.CurCode = T.CO;
     Fr2.PC = T.PC;
+    Fr2.Interpret = T.Interpret;
     return;
   }
 
   case Op::ExitRegion: {
     if (Hook && Fr.CurCode->IsDynamicCode)
       Hook->onDynamicCodeExit(*this, Fr.CurCode);
+    if (!OsrWatches.empty()) [[unlikely]]
+      dropOsrWatches(Frames.size() - 1);
     Fr.CurCode = Fr.FuncCode;
     Fr.PC = I.B;
+    Fr.Interpret = false;
     return;
   }
 
@@ -380,6 +449,13 @@ void VM::stepOne(size_t BaseDepth) {
   }
 
   Fr.PC = NextPC;
+  // OSR safe point: arrival at a pc via a taken branch. Gating on branch
+  // opcodes keeps the legacy engine's poll sites identical to the
+  // predecoded engine's block boundaries (every block transition there is
+  // reached through Br/CondBr), so OSR decisions are engine-invariant.
+  if ((I.Opcode == Op::Br || I.Opcode == Op::CondBr) &&
+      !OsrWatches.empty()) [[unlikely]]
+    osrPoll();
 }
 
 //===----------------------------------------------------------------------===//
@@ -468,6 +544,13 @@ Word VM::runPredecoded(size_t BaseDepth) {
 restart_frame:
   while (Frames.size() > BaseDepth) {
     Frame &Fr = Frames.back();
+    if (Fr.Interpret) [[unlikely]] {
+      // Cold tier: single-step this frame through the switch loop without
+      // building a translation. stepOne handles traps, calls, and pops
+      // itself; callees it pushes run predecoded (Interpret is per-frame).
+      stepOne(BaseDepth);
+      continue;
+    }
     const CodeObject *CO = Fr.CurCode;
     const DecodedCode *DC = Decoded.get(*CO, CM, IC.config());
     const DecodedInstr *Instrs = DC->Instrs.data();
@@ -846,6 +929,8 @@ restart_frame:
           if (Hook && CO->IsDynamicCode)
             Hook->onDynamicCodeExit(*this, CO);
           Frames.pop_back();
+          if (!OsrWatches.empty()) [[unlikely]]
+            dropOsrWatches(Frames.size());
           if (Frames.size() == BaseDepth) {
             LastResult = Res;
             return Res;
@@ -863,6 +948,8 @@ restart_frame:
           int64_t PointId = IP->Imm;
           if (CO->IsDynamicCode)
             Hook->onDynamicCodeExit(*this, CO);
+          if (!OsrWatches.empty()) [[unlikely]]
+            dropOsrWatches(Frames.size() - 1);
           RuntimeHook::Target T =
               Hook->dispatch(*this, PointId, Frames.back().Regs);
           if (!T.CO)
@@ -872,6 +959,7 @@ restart_frame:
           Frame &Fr2 = Frames.back();
           Fr2.CurCode = T.CO;
           Fr2.PC = T.PC;
+          Fr2.Interpret = T.Interpret;
           goto restart_frame;
         }
 
@@ -880,9 +968,12 @@ restart_frame:
           uint32_t Resume = IP->B;
           if (Hook && CO->IsDynamicCode)
             Hook->onDynamicCodeExit(*this, CO);
+          if (!OsrWatches.empty()) [[unlikely]]
+            dropOsrWatches(Frames.size() - 1);
           Frame &Fr2 = Frames.back();
           Fr2.CurCode = Fr2.FuncCode;
           Fr2.PC = Resume;
+          Fr2.Interpret = false;
           goto restart_frame;
         }
 
@@ -952,6 +1043,8 @@ restart_frame:
           int64_t PointId = IP[1].Imm;
           if (CO->IsDynamicCode)
             Hook->onDynamicCodeExit(*this, CO);
+          if (!OsrWatches.empty()) [[unlikely]]
+            dropOsrWatches(Frames.size() - 1);
           RuntimeHook::Target T =
               Hook->dispatch(*this, PointId, Frames.back().Regs);
           if (!T.CO)
@@ -959,6 +1052,7 @@ restart_frame:
           Frame &Fr2 = Frames.back();
           Fr2.CurCode = T.CO;
           Fr2.PC = T.PC;
+          Fr2.Interpret = T.Interpret;
           goto restart_frame;
         }
 
@@ -971,6 +1065,14 @@ restart_frame:
       }
 
     block_done:
+      // OSR safe point: every block transition (the legacy engine's
+      // equivalent poll fires after Br/CondBr). A transfer rewrites the
+      // frame's position, so re-derive everything from scratch.
+      if (!OsrWatches.empty()) [[unlikely]] {
+        Fr.PC = PC;
+        if (osrPoll())
+          goto restart_frame;
+      }
       continue;
     }
   }

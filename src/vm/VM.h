@@ -86,6 +86,13 @@ public:
   struct Target {
     const CodeObject *CO = nullptr;
     uint32_t PC = 0;
+    /// Cold-tier request: execute this frame instruction-by-instruction in
+    /// the stepOne switch loop instead of through the predecoded engine.
+    /// No translation is built for the frame while the flag is set; it
+    /// clears when the frame leaves the target code (Ret/ExitRegion) or a
+    /// later dispatch returns a Target without it. Host-only — simulated
+    /// counters are engine-invariant by the parity contract.
+    bool Interpret = false;
   };
 
   /// Handles an EnterRegion/Dispatch trap. \p PointId is the instruction's
@@ -114,6 +121,18 @@ public:
   /// across program growth. Default: returns \p Callee.
   virtual uint32_t onGuardedCall(VM &M, uint32_t Callee, const Word *Args,
                                  uint32_t NArgs);
+
+  /// Invoked at an armed OSR safe point (a back-edge arrival at the watched
+  /// block head; see VM::armOsr). Returns a Target with a non-null CO to
+  /// transfer the current frame there — the watch is then erased — or a
+  /// null CO to keep spinning in the generic code. Implementations must
+  /// NOT re-enter the VM and must charge any simulated cost themselves;
+  /// an unanswered poll costs nothing. Default: never transfers.
+  virtual Target onOsrPoll(VM &M, uint64_t Token, std::vector<Word> &Regs);
+
+  /// Invoked when the VM discards an armed OSR watch without a transfer
+  /// (frame returned, left the region, or re-dispatched). Default: no-op.
+  virtual void onOsrDrop(VM &M, uint64_t Token);
 };
 
 /// Per-function execution statistics (inclusive cycles let the harness
@@ -232,6 +251,17 @@ public:
   /// Execution fuel: aborts if exceeded (guards against miscompiled loops).
   uint64_t MaxInstructions = 4ULL << 30;
 
+  /// Arms an OSR watch on the *current* (innermost) frame: when that frame
+  /// next arrives at \p HeadPC of the code object with base address
+  /// \p Base via a branch back edge, RuntimeHook::onOsrPoll fires with
+  /// \p Token. Callable only from inside a RuntimeHook::dispatch (the
+  /// frame being armed is the one the dispatch returns into). Watches are
+  /// host-only bookkeeping: polls charge no simulated cycles.
+  void armOsr(uint64_t Base, uint32_t HeadPC, uint64_t Token);
+
+  /// Removes the watch carrying \p Token, if still armed. No drop callback.
+  void disarmOsr(uint64_t Token);
+
 private:
   struct Frame {
     const CodeObject *CurCode = nullptr;  ///< may be a generated-code buffer
@@ -240,7 +270,19 @@ private:
     uint32_t PC = 0;
     uint32_t RetReg = NoReg; ///< caller register receiving the result
     uint64_t StartCycles = 0;
+    /// Cold-tier flag (see RuntimeHook::Target::Interpret): the predecoded
+    /// engine single-steps this frame through stepOne without translating.
+    bool Interpret = false;
     std::vector<Word> Regs;
+  };
+
+  /// An armed OSR watch: fires when frame \p Depth is back at \p HeadPC of
+  /// the code object based at \p Base after taking a branch.
+  struct OsrWatch {
+    uint64_t Base = 0;
+    uint32_t HeadPC = 0;
+    uint64_t Token = 0;
+    size_t Depth = 0;
   };
 
   /// Executes exactly one instruction with the original per-instruction
@@ -251,6 +293,17 @@ private:
   void stepOne(size_t BaseDepth);
   Word runLegacy(size_t BaseDepth);
   Word runPredecoded(size_t BaseDepth);
+
+  /// Checks the armed watches against the innermost frame's current
+  /// position; on a match asks Hook->onOsrPoll and, if it answers with a
+  /// target, transfers the frame. Returns true when a transfer happened
+  /// (the caller must re-enter its frame loop). Cold path — callers gate
+  /// on !OsrWatches.empty().
+  bool osrPoll();
+
+  /// Drops (with RuntimeHook::onOsrDrop notification) every watch armed at
+  /// depth >= \p MinDepth. Called when frames pop or leave dynamic code.
+  void dropOsrWatches(size_t MinDepth);
   [[noreturn]] void machineError(const std::string &Msg, const Frame &F);
   [[noreturn]] void memOutOfRange(int64_t Addr, const Frame &F);
 
@@ -269,6 +322,10 @@ private:
   std::vector<Word> Mem;
   int64_t MemBrk = 16; // low addresses reserved (address 0 acts as "null")
   std::vector<Frame> Frames;
+  /// Armed OSR watches; empty in non-tiered runs so both engines' poll
+  /// sites reduce to one branch. At most a handful are live at once (one
+  /// per frame running fallback code), so a flat vector beats a map.
+  std::vector<OsrWatch> OsrWatches;
   std::vector<FunctionStats> FuncStats;
   /// Per-function guarded-call flags (see setCallGuard).
   std::vector<uint8_t> CallGuards;

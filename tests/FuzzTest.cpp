@@ -479,4 +479,141 @@ TEST(FuzzReentry, ManyPromotedValuesThroughCacheAll) {
   EXPECT_EQ(DynE->RT->stats(0).SpecializationRuns, 9u);
 }
 
+//===----------------------------------------------------------------------===//
+// Tiering axis: random programs through the tiered SpecServer across
+// threshold scripts, engines, and backends. Tiering moves specialization
+// in time, so every call — cold, warm, hot-with-compile-in-flight, or
+// specialized — must stay bit-identical to the static baseline.
+//===----------------------------------------------------------------------===//
+
+class TierFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TierFuzz, TieredExecutionStaysBitIdentical) {
+  uint64_t Seed = 0x71e4 + static_cast<uint64_t>(GetParam()) * 6151;
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors))
+      << Src << "\n" << (Errors.empty() ? "" : Errors[0]);
+
+  DeterministicRNG In(Seed ^ 0x7ead);
+  std::vector<int64_t> AVals, BVals;
+  for (int I = 0; I != 16; ++I) {
+    AVals.push_back(static_cast<int64_t>(In.nextBelow(10)));
+    BVals.push_back(static_cast<int64_t>(In.nextBelow(1000)) - 500);
+  }
+  int64_t X = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+  int64_t Y = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+
+  // One config per axis value: threshold scripts (born-hot sync, staged
+  // sync, staged async), both engines, both backends.
+  struct TierCfg {
+    uint32_t Warm, Hot;
+    bool Sync;
+    ExecBackend Backend;
+    vm::VM::EngineKind Engine;
+  };
+  const TierCfg Axis[] = {
+      {0, 0, true, ExecBackend::Bytecode, vm::VM::EngineKind::Predecoded},
+      {1, 3, true, ExecBackend::Bytecode, vm::VM::EngineKind::Legacy},
+      {1, 2, false, ExecBackend::Template, vm::VM::EngineKind::Predecoded},
+      {2, 5, false, ExecBackend::Bytecode, vm::VM::EngineKind::Legacy},
+  };
+
+  // The memory image must be identical in every VM — including the
+  // server's specialization VM, whose memory the static (a@) loads read
+  // at specialize time.
+  int64_t ABase = -1, BBase = -1;
+  auto Image = [&](vm::VM &M) {
+    int64_t A = M.allocMemory(16), B = M.allocMemory(16);
+    ABase = A; // deterministic allocator: same base in every fresh VM
+    BBase = B;
+    for (int I = 0; I != 16; ++I) {
+      M.memory()[A + I] = Word::fromInt(AVals[I]);
+      M.memory()[B + I] = Word::fromInt(BVals[I]);
+    }
+  };
+  auto FillMem = [&](vm::VM &M) {
+    for (int I = 0; I != 16; ++I) {
+      M.memory()[ABase + I] = Word::fromInt(AVals[I]);
+      M.memory()[BBase + I] = Word::fromInt(BVals[I]);
+    }
+  };
+  // Key-varying sequences are only a valid parity target for the fully
+  // key-checked policies: cache_one_unchecked serves the resident entry
+  // for ANY key (the documented unsafety), and cache_indexed's non-index
+  // key words are unchecked invariants — under those, *which* chain is
+  // resident depends on promotion timing, so results legitimately differ
+  // from static. For those policies a constant key still drives every
+  // tier transition (cold -> warm -> hot -> hit) and parity holds no
+  // matter when the install lands.
+  bool Checked = Src.find("cache_all") != std::string::npos ||
+                 (Src.find("cache_one") != std::string::npos &&
+                  Src.find("cache_one_unchecked") == std::string::npos);
+  std::vector<int64_t> Trips;
+  if (Checked)
+    for (int Round = 0; Round != 2; ++Round)
+      for (int64_t N = 1; N <= 5; ++N)
+        Trips.push_back(N);
+  else
+    Trips.assign(10, 3);
+
+  auto CallSeq = [&](vm::VM &M, int F) {
+    std::vector<int64_t> R;
+    for (int64_t N : Trips) {
+      FillMem(M); // reset: bodies may write b[]
+      R.push_back(M.run(static_cast<uint32_t>(F),
+                        {Word::fromInt(ABase), Word::fromInt(BBase),
+                         Word::fromInt(N), Word::fromInt(X),
+                         Word::fromInt(Y)})
+                      .asInt());
+      for (int I = 0; I != 16; ++I)
+        R.push_back(static_cast<int64_t>(M.memory()[BBase + I].Bits));
+    }
+    return R;
+  };
+
+  // Static reference: the same call sequence (ten calls, so staged
+  // configs reach every tier) on the static machine.
+  auto StaticE = Ctx.buildStatic();
+  vm::VM &SM = *StaticE->Machine;
+  Image(SM);
+  int64_t SA = ABase, SB = BBase;
+  int SF = StaticE->findFunction("f");
+  ASSERT_GE(SF, 0);
+  std::vector<int64_t> Ref = CallSeq(SM, SF);
+
+  for (size_t C = 0; C != sizeof(Axis) / sizeof(Axis[0]); ++C) {
+    const TierCfg &A = Axis[C];
+    OptFlags Fl;
+    Fl.Backend = A.Backend;
+    Fl.Tier.WarmThreshold = A.Warm;
+    Fl.Tier.HotThreshold = A.Hot;
+    Fl.Tier.SyncInstall = A.Sync;
+    server::ServerConfig Cfg;
+    Cfg.NumWorkers = 2;
+    Cfg.MemoryImage = Image;
+    auto Server = Ctx.buildTiered(Fl, std::move(Cfg));
+    std::unique_ptr<vm::VM> Client = Server->makeClientVM();
+    Client->Engine = A.Engine;
+    ASSERT_EQ(ABase, SA);
+    ASSERT_EQ(BBase, SB);
+    int F = Server->findFunction("f");
+    std::vector<int64_t> Got = CallSeq(*Client, F);
+    EXPECT_EQ(Got, Ref) << "tier config " << C << " seed " << Seed << "\n"
+                        << Src;
+    Server->drain();
+    server::ServerStatsSnapshot S = Server->stats();
+    EXPECT_TRUE(S.TierEnabled);
+    EXPECT_EQ(S.FallbacksInFlight + S.FallbacksFailed +
+                  S.FallbacksNotRequested,
+              S.Fallbacks)
+        << "tier config " << C << " seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, TierFuzz, ::testing::Range(0, 40));
+
 } // namespace

@@ -44,7 +44,11 @@ void usage() {
           "                        speculative promotion run-time instead\n"
           "  --advise              after a --speculate run, print the\n"
           "                        promotion controller's evidence per\n"
-          "                        function (implies --speculate)\n"
+          "                        function (implies --speculate); after a\n"
+          "                        --tier run, print per-region tier state\n"
+          "  --tier                run through the tiered specialization\n"
+          "                        service (cold -> warm -> hot with\n"
+          "                        background compilation; also $DYC_TIER)\n"
           "  --icache KB           L1 I-cache size (default 8)\n"
           "  --backend NAME        execution backend: bytecode | template\n"
           "                        (default: $DYC_BACKEND, else bytecode)\n");
@@ -73,9 +77,12 @@ int main(int argc, char **argv) {
   uint64_t Iterations = 1;
   bool Static = false, DumpIR = false, DumpBTA = false, DumpGenExt = false,
        DumpResidual = false, Stats = false, Profile = false,
-       Speculate = false, Advise = false;
+       Speculate = false, Advise = false, Tiered = false;
   OptFlags Flags;
   vm::ICacheConfig ICCfg;
+
+  if (const char *TE = getenv("DYC_TIER"))
+    Tiered = strcmp(TE, "0") != 0 && strcmp(TE, "off") != 0;
 
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -107,9 +114,10 @@ int main(int argc, char **argv) {
       Profile = true;
     } else if (A == "--speculate") {
       Speculate = true;
+    } else if (A == "--tier") {
+      Tiered = true;
     } else if (A == "--advise") {
       Advise = true;
-      Speculate = true;
     } else if (A == "--icache" && I + 1 < argc) {
       ICCfg.SizeBytes = strtoul(argv[++I], nullptr, 10) * 1024;
     } else if (A == "--backend" || A.rfind("--backend=", 0) == 0) {
@@ -178,6 +186,80 @@ int main(int argc, char **argv) {
         printf("%s",
                bta::printRegionInfo(R, Ctx.module().function(R.FuncIdx))
                    .c_str());
+  }
+
+  if (Advise && !Tiered)
+    Speculate = true; // the promotion advisor rides the speculative run-time
+
+  if (Tiered) {
+    if (Static || Speculate) {
+      fprintf(stderr,
+              "dycc: --tier is exclusive with --static/--speculate\n");
+      return 2;
+    }
+    if (Profile) {
+      fprintf(stderr, "dycc: --profile is not supported with --tier\n");
+      return 2;
+    }
+    server::ServerConfig SCfg;
+    SCfg.IC = ICCfg;
+    std::unique_ptr<server::SpecServer> Server =
+        Ctx.buildTiered(Flags, std::move(SCfg));
+    std::unique_ptr<vm::VM> Client = Server->makeClientVM();
+    if (!RunFunc.empty()) {
+      int F = Server->findFunction(RunFunc);
+      if (F < 0) {
+        fprintf(stderr, "dycc: no function named '%s'\n", RunFunc.c_str());
+        return 1;
+      }
+      Word R;
+      for (uint64_t I = 0; I != Iterations; ++I)
+        R = Client->run(static_cast<uint32_t>(F), RunArgs);
+      const ir::Function &Fn = Ctx.module().function(F);
+      if (Fn.RetTy == ir::Type::F64)
+        printf("%s => %.17g\n", RunFunc.c_str(), R.asFloat());
+      else
+        printf("%s => %lld\n", RunFunc.c_str(), (long long)R.asInt());
+    }
+    Server->drain();
+    if (Stats) {
+      printf("execution cycles:           %llu\n",
+             (unsigned long long)Client->execCycles());
+      printf("dynamic-compilation cycles: %llu\n",
+             (unsigned long long)Client->dynCompCycles());
+      printf("instructions executed:      %llu\n",
+             (unsigned long long)Client->instrsExecuted());
+      printf("I-cache: %llu hits, %llu misses\n",
+             (unsigned long long)Client->icache().hits(),
+             (unsigned long long)Client->icache().misses());
+      printf("execution backend:          %s\n", Server->backendName());
+      printf("server: %s\n", Server->stats().toString().c_str());
+      for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord)
+        printf("region %zu: %s\n", Ord,
+               Server->regionStats(Ord).toString().c_str());
+    }
+    if (DumpResidual)
+      for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord)
+        printf("%s", Server->disassembleRegion(Ord).c_str());
+    if (Advise) {
+      const tier::TierController *TC = Server->tierController();
+      printf("tier advisor (per-region transition evidence):\n");
+      for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord) {
+        tier::TierCounters T = TC->counters(Ord);
+        printf("  region %zu: level %s, cold %llu, warm %llu "
+               "(promotions %llu/%llu), installs %llu, osr %llu "
+               "(polls %llu)\n",
+               Ord, tier::tierLevelName(TC->level(Ord)),
+               (unsigned long long)T.ColdExecs,
+               (unsigned long long)T.WarmExecs,
+               (unsigned long long)T.WarmPromotions,
+               (unsigned long long)T.HotPromotions,
+               (unsigned long long)T.HotInstalls,
+               (unsigned long long)T.OsrEntries,
+               (unsigned long long)T.OsrPolls);
+      }
+    }
+    return 0;
   }
 
   if (Static && Speculate) {
