@@ -108,6 +108,29 @@ struct OptFlags {
   static constexpr unsigned NumToggles = 9;
   static const char *toggleName(unsigned Idx);
   bool &toggle(unsigned Idx);
+
+  /// Content fingerprint of everything that can change *what code a
+  /// specialization run emits*: the nine optimization toggles and the
+  /// region code cap. Backend and Tier are deliberately excluded — both
+  /// are contractually unable to change emitted chains. The multi-tenant
+  /// chain store folds this into its dedup key, and the warm-start file
+  /// records it so a cache serialized under one configuration is never
+  /// adopted under another.
+  uint64_t fingerprint() const {
+    uint64_t F = 0;
+    const bool Toggles[NumToggles] = {
+        CompleteLoopUnrolling, StaticLoads,        StaticCalls,
+        UncheckedDispatching,  ZeroCopyPropagation, DeadAssignmentElimination,
+        StrengthReduction,     InternalPromotions,  PolyvariantDivision};
+    for (unsigned I = 0; I != NumToggles; ++I)
+      F |= Toggles[I] ? (1ull << I) : 0;
+    // FNV-1a fold of the code cap onto the toggle bits.
+    F ^= 0xcbf29ce484222325ull;
+    F *= 1099511628211ull;
+    F ^= static_cast<uint64_t>(MaxRegionInstrs);
+    F *= 1099511628211ull;
+    return F;
+  }
 };
 
 } // namespace dyc

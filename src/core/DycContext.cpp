@@ -58,6 +58,15 @@ DycContext::buildTiered(const OptFlags &Flags,
   return std::make_unique<server::SpecServer>(M, TF, std::move(Cfg));
 }
 
+std::unique_ptr<server::SpecServer>
+DycContext::buildMultiTenant(const OptFlags &Flags,
+                             server::ServerConfig Cfg) const {
+  OptFlags MTF = Flags;
+  MTF.Tier.Enabled = false; // tiering does not compose with multi-tenancy
+  Cfg.MultiTenant = true;
+  return std::make_unique<server::SpecServer>(M, MTF, std::move(Cfg));
+}
+
 std::unique_ptr<Executable>
 DycContext::buildStatic(const vm::CostModel &CM,
                         const vm::ICacheConfig &IC) const {

@@ -118,6 +118,15 @@ public:
   buildTiered(const OptFlags &Flags = OptFlags(),
               server::ServerConfig Cfg = server::ServerConfig()) const;
 
+  /// Builds the multi-tenant specialization service: buildServer with
+  /// Cfg.MultiTenant forced on (per-tenant cache views, quotas, and the
+  /// cross-tenant content-addressed chain store) and tiering forced off —
+  /// the two do not compose. Make per-tenant clients with
+  /// SpecServer::makeClientVM(TenantId).
+  std::unique_ptr<server::SpecServer>
+  buildMultiTenant(const OptFlags &Flags = OptFlags(),
+                   server::ServerConfig Cfg = server::ServerConfig()) const;
+
   /// Runs BTA only (no code generation); one RegionInfo per function.
   std::vector<bta::RegionInfo> analyze(const OptFlags &Flags) const;
 

@@ -229,6 +229,36 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   return E;
 }
 
+std::shared_ptr<CodeChain> RegionExecutionCore::restoreChain(
+    size_t Ordinal, vm::VM &VMRef, std::vector<vm::Instr> Code,
+    uint32_t EntryPC, std::map<ir::BlockId, uint32_t> ExitStubs,
+    std::map<uint32_t, uint32_t> DispatchStubs,
+    std::map<ir::BlockId, uint32_t> OsrEntries) {
+  assert(Ordinal < Regions.size() && "bad region ordinal");
+  RegionState &R = *Regions[Ordinal];
+
+  auto Chain =
+      std::allocate_shared<CodeChain>(PoolAllocator<CodeChain>(R.Pool));
+  Chain->Ordinal = ChainCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  Chain->Region = static_cast<uint32_t>(Ordinal);
+  Chain->CO.NumRegs = R.GX.NumRegs;
+  BK->beginRegion(Chain->CO, Prog,
+                  static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
+  Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
+                   std::to_string(Chain->Ordinal);
+  Chain->CO.Code = std::move(Code);
+  Chain->ExitStubs = std::move(ExitStubs);
+  Chain->DispatchStubs = std::move(DispatchStubs);
+  Chain->OsrEntries = std::move(OsrEntries);
+  Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
+  Chain->Artifact = BK->compileRegion(
+      backend::RegionEmission{Chain->CO, EntryPC, Chain->ExitStubs,
+                              Chain->DispatchStubs},
+      VMRef);
+  Chains.add(Chain);
+  return Chain;
+}
+
 //===----------------------------------------------------------------------===//
 // Capacity + eviction
 //===----------------------------------------------------------------------===//

@@ -151,6 +151,13 @@ struct EntryStats {
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> LastUse{0}; ///< global dispatch tick of last hit
   std::atomic<bool> RefBit{false};  ///< CLOCK reference bit
+  /// Multi-tenant adoption marker: the entry was published over a chain
+  /// from the cross-tenant store instead of a fresh generating-extension
+  /// run. The first client to enter it invalidates the chain's range in
+  /// its I-cache, so an adopted chain the client executed in an earlier
+  /// residency models as cold code — exactly what the fresh compile a
+  /// dedicated server would have produced looks like.
+  std::atomic<bool> ColdEntryPending{false};
 };
 
 /// One published specialization: key -> (chain, entry PC). This is the
@@ -270,6 +277,19 @@ public:
                                             uint32_t PromoId, WordSpan Key,
                                             WordSpan BakedVals,
                                             WordSpan KeyVals);
+
+  /// Warm-start support: re-registers a chain whose emission was
+  /// serialized by a prior process, skipping the generating-extension run.
+  /// The core allocates a fresh simulated address range (restoring chains
+  /// in their original creation-ordinal order therefore reproduces the
+  /// original BaseAddrs), hands the code to the backend exactly as
+  /// specializeInto would, and registers the chain. The caller owns cache
+  /// publication, as with specializeInto. Caller-serialized.
+  std::shared_ptr<CodeChain>
+  restoreChain(size_t Ordinal, vm::VM &M, std::vector<vm::Instr> Code,
+               uint32_t EntryPC, std::map<ir::BlockId, uint32_t> ExitStubs,
+               std::map<uint32_t, uint32_t> DispatchStubs,
+               std::map<ir::BlockId, uint32_t> OsrEntries);
 
   // --- Capacity + eviction (caller-serialized) --------------------------------
 

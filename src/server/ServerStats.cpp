@@ -26,6 +26,9 @@ ServerStatsSnapshot ServerStats::snapshot() const {
   S.ChainsCollected = ChainsCollected.load(std::memory_order_relaxed);
   S.SnapshotsRetired = SnapshotsRetired.load(std::memory_order_relaxed);
   S.SnapshotsFreed = SnapshotsFreed.load(std::memory_order_relaxed);
+  S.DedupHits = DedupHits.load(std::memory_order_relaxed);
+  S.QuotaRejections = QuotaRejections.load(std::memory_order_relaxed);
+  S.WarmHits = WarmHits.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -56,6 +59,12 @@ std::string ServerStatsSnapshot::toString() const {
         (unsigned long long)HotPromotions, (unsigned long long)HotInstalls,
         (unsigned long long)OsrEntries, (unsigned long long)OsrPolls,
         (unsigned long long)CompileQueueDepth);
+  if (MultiTenant)
+    S += formatString(
+        " mt[tenants=%llu dedup=%llu quota-rej=%llu warm=%llu store=%llu]",
+        (unsigned long long)Tenants, (unsigned long long)DedupHits,
+        (unsigned long long)QuotaRejections, (unsigned long long)WarmHits,
+        (unsigned long long)StoreChains);
   if (!Backend.empty())
     S += " backend=" + Backend;
   return S;

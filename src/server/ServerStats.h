@@ -58,6 +58,14 @@ struct ServerStatsSnapshot {
   /// Gauge, not a counter: submitted-but-unfinished compile jobs at the
   /// instant of the snapshot.
   uint64_t CompileQueueDepth = 0;
+  /// Multi-tenancy (filled by SpecServer::stats / tenantStats when the
+  /// server was built multi-tenant; zero and unrendered otherwise).
+  bool MultiTenant = false;
+  uint64_t Tenants = 0;        ///< gauge: tenants registered so far
+  uint64_t DedupHits = 0;      ///< publications served from the chain store
+  uint64_t QuotaRejections = 0; ///< misses refused by per-tenant admission
+  uint64_t WarmHits = 0;       ///< adoptions of warm-start-loaded chains
+  uint64_t StoreChains = 0;    ///< gauge: chains resident in the store
   /// Execution backend the server's core compiles through ("bytecode" /
   /// "template"); filled by SpecServer::stats, not by ServerStats itself.
   std::string Backend;
@@ -85,6 +93,13 @@ struct ServerStats {
   std::atomic<uint64_t> ChainsCollected{0};
   std::atomic<uint64_t> SnapshotsRetired{0};
   std::atomic<uint64_t> SnapshotsFreed{0};
+  /// Multi-tenancy. On the server's global ServerStats these count actual
+  /// events across all tenants; on a TenantState's ServerStats they count
+  /// the tenant's own view (see server/Tenant.h for the two-ledger
+  /// contract). Always zero on single-tenant servers.
+  std::atomic<uint64_t> DedupHits{0};
+  std::atomic<uint64_t> QuotaRejections{0};
+  std::atomic<uint64_t> WarmHits{0};
 
   ServerStatsSnapshot snapshot() const;
 };

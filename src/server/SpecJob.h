@@ -32,12 +32,19 @@
 namespace dyc {
 namespace server {
 
-/// Identity of a pending specialization.
+/// Identity of a pending specialization. Multi-tenant servers key jobs
+/// per tenant: each tenant publishes into its own cache view, so two
+/// tenants missing on the same (point, key) are two distinct publications
+/// even though the chain store will hand the second one the first's
+/// compiled chain. Single-tenant servers leave Tenant at 0.
 struct JobKey {
+  uint32_t Tenant = 0;
   size_t Point = 0;
   std::vector<Word> Key;
 
   bool operator<(const JobKey &O) const {
+    if (Tenant != O.Tenant)
+      return Tenant < O.Tenant;
     if (Point != O.Point)
       return Point < O.Point;
     if (Key.size() != O.Key.size())

@@ -7,6 +7,7 @@
 #include "cogen/CompilerGenerator.h"
 
 #include <chrono>
+#include <cstdio>
 
 namespace dyc {
 namespace server {
@@ -20,9 +21,89 @@ namespace {
 /// very worker that is waiting.
 thread_local bool InSpecWorkerFlag = false;
 
+/// The tenant a specialization run is publishing for: a nested miss on
+/// the server's own VM (whose Tenant id is meaningless) must publish into
+/// the *requesting* tenant's cache view, exactly as a dedicated server's
+/// nested miss would publish into its only cache.
+thread_local TenantState *CurrentSpecTenant = nullptr;
+
 /// Per-thread retained-capacity scratch for dispatch-key composition: the
 /// hit path composes the key and probes the snapshot without allocating.
 thread_local SmallKeyBuf DispatchKeyScratch;
+
+/// FNV-1a over a bytecode stream — the "region version" half of the chain
+/// store's content address and of the warm-start module fingerprint.
+uint64_t hashCode(const std::vector<vm::Instr> &Code) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (const vm::Instr &I : Code) {
+    Mix(static_cast<uint64_t>(I.Opcode));
+    Mix((static_cast<uint64_t>(I.A) << 42) ^
+        (static_cast<uint64_t>(I.B) << 21) ^ I.C);
+    Mix(static_cast<uint64_t>(I.Imm));
+  }
+  return H;
+}
+
+// Warm-start file primitives: fixed-width little-endian fields through
+// stdio. The format is process-local (a cache is reloaded on the machine
+// that wrote it), so host byte order is fine; the header's sizeof(Instr)
+// check rejects files from a differently-packed build.
+constexpr uint64_t WarmMagic = 0x314d524157435944ull; // "DYCWARM1"
+constexpr uint32_t WarmFormatVersion = 1;
+
+bool writeU32(FILE *F, uint32_t V) { return std::fwrite(&V, 4, 1, F) == 1; }
+bool writeU64(FILE *F, uint64_t V) { return std::fwrite(&V, 8, 1, F) == 1; }
+bool readU32(FILE *F, uint32_t &V) { return std::fread(&V, 4, 1, F) == 1; }
+bool readU64(FILE *F, uint64_t &V) { return std::fread(&V, 8, 1, F) == 1; }
+
+bool writeWords(FILE *F, const std::vector<Word> &Ws) {
+  if (!writeU32(F, static_cast<uint32_t>(Ws.size())))
+    return false;
+  for (const Word &W : Ws)
+    if (!writeU64(F, W.Bits))
+      return false;
+  return true;
+}
+
+bool readWords(FILE *F, std::vector<Word> &Ws) {
+  uint32_t N;
+  if (!readU32(F, N) || N > (1u << 20))
+    return false;
+  Ws.resize(N);
+  for (Word &W : Ws)
+    if (!readU64(F, W.Bits))
+      return false;
+  return true;
+}
+
+template <typename K, typename V>
+bool writePairMap(FILE *F, const std::map<K, V> &M) {
+  if (!writeU32(F, static_cast<uint32_t>(M.size())))
+    return false;
+  for (const auto &KV : M)
+    if (!writeU32(F, static_cast<uint32_t>(KV.first)) ||
+        !writeU32(F, static_cast<uint32_t>(KV.second)))
+      return false;
+  return true;
+}
+
+template <typename K, typename V>
+bool readPairMap(FILE *F, std::map<K, V> &M) {
+  uint32_t N;
+  if (!readU32(F, N) || N > (1u << 24))
+    return false;
+  for (uint32_t I = 0; I != N; ++I) {
+    uint32_t A, B;
+    if (!readU32(F, A) || !readU32(F, B))
+      return false;
+    M.emplace(static_cast<K>(A), static_cast<V>(B));
+  }
+  return true;
+}
 
 } // namespace
 
@@ -30,6 +111,12 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
                        ServerConfig Cfg)
     : M(M), Flags(Flags), Cfg(std::move(Cfg)),
       Core(M, Prog, Flags, this->Cfg.Budget), Queue(this->Cfg.QueueCapacity) {
+  // Tiering does not compose with multi-tenancy (per-tenant heat parity is
+  // future work): drop it so no controller is built below. The core never
+  // reads Tier, so its copy of the flags is unaffected.
+  if (this->Cfg.MultiTenant)
+    this->Flags.Tier.Enabled = false;
+
   cogen::bindExternals(M, Prog);
 
   std::vector<bta::RegionInfo> Regions;
@@ -76,11 +163,29 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
     }
   }
 
+  // Multi-tenant dedup identity: a per-region content hash (the "region
+  // version" of the chain store's content address) over the generic
+  // lowered region code plus its shape, and the OptFlags fingerprint.
+  // Both are fixed for the server's lifetime and validate warm-start
+  // files against a changed module or changed optimization settings.
+  FlagsFingerprint = this->Flags.fingerprint();
+  RegionContentHash.resize(Core.numRegions());
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    int Ord = AnnotatedOrdinal[I];
+    if (Ord < 0)
+      continue;
+    const vm::CodeObject &CO = Prog.function(Lowered[I].VMIndex);
+    uint64_t H = hashCode(CO.Code);
+    H = (H ^ CO.NumRegs) * 1099511628211ull;
+    H = (H ^ Core.numPromos(static_cast<size_t>(Ord))) * 1099511628211ull;
+    RegionContentHash[static_cast<size_t>(Ord)] = H;
+  }
+
   // Tiering: the controller sizes its heat/counter banks to the region
   // count, and each region gets its loop heads resolved to fallback pcs
   // once, so arming OSR watches on a miss is just table walks.
   RegionLoopHeads.resize(Core.numRegions());
-  if (Flags.Tier.Enabled) {
+  if (this->Flags.Tier.Enabled) {
     Tier = std::make_unique<tier::TierController>(Flags.Tier,
                                                   Core.numRegions());
     for (size_t Ord = 0; Ord != Core.numRegions(); ++Ord) {
@@ -106,6 +211,11 @@ SpecServer::SpecServer(const ir::Module &M, const OptFlags &Flags,
   if (this->Cfg.MemoryImage)
     this->Cfg.MemoryImage(*SpecVM);
 
+  // Warm start before workers exist: the site table and chain store are
+  // rebuilt at their original indices/ordinals while nothing dispatches.
+  if (this->Cfg.MultiTenant && !this->Cfg.WarmStartPath.empty())
+    loadCacheFrom(this->Cfg.WarmStartPath);
+
   unsigned N = this->Cfg.NumWorkers ? this->Cfg.NumWorkers : 1;
   Workers.reserve(N);
   for (unsigned I = 0; I != N; ++I)
@@ -116,14 +226,23 @@ SpecServer::~SpecServer() {
   Queue.shutdown();
   for (std::thread &T : Workers)
     T.join();
+  // Workers are gone and clients must be gone before the server (they hold
+  // its hook), so the store is quiescent: serialize it for the next start.
+  if (Cfg.MultiTenant && !Cfg.WarmStartPath.empty())
+    saveCacheTo(Cfg.WarmStartPath);
 }
 
-std::unique_ptr<vm::VM> SpecServer::makeClientVM() {
+std::unique_ptr<vm::VM> SpecServer::makeClientVM(uint32_t TenantId) {
   auto V = std::make_unique<vm::VM>(Prog, Cfg.CM, Cfg.IC);
   V->Hook = this;
+  V->Tenant = TenantId;
   Core.attachVM(*V);
   if (Cfg.MemoryImage)
     Cfg.MemoryImage(*V);
+  // Register the tenant here, before the VM's first dispatch can name it:
+  // the dispatch path then only ever resolves tenants under a shared lock.
+  if (Cfg.MultiTenant)
+    tenantState(TenantId);
   return V;
 }
 
@@ -134,7 +253,18 @@ int SpecServer::regionOrdinalOf(const std::string &Name) const {
   return AnnotatedOrdinal[static_cast<size_t>(Idx)];
 }
 
-vm::RuntimeHook::Target SpecServer::enterChain(const CacheRecord &Rec) {
+vm::RuntimeHook::Target SpecServer::enterChain(const CacheRecord &Rec,
+                                               vm::VM *ClientVM) {
+  // An adopted record's chain must look freshly compiled to the client
+  // that takes it: if this client executed the same physical chain in an
+  // earlier residency, stale I-cache lines would hit where a dedicated
+  // server's fresh compile (at a never-used address) would miss.
+  if (ClientVM && Rec.Use &&
+      Rec.Use->ColdEntryPending.load(std::memory_order_relaxed) &&
+      Rec.Use->ColdEntryPending.exchange(false, std::memory_order_acq_rel))
+    ClientVM->icache().invalidateRange(
+        Rec.Chain->CO.BaseAddr,
+        static_cast<uint64_t>(Rec.Chain->CO.Code.size()) * 4);
   // Count the executor in before handing out the chain: the capacity
   // manager may evict it at any time, and collection waits for this
   // count — dropped again by onDynamicCodeExit — to drain.
@@ -201,6 +331,16 @@ vm::RuntimeHook::Target SpecServer::dispatch(vm::VM &ClientVM,
   for (ir::Reg Rg : P.KeyRegs)
     KeyBuf.push_back(Regs[Rg]);
   WordSpan Key = KeyBuf.span();
+
+  if (Cfg.MultiTenant) {
+    // Nested dispatches run on the server's own VM, whose Tenant id means
+    // nothing — the requesting tenant rides the specialization thread.
+    TenantState *TS =
+        InSpecWorkerFlag ? CurrentSpecTenant : findTenant(ClientVM.Tenant);
+    assert(TS && "dispatch from a VM of an unregistered tenant");
+    return dispatchTenant(ClientVM, *TS, Ord, PromoId, P, Point, Key,
+                          BakedWords, Regs, Now);
+  }
 
   ShardedCache::Lookup L = Cache.lookup(Point, Key);
   runtime::chargeDispatchCost(ClientVM, P.Policy, Key.size(), L.Probes);
@@ -432,6 +572,294 @@ SpecServer::specializeAndPublish(uint32_t Ord, uint32_t PromoId, size_t Point,
   return Rec;
 }
 
+//===----------------------------------------------------------------------===//
+// Multi-tenant path
+//===----------------------------------------------------------------------===//
+
+TenantState &SpecServer::tenantState(uint32_t Id) {
+  {
+    std::shared_lock<std::shared_mutex> L(TenantsMutex);
+    auto It = TenantIndex.find(Id);
+    if (It != TenantIndex.end())
+      return *It->second;
+  }
+  std::unique_lock<std::shared_mutex> L(TenantsMutex);
+  auto It = TenantIndex.find(Id);
+  if (It != TenantIndex.end())
+    return *It->second;
+  Tenants.emplace_back(Id);
+  TenantState &TS = Tenants.back();
+  // Mirror the server's construction-time point registration exactly, so
+  // tenant cache points share the global (region, promo) numbering.
+  for (size_t Ord = 0; Ord != Core.numRegions(); ++Ord)
+    for (size_t P = 0; P != Core.numPromos(Ord); ++P) {
+      const bta::PromoPoint &PP = Core.promo(Ord, P);
+      TS.Cache.addPoint(PP.Policy, PP.IndexKeyPos);
+    }
+  TS.Books.resize(Core.numRegions());
+  TenantIndex[Id] = &TS;
+  return TS;
+}
+
+TenantState *SpecServer::findTenant(uint32_t Id) const {
+  std::shared_lock<std::shared_mutex> L(TenantsMutex);
+  auto It = TenantIndex.find(Id);
+  return It == TenantIndex.end() ? nullptr : It->second;
+}
+
+vm::RuntimeHook::Target
+SpecServer::dispatchTenant(vm::VM &ClientVM, TenantState &TS, uint32_t Ord,
+                           uint32_t PromoId, const bta::PromoPoint &P,
+                           size_t Point, WordSpan Key, size_t BakedWords,
+                           std::vector<Word> &Regs, uint64_t Now) {
+  // From here down this mirrors the single-tenant miss/hit control flow
+  // (minus tiering, which never composes with multi-tenancy) over the
+  // tenant's own cache view, double-counting every ledger event into the
+  // tenant's ServerStats — that ledger must stay bit-identical to a
+  // dedicated single-tenant server replaying the same workload.
+  TS.St.Dispatches.fetch_add(1, std::memory_order_relaxed);
+
+  ShardedCache::Lookup L = TS.Cache.lookup(Point, Key);
+  runtime::chargeDispatchCost(ClientVM, P.Policy, Key.size(), L.Probes);
+  if (L.Rec) {
+    TS.St.CacheHits.fetch_add(1, std::memory_order_relaxed);
+    St.CacheHits.fetch_add(1, std::memory_order_relaxed);
+    L.Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+    L.Rec->Use->LastUse.store(Now, std::memory_order_relaxed);
+    L.Rec->Use->RefBit.store(true, std::memory_order_release);
+    return enterChain(*L.Rec, &ClientVM);
+  }
+  TS.St.CacheMisses.fetch_add(1, std::memory_order_relaxed);
+  St.CacheMisses.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Word> Baked(Key.Data, Key.Data + BakedWords);
+  std::vector<Word> KeyVec(Key.begin(), Key.end());
+  std::vector<Word> KeyVals(Key.Data + BakedWords, Key.end());
+
+  if (InSpecWorkerFlag) {
+    TS.St.InlineSpecs.fetch_add(1, std::memory_order_relaxed);
+    St.InlineSpecs.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<CacheRecord> Rec = specializeAndPublishTenant(
+        TS, Ord, PromoId, Point, KeyVec, Baked, KeyVals);
+    return enterChain(*Rec, &ClientVM);
+  }
+
+  // Quota admission: past the tenant's in-flight cap the miss is refused
+  // outright — it neither creates a job nor joins a coalesced one (a join
+  // would let a tenant ride another's compile slot past its own cap) —
+  // and is served by the static fallback.
+  bool WantJob = true;
+  if (Cfg.Quota.MaxInFlightCompiles != 0 &&
+      TS.InFlightCompiles.load(std::memory_order_acquire) >=
+          Cfg.Quota.MaxInFlightCompiles) {
+    WantJob = false;
+    TS.St.QuotaRejections.fetch_add(1, std::memory_order_relaxed);
+    St.QuotaRejections.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<SpecJob> Shared;
+  if (WantJob) {
+    auto Job = std::make_unique<SpecJob>();
+    Job->Id.Tenant = TS.Id;
+    Job->Id.Point = Point;
+    Job->Id.Key = std::move(KeyVec);
+    Job->RegionOrd = Ord;
+    Job->PromoId = PromoId;
+    Job->BakedVals = Baked; // copied: the fallback path below reads it too
+    Job->KeyVals = std::move(KeyVals);
+    bool Created = false;
+    Shared = Queue.submit(std::move(Job), Created);
+    if (Created) {
+      TS.InFlightCompiles.fetch_add(1, std::memory_order_acq_rel);
+      TS.St.JobsEnqueued.fetch_add(1, std::memory_order_relaxed);
+      St.JobsEnqueued.fetch_add(1, std::memory_order_relaxed);
+    } else if (Shared) {
+      TS.St.JobsCoalesced.fetch_add(1, std::memory_order_relaxed);
+      St.JobsCoalesced.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool CompileDead = false;
+  if (Shared && Cfg.OnMiss == MissPolicy::Block) {
+    ClientVM.chargeDynComp(ClientVM.costModel().SpecCacheInsert);
+    std::shared_ptr<CacheRecord> Rec = Shared->Future.get();
+    if (Rec) {
+      Rec->Use->Hits.fetch_add(1, std::memory_order_relaxed);
+      Rec->Use->LastUse.store(Now, std::memory_order_relaxed);
+      Rec->Use->RefBit.store(true, std::memory_order_release);
+      return enterChain(*Rec, &ClientVM);
+    }
+    CompileDead = true; // job abandoned at shutdown
+  }
+  TS.St.Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  St.Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (!WantJob) {
+    TS.St.FallbacksNotRequested.fetch_add(1, std::memory_order_relaxed);
+    St.FallbacksNotRequested.fetch_add(1, std::memory_order_relaxed);
+  } else if (Shared && !CompileDead) {
+    TS.St.FallbacksInFlight.fetch_add(1, std::memory_order_relaxed);
+    St.FallbacksInFlight.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    TS.St.FallbacksFailed.fetch_add(1, std::memory_order_relaxed);
+    St.FallbacksFailed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fallbackTarget(Ord, P, Regs, Baked);
+}
+
+std::shared_ptr<CacheRecord> SpecServer::specializeAndPublishTenant(
+    TenantState &TS, uint32_t Ord, uint32_t PromoId, size_t Point,
+    const std::vector<Word> &Key, const std::vector<Word> &BakedVals,
+    const std::vector<Word> &KeyVals) {
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  // Recheck under the lock: the key may have been published into this
+  // tenant's view while the request sat in the queue.
+  if (std::shared_ptr<CacheRecord> Existing = TS.Cache.findRecord(Point, Key))
+    return Existing;
+
+  uint64_t DK = ChainStore::dedupKey(RegionContentHash[Ord], PromoId, Key,
+                                     FlagsFingerprint);
+  std::shared_ptr<CacheRecord> Rec;
+  StoredChain *SC = Store.find(DK, Ord, PromoId, Key);
+  if (SC) {
+    // Adoption: another tenant (or the warm-start file) already produced
+    // this chain. Publish a fresh record over the shared chain with fresh
+    // usage stats, so the tenant's CLOCK sees exactly what a dedicated
+    // server's would for a newly compiled chain.
+    Rec = std::make_shared<CacheRecord>();
+    Rec->Key = Key;
+    Rec->Hash = hashWords(Key);
+    Rec->Region = Ord;
+    Rec->PromoId = PromoId;
+    Rec->EntryPC = SC->EntryPC;
+    Rec->Chain = SC->Chain;
+    Rec->Use = std::make_shared<EntryStats>();
+    Rec->Use->ColdEntryPending.store(true, std::memory_order_release);
+    Rec->Ordinal = SC->Chain->Ordinal;
+    TS.St.DedupHits.fetch_add(1, std::memory_order_relaxed);
+    St.DedupHits.fetch_add(1, std::memory_order_relaxed);
+    if (SC->WarmLoaded) {
+      TS.St.WarmHits.fetch_add(1, std::memory_order_relaxed);
+      St.WarmHits.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    TenantState *PrevTenant = CurrentSpecTenant;
+    bool Prev = InSpecWorkerFlag;
+    CurrentSpecTenant = &TS;
+    InSpecWorkerFlag = true;
+    Rec = Core.specializeInto(Ord, *SpecVM, PromoId, Key, BakedVals, KeyVals);
+    InSpecWorkerFlag = Prev;
+    CurrentSpecTenant = PrevTenant;
+    // Global ledger: actual generating-extension runs only.
+    St.SpecRuns.fetch_add(1, std::memory_order_relaxed);
+    St.ChainsCreated.fetch_add(1, std::memory_order_relaxed);
+    StoredChain NewSC;
+    NewSC.DedupKey = DK;
+    NewSC.Ord = Ord;
+    NewSC.PromoId = PromoId;
+    NewSC.Key = Key;
+    NewSC.EntryPC = Rec->EntryPC;
+    NewSC.Chain = Rec->Chain;
+    SC = &Store.insert(std::move(NewSC));
+  }
+  // Tenant-view ledger: an adoption still counts as a specialization run
+  // and a created chain — the dedicated server this ledger must match
+  // would have compiled.
+  TS.St.SpecRuns.fetch_add(1, std::memory_order_relaxed);
+  TS.St.ChainsCreated.fetch_add(1, std::memory_order_relaxed);
+  SC->Refs++; // this tenant's publish reference
+  Rec->Point = Point;
+
+  for (const auto &D : TS.Cache.insert(Rec))
+    tenantDisplaced(TS, D);
+  tenantAdmit(TS, Rec);
+  return Rec;
+}
+
+void SpecServer::tenantAdmit(TenantState &TS, std::shared_ptr<CacheRecord> E) {
+  // Core::admit's CLOCK algorithm verbatim, over the tenant's book and the
+  // tenant quota budget, so a tenant's eviction sequence — and therefore
+  // every counter downstream of it — matches a dedicated server with the
+  // same ChainBudget. Victims release their store reference instead of
+  // being retired directly: another tenant may still run the chain.
+  TenantBook &B = TS.Books[E->Region];
+  const CacheRecord *Fresh = E.get();
+  B.Instrs += E->Chain ? E->Chain->Instrs : 0;
+  B.Records.push_back(std::move(E));
+
+  const CapacityBudget &Budget = Cfg.Quota.Budget;
+  auto OverBudget = [&] {
+    return (Budget.MaxEntries && B.Records.size() > Budget.MaxEntries) ||
+           (Budget.MaxInstrs && B.Instrs > Budget.MaxInstrs);
+  };
+  size_t Guard = 2 * B.Records.size() + 2;
+  while (OverBudget() && B.Records.size() > 1 && Guard--) {
+    if (B.Hand >= B.Records.size())
+      B.Hand = 0;
+    std::shared_ptr<CacheRecord> &Cand = B.Records[B.Hand];
+    if (Cand.get() == Fresh) {
+      ++B.Hand;
+      continue;
+    }
+    if (Cand->Use &&
+        Cand->Use->RefBit.exchange(false, std::memory_order_acq_rel)) {
+      ++B.Hand; // recently used: second chance
+      continue;
+    }
+    TS.Cache.erase(Cand.get());
+    TS.St.Evictions.fetch_add(1, std::memory_order_relaxed);
+    St.Evictions.fetch_add(1, std::memory_order_relaxed);
+    if (Cand->Chain) {
+      B.Instrs -= Cand->Chain->Instrs;
+      releaseStoreRef(Cand->Chain.get());
+    }
+    B.Records.erase(B.Records.begin() + static_cast<long>(B.Hand));
+    // Hand stays: it now points at the next record.
+  }
+}
+
+void SpecServer::tenantDisplaced(TenantState &TS,
+                                 const std::shared_ptr<CacheRecord> &E) {
+  // One-slot/indexed replacement: the tenant's cache already dropped the
+  // record; drop it from the book (Core::displaced's bookkeeping) and
+  // release the tenant's store reference. No ServerStats::Evictions bump —
+  // the dedicated server counts displacement only in its region stats.
+  TenantBook &B = TS.Books[E->Region];
+  for (size_t Idx = 0; Idx != B.Records.size(); ++Idx) {
+    if (B.Records[Idx].get() != E.get())
+      continue;
+    B.Instrs -= E->Chain ? E->Chain->Instrs : 0;
+    B.Records.erase(B.Records.begin() + static_cast<long>(Idx));
+    if (B.Hand > Idx)
+      --B.Hand;
+    break;
+  }
+  if (E->Chain)
+    releaseStoreRef(E->Chain.get());
+}
+
+void SpecServer::releaseStoreRef(const CodeChain *Chain) {
+  if (std::shared_ptr<CodeChain> Last = Store.release(Chain)) {
+    // Last tenant let go: retire the chain exactly as the single-tenant
+    // eviction paths do. Collection still waits for active executors to
+    // drain at the trimQuiescent safe point.
+    Last->Evicted.store(true, std::memory_order_release);
+    Core.backend().releaseArtifact(Last->CO);
+    Last->Artifact.reset();
+  }
+}
+
+ServerStatsSnapshot SpecServer::tenantStats(uint32_t TenantId) const {
+  TenantState *TS = findTenant(TenantId);
+  if (!TS)
+    return ServerStatsSnapshot();
+  ServerStatsSnapshot S = TS->St.snapshot();
+  S.Backend = Core.backendName();
+  S.SnapshotsRetired = TS->Cache.retiredSnapshots();
+  S.MultiTenant = true;
+  S.Tenants = 1;
+  return S;
+}
+
 std::string SpecServer::disassembleRegion(size_t Ordinal) const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
   return Core.disassembleRegion(Ordinal);
@@ -444,9 +872,20 @@ void SpecServer::workerLoop() {
     if (Cfg.HoldCompiles)
       while (Cfg.HoldCompiles->load(std::memory_order_acquire))
         std::this_thread::sleep_for(std::chrono::microseconds(100));
-    std::shared_ptr<CacheRecord> Rec =
-        specializeAndPublish(Job->RegionOrd, Job->PromoId, Job->Id.Point,
-                             Job->Id.Key, Job->BakedVals, Job->KeyVals);
+    std::shared_ptr<CacheRecord> Rec;
+    if (Cfg.MultiTenant) {
+      TenantState *TS = findTenant(Job->Id.Tenant);
+      assert(TS && "queued job for an unregistered tenant");
+      Rec = specializeAndPublishTenant(*TS, Job->RegionOrd, Job->PromoId,
+                                       Job->Id.Point, Job->Id.Key,
+                                       Job->BakedVals, Job->KeyVals);
+      // Release the tenant's in-flight slot before the future resolves: a
+      // blocked client's next miss must deterministically see it free.
+      TS->InFlightCompiles.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      Rec = specializeAndPublish(Job->RegionOrd, Job->PromoId, Job->Id.Point,
+                                 Job->Id.Key, Job->BakedVals, Job->KeyVals);
+    }
     // Publish before unregistering: a misser either finds the job
     // in-flight (and joins this future) or misses it and re-probes the
     // cache, which already holds the record.
@@ -469,6 +908,14 @@ bool SpecServer::trimQuiescent(size_t *SnapshotsFreed, size_t *ChainsFreed) {
   if (!Gate.owns_lock())
     return false; // dispatches in flight; reclamation must wait
   size_t Snaps = Cache.trimGraveyard();
+  if (Cfg.MultiTenant) {
+    std::shared_lock<std::shared_mutex> TL(TenantsMutex);
+    for (TenantState &TS : Tenants) {
+      size_t TenantSnaps = TS.Cache.trimGraveyard();
+      TS.St.SnapshotsFreed.fetch_add(TenantSnaps, std::memory_order_relaxed);
+      Snaps += TenantSnaps;
+    }
+  }
   size_t Freed = Core.collectChains();
   St.SnapshotsFreed.fetch_add(Snaps, std::memory_order_relaxed);
   St.ChainsCollected.fetch_add(Freed, std::memory_order_relaxed);
@@ -496,6 +943,12 @@ runtime::RegionStats SpecServer::regionStats(size_t Ordinal) const {
     RS.HotInstalls = T.HotInstalls;
     RS.OsrEntries = T.OsrEntries;
     RS.OsrPolls = T.OsrPolls;
+  } else {
+    // Untiered servers report hard zeros for the tier block — the tier
+    // controller is the only writer of these fields (regression-tested).
+    RS.TierEnabled = false;
+    RS.ColdExecs = RS.WarmExecs = RS.WarmPromotions = RS.HotPromotions = 0;
+    RS.HotInstalls = RS.OsrEntries = RS.OsrPolls = 0;
   }
   return RS;
 }
@@ -513,6 +966,136 @@ uint64_t SpecServer::residentInstrs(size_t Ordinal) const {
 uint64_t SpecServer::specOverheadCycles() const {
   std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
   return SpecVM->dynCompCycles();
+}
+
+//===----------------------------------------------------------------------===//
+// Warm start
+//===----------------------------------------------------------------------===//
+
+bool SpecServer::saveCacheTo(const std::string &Path) const {
+  if (!Cfg.MultiTenant)
+    return false;
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  uint64_t ModuleFP = 0xcbf29ce484222325ull;
+  for (uint64_t H : RegionContentHash) {
+    ModuleFP ^= H;
+    ModuleFP *= 1099511628211ull;
+  }
+  bool Ok = writeU64(F, WarmMagic) && writeU32(F, WarmFormatVersion) &&
+            writeU32(F, static_cast<uint32_t>(sizeof(vm::Instr))) &&
+            writeU64(F, FlagsFingerprint) && writeU64(F, ModuleFP);
+
+  // Site table in index order: chain code embeds dispatch-site indices
+  // (a Dispatch's PointId is -(site+1)), so a reload must reproduce every
+  // site at its original index before any chain code runs.
+  size_t NumSites = Core.numSites();
+  Ok = Ok && writeU32(F, static_cast<uint32_t>(NumSites));
+  for (size_t I = 0; Ok && I != NumSites; ++I) {
+    runtime::DispatchSite S = Core.siteInfo(I);
+    Ok = writeU32(F, S.RegionOrd) && writeU32(F, S.PromoId) &&
+         writeWords(F, S.BakedVals);
+  }
+
+  // Chains in creation-ordinal order: restoring in this order reallocates
+  // the same simulated BaseAddr for every chain, keeping post-restart
+  // I-cache behavior bit-identical to the original compile order.
+  std::vector<const StoredChain *> Chains = Store.byOrdinal();
+  Ok = Ok && writeU32(F, static_cast<uint32_t>(Chains.size()));
+  for (const StoredChain *SC : Chains) {
+    if (!Ok)
+      break;
+    const CodeChain &C = *SC->Chain;
+    Ok = writeU32(F, SC->Ord) && writeU32(F, SC->PromoId) &&
+         writeU32(F, SC->EntryPC) && writeWords(F, SC->Key) &&
+         writeU32(F, static_cast<uint32_t>(C.CO.Code.size()));
+    Ok = Ok && (C.CO.Code.empty() ||
+                std::fwrite(C.CO.Code.data(), sizeof(vm::Instr),
+                            C.CO.Code.size(), F) == C.CO.Code.size());
+    Ok = Ok && writePairMap(F, C.ExitStubs) &&
+         writePairMap(F, C.DispatchStubs) && writePairMap(F, C.OsrEntries);
+  }
+  std::fclose(F);
+  return Ok;
+}
+
+bool SpecServer::loadCacheFrom(const std::string &Path) {
+  if (!Cfg.MultiTenant)
+    return false;
+  std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  uint64_t WantModuleFP = 0xcbf29ce484222325ull;
+  for (uint64_t H : RegionContentHash) {
+    WantModuleFP ^= H;
+    WantModuleFP *= 1099511628211ull;
+  }
+  // Header validation happens before any server state mutates, so a
+  // mismatched file loads nothing.
+  uint64_t Magic = 0, FlagsFP = 0, ModuleFP = 0;
+  uint32_t Version = 0, InstrSize = 0, NumSites = 0;
+  if (!readU64(F, Magic) || Magic != WarmMagic || !readU32(F, Version) ||
+      Version != WarmFormatVersion || !readU32(F, InstrSize) ||
+      InstrSize != sizeof(vm::Instr) || !readU64(F, FlagsFP) ||
+      FlagsFP != FlagsFingerprint || !readU64(F, ModuleFP) ||
+      ModuleFP != WantModuleFP || !readU32(F, NumSites) ||
+      (NumSites != 0 && Core.numSites() != 0)) {
+    std::fclose(F);
+    return false;
+  }
+  for (uint32_t I = 0; I != NumSites; ++I) {
+    runtime::DispatchSite S;
+    if (!readU32(F, S.RegionOrd) || !readU32(F, S.PromoId) ||
+        !readWords(F, S.BakedVals)) {
+      std::fclose(F);
+      return false;
+    }
+    Core.internSite(std::move(S));
+  }
+  uint32_t NumChains = 0;
+  if (!readU32(F, NumChains) || NumChains > (1u << 24)) {
+    std::fclose(F);
+    return false;
+  }
+  for (uint32_t I = 0; I != NumChains; ++I) {
+    StoredChain SC;
+    uint32_t CodeN = 0;
+    std::vector<vm::Instr> Code;
+    std::map<ir::BlockId, uint32_t> ExitStubs;
+    std::map<uint32_t, uint32_t> DispatchStubs;
+    std::map<ir::BlockId, uint32_t> OsrEntries;
+    if (!readU32(F, SC.Ord) || !readU32(F, SC.PromoId) ||
+        !readU32(F, SC.EntryPC) || !readWords(F, SC.Key) ||
+        !readU32(F, CodeN) || CodeN > (1u << 24) ||
+        SC.Ord >= Core.numRegions()) {
+      std::fclose(F);
+      return false;
+    }
+    Code.resize(CodeN);
+    if (CodeN != 0 &&
+        std::fread(Code.data(), sizeof(vm::Instr), CodeN, F) != CodeN) {
+      std::fclose(F);
+      return false;
+    }
+    if (!readPairMap(F, ExitStubs) || !readPairMap(F, DispatchStubs) ||
+        !readPairMap(F, OsrEntries)) {
+      std::fclose(F);
+      return false;
+    }
+    SC.DedupKey = ChainStore::dedupKey(RegionContentHash[SC.Ord], SC.PromoId,
+                                       SC.Key, FlagsFingerprint);
+    SC.Chain = Core.restoreChain(SC.Ord, *SpecVM, std::move(Code), SC.EntryPC,
+                                 std::move(ExitStubs), std::move(DispatchStubs),
+                                 std::move(OsrEntries));
+    SC.WarmLoaded = true;
+    // Unreferenced until a tenant's first miss adopts it (a WarmHit).
+    Store.insert(std::move(SC));
+  }
+  std::fclose(F);
+  return true;
 }
 
 } // namespace server

@@ -42,17 +42,21 @@
 #include "bta/OptFlags.h"
 #include "cogen/Lowering.h"
 #include "runtime/RegionExec.h"
+#include "server/ChainStore.h"
 #include "server/ServerStats.h"
 #include "server/ShardedCache.h"
 #include "server/SpecJob.h"
+#include "server/Tenant.h"
 #include "tier/TierController.h"
 #include "vm/VM.h"
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -82,6 +86,22 @@ struct ServerConfig {
   /// observe the fallback/OSR machinery deterministically. Null (the
   /// default) means never hold.
   std::shared_ptr<std::atomic<bool>> HoldCompiles;
+
+  /// Multi-tenancy (server/Tenant.h). When set, dispatch resolves the
+  /// client VM's Tenant id to that tenant's cache view, publications are
+  /// deduplicated across tenants through the content-addressed chain
+  /// store, Quota governs per-tenant admission and residency, and the
+  /// server-wide Budget above is unused (the tenant books replace the
+  /// core's capacity book). Tiering does not compose with multi-tenancy —
+  /// per-tenant heat parity is future work — so the constructor disables
+  /// it.
+  bool MultiTenant = false;
+  TenantQuota Quota;
+  /// Warm-start file (multi-tenant only): if non-empty, the constructor
+  /// loads the chain store from it (silently skipping a missing or
+  /// version-mismatched file) and the destructor serializes the store
+  /// back to it after the workers quiesce.
+  std::string WarmStartPath;
 };
 
 /// The service. Construct from a compiled module; make client VMs; run
@@ -95,8 +115,12 @@ public:
   SpecServer &operator=(const SpecServer &) = delete;
 
   /// A fresh VM over the shared program, hooked to this server, with the
-  /// configured memory image applied. Callable from any thread.
-  std::unique_ptr<vm::VM> makeClientVM();
+  /// configured memory image applied. Callable from any thread. On a
+  /// multi-tenant server \p TenantId names the tenant whose cache view
+  /// the VM dispatches through; the tenant is registered here (before any
+  /// dispatch can name it), so the dispatch path never creates tenants.
+  std::unique_ptr<vm::VM> makeClientVM(uint32_t TenantId);
+  std::unique_ptr<vm::VM> makeClientVM() { return makeClientVM(0); }
 
   int findFunction(const std::string &Name) const {
     return Prog.findFunction(Name);
@@ -142,9 +166,52 @@ public:
       S.HotInstalls = T.HotInstalls;
       S.OsrEntries = T.OsrEntries;
       S.OsrPolls = T.OsrPolls;
+    } else {
+      // Untiered servers report hard zeros: the tier block above is the
+      // only writer of these fields, so force them rather than trusting
+      // whatever path produced the snapshot (regression-tested).
+      S.TierEnabled = false;
+      S.ColdExecs = S.WarmExecs = S.WarmPromotions = S.HotPromotions = 0;
+      S.HotInstalls = S.OsrEntries = S.OsrPolls = 0;
+    }
+    if (Cfg.MultiTenant) {
+      S.MultiTenant = true;
+      std::shared_lock<std::shared_mutex> L(TenantsMutex);
+      S.Tenants = Tenants.size();
+      S.StoreChains = Store.size();
     }
     return S;
   }
+
+  /// One tenant's view of the server, from its own ledger: the counters a
+  /// dedicated single-tenant server replaying the tenant's workload would
+  /// report. SpecRuns/ChainsCreated count adoptions too (the dedicated
+  /// server would have compiled); DedupHits/WarmHits record how many of
+  /// those were served from the store, and ChainsCollected stays global
+  /// (a shared chain is only freed when every tenant has dropped it).
+  /// Zeroes if the tenant was never registered.
+  ServerStatsSnapshot tenantStats(uint32_t TenantId) const;
+
+  size_t numTenants() const {
+    std::shared_lock<std::shared_mutex> L(TenantsMutex);
+    return Tenants.size();
+  }
+  /// Chains resident in the cross-tenant store (multi-tenant only).
+  size_t storeChains() const { return Store.size(); }
+
+  /// Serializes the chain store to \p Path (multi-tenant only; call at
+  /// quiescence — after drain(), with no client mid-run). Returns false
+  /// on I/O failure or on a single-tenant server.
+  bool saveCacheTo(const std::string &Path) const;
+  /// Loads a chain store serialized by saveCacheTo into this server.
+  /// Multi-tenant only, and only before any specialization has happened
+  /// (the site table must be empty so the file's interned dispatch sites
+  /// replay at their original indices). Validates the format version,
+  /// instruction encoding, module fingerprint, and OptFlags fingerprint;
+  /// returns false — loading nothing — on any mismatch. Loaded chains
+  /// enter the store unreferenced; tenants adopt them on first miss
+  /// (counted as WarmHits).
+  bool loadCacheFrom(const std::string &Path);
 
   /// The tiering controller, or null when tiering is off.
   const tier::TierController *tierController() const { return Tier.get(); }
@@ -176,7 +243,51 @@ private:
                        const std::vector<Word> &BakedVals,
                        const std::vector<Word> &KeyVals);
 
-  Target enterChain(const CacheRecord &Rec);
+  // --- Multi-tenant path (all no-ops unless Cfg.MultiTenant) ------------------
+
+  /// Finds or registers tenant \p Id (exclusive lock on miss).
+  TenantState &tenantState(uint32_t Id);
+  /// Shared-lock probe; null for unregistered tenants.
+  TenantState *findTenant(uint32_t Id) const;
+
+  /// The multi-tenant miss/hit continuation of dispatch(): per-tenant
+  /// cache probe, quota admission, job submission against the tenant's
+  /// in-flight gauge, and the Block/Fallback miss policies — mirroring
+  /// the single-tenant control flow so the tenant ledger stays
+  /// bit-identical to a dedicated server's.
+  Target dispatchTenant(vm::VM &ClientVM, TenantState &TS, uint32_t Ord,
+                        uint32_t PromoId, const bta::PromoPoint &P,
+                        size_t Point, WordSpan Key, size_t BakedWords,
+                        std::vector<Word> &Regs, uint64_t Now);
+
+  /// The multi-tenant twin of specializeAndPublish: consults the chain
+  /// store first and adopts a deduplicated chain when one exists,
+  /// otherwise runs the generating extension and registers the result;
+  /// publishes into the tenant's cache view and runs the tenant's CLOCK
+  /// book. Under SpecMutex; reentrant for nested misses.
+  std::shared_ptr<CacheRecord>
+  specializeAndPublishTenant(TenantState &TS, uint32_t Ord, uint32_t PromoId,
+                             size_t Point, const std::vector<Word> &Key,
+                             const std::vector<Word> &BakedVals,
+                             const std::vector<Word> &KeyVals);
+
+  /// Tenant mirror of Core.admit: accounts \p E against the tenant's
+  /// per-region budget and CLOCK-evicts victims from the tenant's cache,
+  /// releasing each victim's store reference. Under SpecMutex.
+  void tenantAdmit(TenantState &TS, std::shared_ptr<CacheRecord> E);
+  /// Tenant mirror of Core.displaced for one-slot/indexed replacement.
+  void tenantDisplaced(TenantState &TS,
+                       const std::shared_ptr<CacheRecord> &E);
+  /// Drops one store reference from \p Chain; retires the chain (marks it
+  /// evicted, releases the backend artifact) when the last tenant lets
+  /// go. Collection still waits for active executors at the safe point.
+  void releaseStoreRef(const CodeChain *Chain);
+
+  /// Hands out a chain for execution, counting the executor in. With
+  /// \p ClientVM set (the multi-tenant path), the first entry of an
+  /// adopted record invalidates the chain's I-cache range in that client
+  /// so deduplication stays invisible — see EntryStats::ColdEntryPending.
+  Target enterChain(const CacheRecord &Rec, vm::VM *ClientVM = nullptr);
   Target fallbackTarget(uint32_t Ord, const bta::PromoPoint &P,
                         std::vector<Word> &Regs,
                         const std::vector<Word> &BakedVals);
@@ -243,6 +354,24 @@ private:
   std::mutex OsrMutex; ///< guards OsrTable (lock order: gate, then this)
   std::map<uint64_t, OsrRecord> OsrTable;
   std::atomic<uint64_t> OsrTokens{0};
+
+  // --- Multi-tenancy ----------------------------------------------------------
+
+  /// Registered tenants. Deque: TenantState is not movable and dispatch
+  /// holds references across the shared lock. Guarded by TenantsMutex
+  /// (registration exclusive, dispatch-time resolution shared).
+  mutable std::shared_mutex TenantsMutex;
+  std::deque<TenantState> Tenants;
+  std::map<uint32_t, TenantState *> TenantIndex;
+
+  /// The cross-tenant content-addressed chain store; mutated only under
+  /// SpecMutex (publication, tenant eviction, warm-start load).
+  ChainStore Store;
+  /// Per-region content hash (generic lowered code + shape), the "region
+  /// version" component of the dedup key and of the warm-start module
+  /// fingerprint. Computed once at construction.
+  std::vector<uint64_t> RegionContentHash;
+  uint64_t FlagsFingerprint = 0;
 
   ServerStats St;
 };

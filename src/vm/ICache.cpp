@@ -82,5 +82,22 @@ void ICache::flush() {
     L.Valid = false;
 }
 
+void ICache::invalidateRange(uint64_t Addr, uint64_t Bytes) {
+  if (!Cfg.Enabled || Bytes == 0)
+    return;
+  uint64_t FirstBlock = Addr / Cfg.BlockBytes;
+  uint64_t LastBlock = (Addr + Bytes - 1) / Cfg.BlockBytes;
+  uint32_t Shift = static_cast<uint32_t>(__builtin_ctz(NumSets));
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    Line &L = Lines[I];
+    if (!L.Valid)
+      continue;
+    uint32_t Set = static_cast<uint32_t>(I / Cfg.Assoc);
+    uint64_t Block = (L.Tag << Shift) | Set;
+    if (Block >= FirstBlock && Block <= LastBlock)
+      L.Valid = false;
+  }
+}
+
 } // namespace vm
 } // namespace dyc

@@ -231,6 +231,12 @@ public:
 
   RuntimeHook *Hook = nullptr;
 
+  /// Which tenant this machine belongs to (multi-tenant SpecServer
+  /// clients; 0 — the default tenant — everywhere else). Purely an
+  /// identity tag the dispatch hook reads: the VM itself never consults
+  /// it, so single-tenant behavior is unchanged.
+  uint32_t Tenant = 0;
+
   /// Marks \p Func so calls to it consult RuntimeHook::onGuardedCall. The
   /// flag array is sparse and branch-free to test on the call path; calls
   /// to unguarded functions cost nothing extra.

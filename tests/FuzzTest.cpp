@@ -616,4 +616,127 @@ TEST_P(TierFuzz, TieredExecutionStaysBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Programs, TierFuzz, ::testing::Range(0, 40));
 
+//===----------------------------------------------------------------------===//
+// Tenant axis: random programs replayed by several tenants of one
+// multi-tenant server versus a dedicated single-tenant server. The
+// multi-tenant contract is total transparency: every tenant's results,
+// simulated machine counters, and server-side ledger must be
+// bit-identical to the dedicated server's, no matter how many chains the
+// store deduplicated away underneath.
+//===----------------------------------------------------------------------===//
+
+class TenantFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TenantFuzz, TenantsStayBitIdenticalToDedicatedServer) {
+  uint64_t Seed = 0x7e4a + static_cast<uint64_t>(GetParam()) * 9173;
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+
+  core::DycContext Ctx;
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(Ctx.compile(Src, Errors))
+      << Src << "\n" << (Errors.empty() ? "" : Errors[0]);
+
+  DeterministicRNG In(Seed ^ 0x7e7a);
+  std::vector<int64_t> AVals, BVals;
+  for (int I = 0; I != 16; ++I) {
+    AVals.push_back(static_cast<int64_t>(In.nextBelow(10)));
+    BVals.push_back(static_cast<int64_t>(In.nextBelow(1000)) - 500);
+  }
+  int64_t X = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+  int64_t Y = static_cast<int64_t>(In.nextBelow(1000)) - 500;
+
+  int64_t ABase = -1, BBase = -1;
+  auto Image = [&](vm::VM &M) {
+    int64_t A = M.allocMemory(16), B = M.allocMemory(16);
+    ABase = A;
+    BBase = B;
+    for (int I = 0; I != 16; ++I) {
+      M.memory()[A + I] = Word::fromInt(AVals[I]);
+      M.memory()[B + I] = Word::fromInt(BVals[I]);
+    }
+  };
+  auto FillMem = [&](vm::VM &M) {
+    for (int I = 0; I != 16; ++I) {
+      M.memory()[ABase + I] = Word::fromInt(AVals[I]);
+      M.memory()[BBase + I] = Word::fromInt(BVals[I]);
+    }
+  };
+  // Unlike the tiered axis, unchecked policies are fine here: both
+  // servers replay the identical sequential call order, so the resident
+  // chain evolves identically. Vary keys for checked policies anyway.
+  bool Checked = Src.find("cache_all") != std::string::npos ||
+                 (Src.find("cache_one") != std::string::npos &&
+                  Src.find("cache_one_unchecked") == std::string::npos);
+  std::vector<int64_t> Trips;
+  if (Checked)
+    for (int Round = 0; Round != 2; ++Round)
+      for (int64_t N = 1; N <= 5; ++N)
+        Trips.push_back(N);
+  else
+    Trips.assign(8, 3);
+
+  auto CallSeq = [&](vm::VM &M, int F) {
+    std::vector<int64_t> R;
+    for (int64_t N : Trips) {
+      FillMem(M); // reset: bodies may write b[]
+      R.push_back(M.run(static_cast<uint32_t>(F),
+                        {Word::fromInt(ABase), Word::fromInt(BBase),
+                         Word::fromInt(N), Word::fromInt(X),
+                         Word::fromInt(Y)})
+                      .asInt());
+      for (int I = 0; I != 16; ++I)
+        R.push_back(static_cast<int64_t>(M.memory()[BBase + I].Bits));
+    }
+    return R;
+  };
+
+  // Dedicated single-tenant reference over the same module.
+  server::ServerConfig RefCfg;
+  RefCfg.NumWorkers = 1;
+  RefCfg.MemoryImage = Image;
+  auto Ref = Ctx.buildServer(OptFlags(), std::move(RefCfg));
+  std::unique_ptr<vm::VM> RefVM = Ref->makeClientVM();
+  int RF = Ref->findFunction("f");
+  ASSERT_GE(RF, 0);
+  std::vector<int64_t> Want = CallSeq(*RefVM, RF);
+  server::ServerStatsSnapshot RefStats = Ref->stats();
+
+  const uint32_t NumTenants = 2 + static_cast<uint32_t>(GetParam() % 2);
+  server::ServerConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.MemoryImage = Image;
+  auto Server = Ctx.buildMultiTenant(OptFlags(), std::move(Cfg));
+  int F = Server->findFunction("f");
+  uint64_t TenantSpecRuns = 0;
+  for (uint32_t T = 1; T <= NumTenants; ++T) {
+    std::unique_ptr<vm::VM> Client = Server->makeClientVM(T);
+    std::vector<int64_t> Got = CallSeq(*Client, F);
+    EXPECT_EQ(Got, Want) << "tenant " << T << " seed " << Seed << "\n" << Src;
+    EXPECT_EQ(Client->execCycles(), RefVM->execCycles())
+        << "tenant " << T << " seed " << Seed;
+    EXPECT_EQ(Client->dynCompCycles(), RefVM->dynCompCycles())
+        << "tenant " << T << " seed " << Seed;
+    EXPECT_EQ(Client->icache().hits(), RefVM->icache().hits())
+        << "tenant " << T << " seed " << Seed;
+    EXPECT_EQ(Client->icache().misses(), RefVM->icache().misses())
+        << "tenant " << T << " seed " << Seed;
+    server::ServerStatsSnapshot TS = Server->tenantStats(T);
+    EXPECT_EQ(TS.Dispatches, RefStats.Dispatches) << "tenant " << T;
+    EXPECT_EQ(TS.CacheHits, RefStats.CacheHits) << "tenant " << T;
+    EXPECT_EQ(TS.CacheMisses, RefStats.CacheMisses) << "tenant " << T;
+    EXPECT_EQ(TS.SpecRuns, RefStats.SpecRuns) << "tenant " << T;
+    EXPECT_EQ(TS.ChainsCreated, RefStats.ChainsCreated) << "tenant " << T;
+    EXPECT_EQ(TS.Evictions, RefStats.Evictions) << "tenant " << T;
+    TenantSpecRuns += TS.SpecRuns;
+  }
+  // Two-ledger identity: every tenant-view compile was either a real
+  // generating-extension run or a store adoption.
+  server::ServerStatsSnapshot S = Server->stats();
+  EXPECT_EQ(TenantSpecRuns, S.SpecRuns + S.DedupHits) << "seed " << Seed;
+  EXPECT_EQ(S.Tenants, NumTenants);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, TenantFuzz, ::testing::Range(0, 25));
+
 } // namespace

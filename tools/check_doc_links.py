@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Markdown link lint for README.md and docs/.
+
+Checks, using only the standard library:
+  - relative links point at files that exist in the repo
+  - intra-document anchors (#...) resolve to a heading in the target file
+
+External (http/https/mailto) links are not fetched. Exit status is the
+number of broken links (0 = clean), so CI can run it directly.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def github_anchor(heading):
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces->dashes."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        found = set()
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    found.add(github_anchor(m.group(1)))
+        cache[path] = found
+    return cache[path]
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, frag = target.partition("#")
+                if base:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                    if not os.path.exists(dest):
+                        errors.append((lineno, target, "missing file"))
+                        continue
+                else:
+                    dest = path
+                if frag and dest.endswith(".md"):
+                    if frag not in anchors_of(dest):
+                        errors.append((lineno, target, "missing anchor"))
+    return errors
+
+
+def main():
+    broken = 0
+    for path in doc_files():
+        for lineno, target, why in check_file(path):
+            rel = os.path.relpath(path, REPO)
+            print(f"{rel}:{lineno}: broken link '{target}' ({why})")
+            broken += 1
+    if broken:
+        print(f"{broken} broken link(s)")
+    else:
+        print(f"doc links OK ({len(doc_files())} files)")
+    return broken
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,10 @@ void usage() {
           "  --tier                run through the tiered specialization\n"
           "                        service (cold -> warm -> hot with\n"
           "                        background compilation; also $DYC_TIER)\n"
+          "  --tenants N           run through the multi-tenant service: N\n"
+          "                        tenants replay the call, chains dedup\n"
+          "                        across them (--stats adds per-tenant\n"
+          "                        ledgers and the global dedup counters)\n"
           "  --icache KB           L1 I-cache size (default 8)\n"
           "  --backend NAME        execution backend: bytecode | template\n"
           "                        (default: $DYC_BACKEND, else bytecode)\n");
@@ -78,6 +82,7 @@ int main(int argc, char **argv) {
   bool Static = false, DumpIR = false, DumpBTA = false, DumpGenExt = false,
        DumpResidual = false, Stats = false, Profile = false,
        Speculate = false, Advise = false, Tiered = false;
+  unsigned Tenants = 0;
   OptFlags Flags;
   vm::ICacheConfig ICCfg;
 
@@ -116,6 +121,12 @@ int main(int argc, char **argv) {
       Speculate = true;
     } else if (A == "--tier") {
       Tiered = true;
+    } else if (A == "--tenants" && I + 1 < argc) {
+      Tenants = static_cast<unsigned>(strtoul(argv[++I], nullptr, 10));
+      if (Tenants == 0) {
+        fprintf(stderr, "dycc: --tenants needs a positive count\n");
+        return 2;
+      }
     } else if (A == "--advise") {
       Advise = true;
     } else if (A == "--icache" && I + 1 < argc) {
@@ -190,6 +201,62 @@ int main(int argc, char **argv) {
 
   if (Advise && !Tiered)
     Speculate = true; // the promotion advisor rides the speculative run-time
+
+  if (Tenants) {
+    if (Static || Speculate || Tiered || Profile || Advise) {
+      fprintf(stderr, "dycc: --tenants is exclusive with "
+                      "--static/--speculate/--tier/--profile/--advise\n");
+      return 2;
+    }
+    server::ServerConfig SCfg;
+    SCfg.IC = ICCfg;
+    std::unique_ptr<server::SpecServer> Server =
+        Ctx.buildMultiTenant(Flags, std::move(SCfg));
+    std::vector<std::unique_ptr<vm::VM>> Clients;
+    for (unsigned T = 1; T <= Tenants; ++T)
+      Clients.push_back(Server->makeClientVM(T));
+    if (!RunFunc.empty()) {
+      int F = Server->findFunction(RunFunc);
+      if (F < 0) {
+        fprintf(stderr, "dycc: no function named '%s'\n", RunFunc.c_str());
+        return 1;
+      }
+      const ir::Function &Fn = Ctx.module().function(F);
+      for (unsigned T = 0; T != Tenants; ++T) {
+        Word R;
+        for (uint64_t I = 0; I != Iterations; ++I)
+          R = Clients[T]->run(static_cast<uint32_t>(F), RunArgs);
+        if (Fn.RetTy == ir::Type::F64)
+          printf("tenant %u: %s => %.17g\n", T + 1, RunFunc.c_str(),
+                 R.asFloat());
+        else
+          printf("tenant %u: %s => %lld\n", T + 1, RunFunc.c_str(),
+                 (long long)R.asInt());
+      }
+    }
+    Server->drain();
+    if (Stats) {
+      for (unsigned T = 0; T != Tenants; ++T) {
+        printf("tenant %u: exec %llu cycles, dyncomp %llu cycles, "
+               "icache %llu/%llu\n",
+               T + 1, (unsigned long long)Clients[T]->execCycles(),
+               (unsigned long long)Clients[T]->dynCompCycles(),
+               (unsigned long long)Clients[T]->icache().hits(),
+               (unsigned long long)Clients[T]->icache().misses());
+        printf("tenant %u ledger: %s\n", T + 1,
+               Server->tenantStats(T + 1).toString().c_str());
+      }
+      printf("execution backend:          %s\n", Server->backendName());
+      printf("server: %s\n", Server->stats().toString().c_str());
+      for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord)
+        printf("region %zu: %s\n", Ord,
+               Server->regionStats(Ord).toString().c_str());
+    }
+    if (DumpResidual)
+      for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord)
+        printf("%s", Server->disassembleRegion(Ord).c_str());
+    return 0;
+  }
 
   if (Tiered) {
     if (Static || Speculate) {
