@@ -1,0 +1,290 @@
+//===- bench/SpecializeThroughput.cpp ----------------------------------------------===//
+//
+// Host cost of the specializer itself: nanoseconds of wall-clock per
+// EMITTED instruction, staged emit plans on versus off, across the five
+// Table 3 kernels. The plan path is contractually invisible to the
+// simulated machine, so this benchmark is the tentpole's scoreboard — the
+// only thing it is allowed to change.
+//
+// Method, per kernel and per plan mode:
+//   1. build the dynamic configuration and warm it with one invocation
+//      (first specialization; the plan is built here when the path is on);
+//   2. drive a respecialization loop (releaseRegion + run, so every
+//      iteration reruns the generating extension against a cached plan)
+//      and read the runtime's specializeHostSeconds() accumulator — host
+//      wall-clock measured around specializeInto itself, so workload
+//      execution and chain teardown never dilute the metric;
+//   3. repeat the loop a few times — INTERLEAVED between the two modes,
+//      so a machine-load phase hits both — and keep each mode's minimum
+//      accumulated time (the repetition least disturbed by scheduler
+//      noise), divided by the instructions generated in one repetition.
+//
+// Both modes execute the identical simulated sequence; --check fails on
+// any counter or disassembly divergence, and gates the plan speedup at
+// >= 2x on at least 3 of the 5 kernels.
+//
+// Flags:
+//   --quick        shrink the measured loop counts (CI smoke)
+//   --json FILE    write the measurements as JSON (BENCH_specialize.json)
+//   --check        exit nonzero on parity divergence or a missed gate
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace dyc;
+using workloads::Workload;
+using workloads::WorkloadSetup;
+
+namespace {
+
+bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+const char *jsonPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+struct ModeRun {
+  uint64_t SpecRuns = 0;        ///< respecialization iterations per rep
+  uint64_t InstrsGenerated = 0; ///< emitted instructions in one rep
+  double SpecSeconds = 0;       ///< min-over-reps specializer host time
+  // Parity axis: the complete simulated state after the identical
+  // sequence, plus the golden disassembly.
+  uint64_t ExecCycles = 0;
+  uint64_t DynCompCycles = 0;
+  uint64_t InstrsExecuted = 0;
+  uint64_t ICacheMisses = 0;
+  std::string RegionStats; ///< all regions, plan block neutralized
+  std::string Disassembly; ///< all regions
+  uint64_t PlanBuilds = 0;
+  uint64_t PlanHits = 0;
+
+  double NsPerEmittedInstr() const {
+    return InstrsGenerated
+               ? std::max(SpecSeconds, 0.0) * 1e9 /
+                     static_cast<double>(InstrsGenerated)
+               : 0;
+  }
+};
+
+std::string statsSansPlan(runtime::RegionStats St) {
+  St.PlanEnabled = false;
+  St.PlanBuilds = St.PlanHits = St.PlanBytes = 0;
+  return St.toString();
+}
+
+/// One plan mode's live configuration, kept alive across repetitions so
+/// the two modes' measured loops can interleave in time.
+struct ModeDriver {
+  core::DycContext Ctx;
+  std::unique_ptr<core::Executable> E;
+  WorkloadSetup S;
+  int FI = -1;
+  ModeRun R;
+
+  void init(const Workload &W, bool PlanOn, uint64_t SpecRuns) {
+    core::compileWorkload(W, Ctx);
+    OptFlags Fl;
+    Fl.EmitPlan = PlanOn ? EmitPlanMode::On : EmitPlanMode::Off;
+    E = Ctx.buildDynamic(Fl);
+    // Legacy engine: no host-side predecode translation per fresh chain
+    // muddying cache behavior around the measured specializer.
+    E->Machine->Engine = vm::VM::EngineKind::Legacy;
+    S = W.Setup(*E->Machine);
+    FI = E->findFunction(W.RegionFunc);
+    if (FI < 0)
+      fatal(W.Name + ": region function not found");
+    R.SpecRuns = SpecRuns;
+    E->Machine->run(static_cast<uint32_t>(FI),
+                    S.RegionArgs); // warmup: specializes
+  }
+
+  uint64_t sumGenerated() const {
+    uint64_t G = 0;
+    for (size_t Ord = 0; Ord != E->RT->numRegions(); ++Ord)
+      G += E->RT->stats(Ord).InstructionsGenerated;
+    return G;
+  }
+
+  /// One respecialization repetition: dropping every chain forces the
+  /// next run to rerun the generating extension — against the cached plan
+  /// when on. The specializer's own host time comes from the runtime's
+  /// accumulator, so chain teardown and workload execution never enter
+  /// the metric; the min over repetitions discards disturbed runs.
+  void rep(unsigned RepIdx, uint64_t SpecRuns) {
+    vm::VM &M = *E->Machine;
+    runtime::DycRuntime &RT = *E->RT;
+    uint64_t G0 = sumGenerated();
+    double S0 = RT.specializeHostSeconds();
+    for (uint64_t I = 0; I != SpecRuns; ++I) {
+      for (size_t Ord = 0; Ord != RT.numRegions(); ++Ord)
+        RT.releaseRegion(M, Ord);
+      M.run(static_cast<uint32_t>(FI), S.RegionArgs);
+    }
+    double Secs = RT.specializeHostSeconds() - S0;
+    R.InstrsGenerated = sumGenerated() - G0; // identical every rep
+    R.SpecSeconds = RepIdx == 0 ? Secs : std::min(R.SpecSeconds, Secs);
+  }
+
+  void finish() {
+    vm::VM &M = *E->Machine;
+    runtime::DycRuntime &RT = *E->RT;
+    R.ExecCycles = M.execCycles();
+    R.DynCompCycles = M.dynCompCycles();
+    R.InstrsExecuted = M.instrsExecuted();
+    R.ICacheMisses = M.icache().misses();
+    for (size_t Ord = 0; Ord != RT.numRegions(); ++Ord) {
+      const runtime::RegionStats &St = RT.stats(Ord);
+      R.RegionStats += statsSansPlan(St) + "\n";
+      R.Disassembly += RT.disassembleRegion(Ord);
+      R.PlanBuilds += St.PlanBuilds;
+      R.PlanHits += St.PlanHits;
+    }
+  }
+};
+
+struct Row {
+  std::string Name;
+  ModeRun On, Off;
+  double Speedup = 0; ///< legacy ns/instr over plan ns/instr
+  bool Parity = false;
+};
+
+void writeJson(const char *Path, const std::vector<Row> &Rows,
+               unsigned GatePassCount, bool Check, bool CheckPassed) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"specialize_throughput\",\n");
+  std::fprintf(F, "  \"dispatch\": \"%s\",\n", vm::VM::dispatchMode());
+  std::fprintf(F, "  \"kernels\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(
+        F,
+        "    {\"name\": \"%s\", \"spec_runs\": %llu,\n"
+        "     \"instrs_generated\": %llu,\n"
+        "     \"parity\": %s,\n"
+        "     \"plan_on\": {\"ns_per_emitted_instr\": %.3f, "
+        "\"plan_builds\": %llu, \"plan_hits\": %llu},\n"
+        "     \"plan_off\": {\"ns_per_emitted_instr\": %.3f},\n"
+        "     \"speedup\": %.3f}%s\n",
+        R.Name.c_str(), (unsigned long long)R.On.SpecRuns,
+        (unsigned long long)R.On.InstrsGenerated,
+        R.Parity ? "true" : "false", R.On.NsPerEmittedInstr(),
+        (unsigned long long)R.On.PlanBuilds,
+        (unsigned long long)R.On.PlanHits, R.Off.NsPerEmittedInstr(),
+        R.Speedup, I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F,
+               "  \"gate\": {\"min_speedup\": 2.0, \"min_kernels\": 3, "
+               "\"kernels_passing\": %u},\n",
+               GatePassCount);
+  std::fprintf(F, "  \"check\": %s,\n  \"check_passed\": %s\n}\n",
+               Check ? "true" : "false", CheckPassed ? "true" : "false");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = hasFlag(Argc, Argv, "--quick") ||
+               [] {
+                 const char *E = std::getenv("DYC_BENCH_QUICK");
+                 return E && E[0] == '1';
+               }();
+  bool Check = hasFlag(Argc, Argv, "--check");
+  const char *Json = jsonPath(Argc, Argv);
+
+  const std::vector<std::string> Names = {"binary", "chebyshev",
+                                          "dotproduct", "query", "romberg"};
+  // Many short repetitions rather than a few long ones: the min filter
+  // only needs ONE repetition per mode to land in a quiet scheduling
+  // window, and short reps give it many independent chances.
+  const uint64_t SpecRuns = Quick ? 50 : 100;
+  const unsigned Reps = Quick ? 8 : 12;
+
+  std::printf("specialization throughput, staged emit plans on vs off "
+              "(dispatch: %s)\n",
+              vm::VM::dispatchMode());
+  std::printf("%-12s %9s %11s %13s %13s %8s %7s\n", "kernel", "respecs",
+              "emitted", "plan ns/i", "legacy ns/i", "speedup", "parity");
+
+  std::vector<Row> Rows;
+  bool ParityOk = true;
+  unsigned GatePass = 0;
+  for (const std::string &Name : Names) {
+    const Workload &W = workloads::workloadByName(Name);
+    Row R;
+    R.Name = Name;
+    ModeDriver On, Off;
+    On.init(W, true, SpecRuns);
+    Off.init(W, false, SpecRuns);
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      On.rep(Rep, SpecRuns);
+      Off.rep(Rep, SpecRuns);
+    }
+    On.finish();
+    Off.finish();
+    R.On = std::move(On.R);
+    R.Off = std::move(Off.R);
+    R.Parity = R.On.ExecCycles == R.Off.ExecCycles &&
+               R.On.DynCompCycles == R.Off.DynCompCycles &&
+               R.On.InstrsExecuted == R.Off.InstrsExecuted &&
+               R.On.ICacheMisses == R.Off.ICacheMisses &&
+               R.On.InstrsGenerated == R.Off.InstrsGenerated &&
+               R.On.RegionStats == R.Off.RegionStats &&
+               R.On.Disassembly == R.Off.Disassembly &&
+               R.On.PlanBuilds > 0 && R.Off.PlanBuilds == 0;
+    if (!R.Parity)
+      ParityOk = false;
+    double PlanNs = R.On.NsPerEmittedInstr();
+    double LegacyNs = R.Off.NsPerEmittedInstr();
+    R.Speedup = PlanNs > 0 ? LegacyNs / PlanNs : 0;
+    if (R.Speedup >= 2.0)
+      ++GatePass;
+    std::printf("%-12s %9llu %11llu %13.3f %13.3f %7.2fx %7s\n",
+                Name.c_str(), (unsigned long long)R.On.SpecRuns,
+                (unsigned long long)R.On.InstrsGenerated, PlanNs, LegacyNs,
+                R.Speedup, R.Parity ? "ok" : "FAIL");
+    Rows.push_back(std::move(R));
+  }
+
+  bool GateOk = GatePass >= 3;
+  std::printf("\nplan >= 2x on %u/5 kernels (gate: 3) %s; counter parity "
+              "%s\n",
+              GatePass, GateOk ? "ok" : "FAIL", ParityOk ? "ok" : "FAIL");
+
+  bool CheckPassed = ParityOk && GateOk;
+  if (Json)
+    writeJson(Json, Rows, GatePass, Check, CheckPassed);
+
+  if (Check && !CheckPassed) {
+    std::fprintf(stderr,
+                 "FAIL: %s\n",
+                 !ParityOk ? "plan/legacy counter parity diverged"
+                           : "plan speedup gate missed (need >= 2x on 3 of "
+                             "5 kernels)");
+    return 1;
+  }
+  return 0;
+}

@@ -51,6 +51,19 @@ enum class ExecBackend {
             ///< time, shared across every attached VM
 };
 
+/// Whether specialization runs execute through staged emit plans
+/// (cogen/EmitPlan.h): per-region compilation of the generating
+/// extension into a linear emit program with block-copy templates.
+/// Like Backend and Tier this is not an optimization toggle — the plan
+/// path is contractually bit-identical to the legacy template walk in
+/// every simulated counter and every emitted chain; it only changes
+/// host wall-clock per emitted instruction.
+enum class EmitPlanMode {
+  Default, ///< resolve from DYC_EMIT_PLAN ("on"/"off"); on when unset
+  On,      ///< execute specialization through staged emit plans
+  Off,     ///< legacy walk: interpret the SetupOp templates directly
+};
+
 /// Tiered-execution policy (the src/tier/ controller). Tiering changes
 /// *when* specialization work happens — never what executes or what the
 /// simulated counters charge per executed dispatch — so it is policy, not
@@ -103,6 +116,11 @@ struct OptFlags {
   /// Tiered-execution policy (see TieringPolicy). Like Backend, not a
   /// toggle: steady-state behavior is invariant.
   TieringPolicy Tier;
+
+  /// Staged-emit-plan selection (see EmitPlanMode). Like Backend, not a
+  /// toggle: it cannot change observable behavior, so it is excluded
+  /// from fingerprint() below.
+  EmitPlanMode EmitPlan = EmitPlanMode::Default;
 
   /// Named accessors for the ablation harness (Table 5 columns).
   static constexpr unsigned NumToggles = 9;

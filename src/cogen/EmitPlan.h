@@ -1,0 +1,245 @@
+//===- cogen/EmitPlan.h - Staged emit plans ---------------------------------------===//
+//
+// Part of the DyC reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Staged emit plans: a one-time, per-region compilation of the
+/// generating extension's SetupOp templates into a *linear emit program*
+/// the specializer executes instead of re-walking the templates on every
+/// specializeInto call (the paper's central staging claim — emitting a
+/// specialized instruction should cost tens of cycles, not an
+/// interpretive walk).
+///
+/// A BlockPlan compiles one GenBlock into a step program:
+///
+///  * EvalRun — a maximal run of static set-up operations (EvalConst /
+///    Eval / EvalLoad) pre-decoded into a compact PlanEval array and
+///    executed by a tight loop with aggregated cycle charging.
+///  * Copy — a maximal run of pre-encoded dynamic template instructions:
+///    execution is one bulk append into the chain buffer plus a compact
+///    patch-site (hole) list whose entries compute immediate fields from
+///    the run's static values (directly or through derived-value
+///    expressions).
+///  * Branch — a guard on a specialize-time value the legacy decision
+///    tree forks on (a zero/copy-propagation 0/1 test, a power-of-two
+///    strength-reduction test, a divide-by-zero fold test). The builder
+///    compiles *both* outcomes; the guard picks the matching pre-compiled
+///    sub-program at run time, so value-dependent rewrites no longer
+///    force the interpretive path.
+///  * Sync — replays the symbolic deferral-table state the compiled
+///    steps imply into the live DeferralEngine, so everything after the
+///    compiled portion — Generic suffixes and the driver's terminator
+///    handling (return/condition resolution, dropAllPending accounting)
+///    — behaves bit-identically to the legacy walk.
+///  * Generic — one SetupOp executed through the unmodified legacy path
+///    (memoized static calls always; dynamic instructions only past the
+///    block's guard budget).
+///  * End — terminates the current path of the step program.
+///
+/// The builder is a plan-time *symbolic execution* of the DeferralEngine:
+/// it tracks the deferral table (pending entries, copy/constant
+/// propagation, dead-assignment kills, forced materializations) with
+/// values abstracted to PlanRefs — plan-time literals, static-register
+/// reads, or derived expressions — and mirrors every chargeDynComp call
+/// and every RegionStats bump the legacy engine would make, replayed as
+/// per-step counts. That is what keeps every simulated counter
+/// (DynCompCycles included) and every emitted chain bit-identical plan
+/// on/off.
+///
+/// The plan also carries the flattened static-key register list of every
+/// context (the memoization key composition the driver otherwise
+/// re-derives through a std::function bit-set walk on every placement
+/// and every context edge) — the "memo checks hoisted to run
+/// boundaries" piece.
+///
+/// Plans depend only on the immutable GenExtFunction and the
+/// OptFlags::fingerprint() they were built under, so they survive chain
+/// eviction and CodeObject::Version churn; RegionExecutionCore builds
+/// them lazily on first specialization, caches them per region, and
+/// recycles their storage through the region's RecyclingPool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYC_COGEN_EMITPLAN_H
+#define DYC_COGEN_EMITPLAN_H
+
+#include "bta/OptFlags.h"
+#include "cogen/GenExt.h"
+
+namespace dyc {
+namespace cogen {
+
+/// A plan-time reference to a specialize-time 64-bit value.
+struct PlanRef {
+  enum Kind : uint8_t {
+    Lit,    ///< a plan-time literal (L)
+    Static, ///< Vals[Idx], read when the owning step executes
+    Expr,   ///< ExprVals[Idx], computed by an earlier (or the owning) step
+  } K = Lit;
+  uint32_t Idx = 0;
+  Word L;
+
+  static PlanRef lit(Word W) { return {Lit, 0, W}; }
+  static PlanRef stat(uint32_t Reg) { return {Static, Reg, Word()}; }
+  static PlanRef expr(uint32_t Id) { return {Expr, Id, Word()}; }
+};
+
+/// One derived-value computation. Each expression belongs to exactly one
+/// Copy step (its capture point) and is evaluated into the run's
+/// expression scratch when that step executes — capturing static values
+/// *before* later set-up evaluation can overwrite them, exactly when the
+/// legacy walk would have read them.
+struct PlanExpr {
+  enum Kind : uint8_t {
+    Pure, ///< evalPureOp(Op, A, B) — guarded against Div/Rem-by-zero
+    Log2, ///< log2OfPow2(A.asInt()) — guarded by a Pow2Ge2 branch
+  } K = Pure;
+  ir::Opcode Op = ir::Opcode::Mov;
+  PlanRef A, B;
+};
+
+/// One patch site of a Copy template: the Imm field of the instruction at
+/// template position \p InstrIdx becomes bits(\p Ref) + \p Add. Every
+/// emit-time hole the legacy path fills (demoted-constant
+/// materializations, immediate-form packing, absolute-address folding,
+/// folded pure ops, strength-reduction shift constants) reduces to this.
+struct PlanHole {
+  uint32_t InstrIdx = 0;
+  int64_t Add = 0;
+  PlanRef Ref;
+};
+
+/// One guard: picks the sub-program matching the specialize-time value,
+/// mirroring a value test of the legacy decision tree.
+struct PlanBranch {
+  enum Pred : uint8_t {
+    EqBits,  ///< bits(A) == bits(Cmp) (ZCP 0/1 tests, div-by-zero folds)
+    Pow2Ge2, ///< isPowerOf2(A.asInt()) && A.asInt() >= 2 (SR tests)
+  } P = EqBits;
+  PlanRef A;
+  Word Cmp;
+  uint32_t True = 0;  ///< step index if the predicate holds
+  uint32_t False = 0; ///< step index otherwise
+};
+
+/// One pre-decoded static set-up operation of an EvalRun step.
+struct PlanEval {
+  enum Kind : uint8_t {
+    Const, ///< Vals[Dst] <- Imm
+    Pure,  ///< Vals[Dst] <- Op(Vals[A], Vals[B])
+    Load,  ///< Vals[Dst] <- Mem[Vals[A] + Imm]
+  } K = Const;
+  ir::Opcode Op = ir::Opcode::Mov;
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0; ///< vm::NoReg when the op is unary
+  int64_t Imm = 0;
+};
+
+/// One reconstructed deferral-table entry of a Sync step: the still-
+/// pending entries of the symbolic table, in legacy order, with producer
+/// links (Dep) remapped to the compacted indices (links to entries that
+/// already died are cleared — forceOperand skips them either way).
+struct PlanSync {
+  /// A symbolic RVal: a register (possibly linked to an earlier pending
+  /// entry) or a constant whose value is resolved at sync time from the
+  /// ref (refs stored into the table are always sync-stable: literals or
+  /// captured expressions).
+  struct Operand {
+    bool IsConst = false;
+    uint32_t R = vm::NoReg;
+    int32_t Dep = -1;
+    PlanRef C;
+  };
+  ir::Opcode Op = ir::Opcode::Mov;
+  ir::Type Ty = ir::Type::I64;
+  uint32_t Dst = vm::NoReg;
+  Operand A, B;
+  PlanRef Imm;
+  bool FromZcp = false;
+};
+
+/// One step of a block's emit program. Execution is PC-driven: most steps
+/// fall through to the next index, Branch jumps, End stops.
+struct PlanStep {
+  enum Kind : uint8_t { EvalRun, Copy, Generic, Branch, Sync, End } K = End;
+  /// EvalRun: [First, First+Count) into BlockPlan::Evals.
+  /// Copy: [First, First+Count) into BlockPlan::Template.
+  /// Generic: First = index into GenBlock::Ops (Count unused).
+  /// Branch: First = index into BlockPlan::Branches.
+  /// Sync: [First, First+Count) into BlockPlan::Syncs.
+  uint32_t First = 0;
+  uint32_t Count = 0;
+  /// Copy: [HoleFirst, HoleFirst+HoleCount) into BlockPlan::Holes.
+  uint32_t HoleFirst = 0;
+  uint32_t HoleCount = 0;
+  /// Copy: [ExprFirst, ExprFirst+ExprCount) into BlockPlan::Exprs,
+  /// evaluated into the expression scratch before the template copy.
+  uint32_t ExprFirst = 0;
+  uint32_t ExprCount = 0;
+  /// Aggregated charge replay, as *counts* (the cost model is per-VM, so
+  /// cycles are computed at run time). EvalRun uses EvalOps/StaticLoads;
+  /// Copy uses the rest. TableOps replays the deferral engine's
+  /// SpecZcpTableOp charges (inserts, resolve hops, dead-kills);
+  /// ZcpChecks the zero/copy candidate tests (same rate, kept separate
+  /// for readability); SrChecks the strength-reduction tests.
+  uint32_t EvalOps = 0;
+  uint32_t StaticLoads = 0;
+  uint32_t Emits = 0;
+  uint32_t EmitHoles = 0;
+  uint32_t ZcpChecks = 0;
+  uint32_t SrChecks = 0;
+  uint32_t TableOps = 0;
+  /// Aggregated RegionStats replay for the compiled deferral activity.
+  uint32_t ZcpApplied = 0;
+  uint32_t StrengthReduced = 0;
+  uint32_t DeadAssigns = 0;
+  uint32_t Materialized = 0;
+};
+
+/// The emit program for one GenBlock (context).
+struct BlockPlan {
+  std::vector<PlanStep> Steps;
+  std::vector<PlanEval> Evals;
+  /// Pre-encoded instruction templates for the block's Copy runs, holes
+  /// unfilled (their Imm fields are 0 unless the value was a plan-time
+  /// literal, which is baked directly).
+  std::vector<vm::Instr> Template;
+  std::vector<PlanHole> Holes;
+  std::vector<PlanExpr> Exprs;
+  std::vector<PlanSync> Syncs;
+  std::vector<PlanBranch> Branches;
+  /// This context's StaticIn registers in ascending (bit-set) order: the
+  /// flattened memo-key composition list used for the context's own
+  /// placements and for every edge that targets it.
+  std::vector<uint32_t> KeyRegs;
+};
+
+/// The staged emit plan for one region.
+struct EmitPlan {
+  /// OptFlags::fingerprint() the plan was built under — a plan is valid
+  /// only for flag settings that emit identical code.
+  uint64_t FlagsFingerprint = 0;
+  std::vector<BlockPlan> Blocks; ///< index == context id
+  /// Total plan footprint in bytes (templates, holes, eval streams,
+  /// expressions, sync tables, guards, steps, key lists) — the PlanBytes
+  /// counter's contribution.
+  uint64_t Bytes = 0;
+};
+
+/// Compiles \p GX into a staged emit plan under \p Flags. Pure function
+/// of its inputs: no VM, no values, no charges — plan building is host
+/// work and must not touch simulated counters.
+EmitPlan buildEmitPlan(const GenExtFunction &GX, const OptFlags &Flags);
+
+/// Resolves an EmitPlanMode against the DYC_EMIT_PLAN environment
+/// variable ("on"/"1"/"true" / "off"/"0"/"false"; unknown values are
+/// ignored). Default is on. An explicit flag beats the environment.
+bool resolveEmitPlanEnabled(EmitPlanMode Mode);
+
+} // namespace cogen
+} // namespace dyc
+
+#endif // DYC_COGEN_EMITPLAN_H

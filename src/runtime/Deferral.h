@@ -39,6 +39,19 @@ namespace runtime {
 
 class DeferralEngine {
 public:
+  /// A deferred (not yet emitted) pure instruction. Public so the staged
+  /// emit-plan runner (PlanRunner) can reconstruct table state from a
+  /// plan's Sync steps.
+  struct DeferredInstr {
+    ir::Opcode Op = ir::Opcode::Mov;
+    ir::Type Ty = ir::Type::I64;
+    uint32_t Dst = vm::NoReg;
+    RVal A, B;
+    int64_t Imm = 0;
+    bool FromZcp = false;
+    bool Pending = true;
+  };
+
   DeferralEngine(Emitter &E, RegionStats &Stats, vm::VM &M,
                  const OptFlags &Flags, const cogen::GenExtFunction &GX)
       : E(E), Stats(Stats), M(M), CM(M.costModel()), Flags(Flags), GX(GX) {}
@@ -76,18 +89,17 @@ public:
   /// instruction (SetupOp::EmitInstr).
   void emitDynamic(const cogen::SetupOp &Op, const std::vector<Word> &Vals);
 
-private:
-  /// A deferred (not yet emitted) pure instruction.
-  struct DeferredInstr {
-    ir::Opcode Op = ir::Opcode::Mov;
-    ir::Type Ty = ir::Type::I64;
-    uint32_t Dst = vm::NoReg;
-    RVal A, B;
-    int64_t Imm = 0;
-    bool FromZcp = false;
-    bool Pending = true;
-  };
+  /// Reinstalls one reconstructed table entry (a plan Sync step replaying
+  /// the state the compiled steps imply). Pure bookkeeping: the charges
+  /// and stats of the entry's creation were already replayed by the plan's
+  /// Copy steps.
+  void restore(const DeferredInstr &D) {
+    Defer.push_back(D);
+    if (D.Pending)
+      LatestDef[D.Dst] = Defer.size() - 1;
+  }
 
+private:
   void charge(uint64_t Cycles) { M.chargeDynComp(Cycles); }
 
   /// Emits a pending entry now ("the move is materialized"), after any

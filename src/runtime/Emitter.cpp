@@ -10,8 +10,6 @@ namespace runtime {
 using ir::Opcode;
 namespace v = vm;
 
-namespace {
-
 v::Op vmOpOf(Opcode Op) {
   switch (Op) {
   case Opcode::Add: return v::Op::Add;
@@ -75,7 +73,7 @@ v::Op immFormOf(Opcode Op) {
   }
 }
 
-bool isCommutative(Opcode Op) {
+bool isCommutativeOpcode(Opcode Op) {
   switch (Op) {
   case Opcode::Add: case Opcode::Mul: case Opcode::And: case Opcode::Or:
   case Opcode::Xor: case Opcode::FAdd: case Opcode::FMul:
@@ -95,8 +93,6 @@ Opcode mirrorCompare(Opcode Op) {
   default: return Op;
   }
 }
-
-} // namespace
 
 bool isUnaryOpcode(Opcode Op) {
   switch (Op) {
@@ -216,7 +212,7 @@ void Emitter::emitResolved(Opcode Op, ir::Type Ty, uint32_t Dst,
     return;
   }
   if (A.IsConst && !B.IsConst) {
-    if (isCommutative(Op)) {
+    if (isCommutativeOpcode(Op)) {
       emitResolved(Op, Ty, Dst, B, A, Imm);
       return;
     }

@@ -63,6 +63,14 @@ struct RVal {
 /// only A resolved).
 bool isUnaryOpcode(ir::Opcode Op);
 
+/// The emitter's encoding tables, exported so the staged-emit-plan
+/// builder (cogen/EmitPlan.cpp) pre-encodes Copy templates with exactly
+/// the encodings emitResolved would produce — one source of truth.
+vm::Op vmOpOf(ir::Opcode Op);      ///< reg-reg form; fatals if none
+vm::Op immFormOf(ir::Opcode Op);   ///< immediate form; vm::Op::Halt if none
+bool isCommutativeOpcode(ir::Opcode Op);
+ir::Opcode mirrorCompare(ir::Opcode Op); ///< Lt<->Gt, Le<->Ge; else Op
+
 /// Encodes resolved instructions into one code chain's buffer.
 class Emitter {
 public:

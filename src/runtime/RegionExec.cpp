@@ -6,6 +6,7 @@
 #include "support/Support.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dyc {
 namespace runtime {
@@ -77,6 +78,7 @@ void RegionExecutionCore::addRegion(cogen::GenExtFunction GX) {
   R->CtxPlacements.assign(GX.Region.Contexts.size(), 0);
   R->GX = std::move(GX);
   R->Stats.Backend = BK->name();
+  R->Stats.PlanEnabled = PlanOn;
   Regions.push_back(std::move(R));
   Books.emplace_back();
 }
@@ -169,6 +171,12 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   RegionState &R = *Regions[Ordinal];
   const bta::PromoPoint &P = R.GX.Region.Promos[PromoId];
 
+  // Host-time accounting for specializeHostSeconds(): only the outermost
+  // invocation accumulates, so re-entrant nested specializations (static
+  // calls at specialize time) are not double-counted.
+  const bool TimeOutermost = SpecTimerDepth++ == 0;
+  const auto HostT0 = std::chrono::steady_clock::now();
+
   // Copy the span inputs into owned storage before anything can re-enter
   // the run-time: static calls at specialize time dispatch again on this
   // thread, and the front ends pass views of scratch buffers that a nested
@@ -190,8 +198,29 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   // chains' I-cache footprints never alias).
   BK->beginRegion(Chain->CO, Prog,
                   static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
-  Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
-                   std::to_string(Chain->Ordinal);
+  if (R.ChainNamePrefix.empty())
+    R.ChainNamePrefix = M.function(R.GX.FuncIdx).Name + ".chain";
+  Chain->CO.Name = R.ChainNamePrefix + std::to_string(Chain->Ordinal);
+
+  // Staged emit plan: built once per region on first specialization (the
+  // caller serializes specializeInto, and nested re-entrant runs happen on
+  // this thread after the pointer below is captured, so a nested run of
+  // the same region sees the already-built plan as a hit). The plan
+  // depends only on the immutable GX and the flag fingerprint, so it is
+  // never invalidated by chain eviction or Version churn.
+  const cogen::EmitPlan *PlanPtr = nullptr;
+  if (PlanOn) {
+    if (!R.Plan || R.Plan->FlagsFingerprint != Flags.fingerprint()) {
+      R.Plan = std::allocate_shared<cogen::EmitPlan>(
+          PoolAllocator<cogen::EmitPlan>(R.Pool),
+          cogen::buildEmitPlan(R.GX, Flags));
+      ++R.Stats.PlanBuilds;
+      R.Stats.PlanBytes += R.Plan->Bytes;
+    } else {
+      ++R.Stats.PlanHits;
+    }
+    PlanPtr = R.Plan.get();
+  }
 
   uint32_t Entry;
   {
@@ -201,7 +230,8 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
     BumpArena::Scope ScratchScope(R.Scratch);
     UnrollDriver Driver(*this, R, static_cast<uint32_t>(Ordinal), VMRef,
                         Flags, Chain->CO, Chain->ExitStubs,
-                        Chain->DispatchStubs, Chain->OsrEntries, R.Scratch);
+                        Chain->DispatchStubs, Chain->OsrEntries, R.Scratch,
+                        PlanPtr);
     Entry = Driver.run(P.TargetCtx, std::move(Vals));
   }
   Chain->Instrs = static_cast<uint32_t>(Chain->CO.Code.size());
@@ -226,6 +256,12 @@ std::shared_ptr<SpecEntry> RegionExecutionCore::specializeInto(
   E->Chain = std::move(Chain);
   E->Use = std::allocate_shared<EntryStats>(PoolAllocator<EntryStats>(R.Pool));
   E->Ordinal = E->Chain->Ordinal;
+
+  --SpecTimerDepth;
+  if (TimeOutermost)
+    SpecHostSecs += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - HostT0)
+                        .count();
   return E;
 }
 
@@ -244,8 +280,9 @@ std::shared_ptr<CodeChain> RegionExecutionCore::restoreChain(
   Chain->CO.NumRegs = R.GX.NumRegs;
   BK->beginRegion(Chain->CO, Prog,
                   static_cast<uint64_t>(Flags.MaxRegionInstrs) * 4);
-  Chain->CO.Name = M.function(R.GX.FuncIdx).Name + ".chain" +
-                   std::to_string(Chain->Ordinal);
+  if (R.ChainNamePrefix.empty())
+    R.ChainNamePrefix = M.function(R.GX.FuncIdx).Name + ".chain";
+  Chain->CO.Name = R.ChainNamePrefix + std::to_string(Chain->Ordinal);
   Chain->CO.Code = std::move(Code);
   Chain->ExitStubs = std::move(ExitStubs);
   Chain->DispatchStubs = std::move(DispatchStubs);

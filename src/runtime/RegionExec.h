@@ -60,6 +60,7 @@
 #include "backend/Backend.h"
 #include "bta/OptFlags.h"
 #include "cogen/CompilerGenerator.h"
+#include "cogen/EmitPlan.h"
 #include "runtime/RuntimeStats.h"
 #include "support/Arena.h"
 #include "vm/VM.h"
@@ -178,8 +179,17 @@ struct SpecEntry {
 struct RegionState {
   cogen::GenExtFunction GX;
   RegionStats Stats;
+  /// The region's staged emit plan (cogen/EmitPlan.h), built lazily on
+  /// first specialization when the plan path is enabled. Depends only on
+  /// the immutable GX and the flag fingerprint it records, so it survives
+  /// chain eviction and CodeObject::Version churn; storage is recycled
+  /// through Pool like the region's other shared objects.
+  std::shared_ptr<const cogen::EmitPlan> Plan;
   /// Memo for static calls executed at specialize time.
   std::map<std::vector<uint64_t>, Word> CallMemo;
+  /// "<function>.chain" — cached so per-chain naming is one append, not a
+  /// chain of temporaries on the specialization path.
+  std::string ChainNamePrefix;
   /// Per-context placement counts (unrolling evidence).
   std::vector<uint32_t> CtxPlacements;
   /// Pooled storage for the region's published SpecEntry / CodeChain /
@@ -211,7 +221,8 @@ public:
                       const OptFlags &Flags, ChainBudget Budget = {})
       : M(M), Prog(Prog), Flags(Flags), Budget(Budget),
         BK(backend::createBackend(
-            backend::resolveBackendKind(Flags.Backend))) {}
+            backend::resolveBackendKind(Flags.Backend))),
+        PlanOn(cogen::resolveEmitPlanEnabled(Flags.EmitPlan)) {}
 
   // --- Execution backend ------------------------------------------------------
 
@@ -233,6 +244,14 @@ public:
 
   size_t numRegions() const { return Regions.size(); }
   const OptFlags &flags() const { return Flags; }
+
+  /// Host wall-clock seconds spent inside specializeInto, all regions,
+  /// outermost invocations only (nested re-entrant runs are covered by
+  /// the outer interval). Pure host-side instrumentation — never charged
+  /// to any simulated counter — so bench/SpecializeThroughput.cpp can
+  /// measure the specializer directly instead of subtracting an execution
+  /// baseline. Caller-serialized like specializeInto itself.
+  double specializeHostSeconds() const { return SpecHostSecs; }
 
   // --- Region metadata --------------------------------------------------------
 
@@ -353,12 +372,20 @@ private:
   OptFlags Flags;
   ChainBudget Budget;
   std::unique_ptr<backend::ExecutionBackend> BK;
+  /// Resolved once at construction (OptFlags::EmitPlan / DYC_EMIT_PLAN):
+  /// whether specialization runs execute through staged emit plans.
+  bool PlanOn;
 
   std::vector<std::unique_ptr<RegionState>> Regions;
   std::vector<RegionBook> Books; ///< parallel to Regions
 
   ChainRegistry Chains;
   std::atomic<uint64_t> ChainCounter{0};
+
+  /// specializeHostSeconds bookkeeping (caller-serialized with
+  /// specializeInto; depth gates out nested re-entrant runs).
+  double SpecHostSecs = 0;
+  unsigned SpecTimerDepth = 0;
 
   /// Deque, not vector: siteRef hands out long-lived references, and deque
   /// growth never relocates existing elements.

@@ -62,6 +62,15 @@ struct RegionStats {
   uint64_t OsrEntries = 0;
   uint64_t OsrPolls = 0;
 
+  /// Staged emit plans (cogen/EmitPlan.h). PlanEnabled mirrors the core's
+  /// resolved OptFlags::EmitPlan / DYC_EMIT_PLAN selection and gates the
+  /// toString suffix, like TierEnabled; the counters are hard-zero when
+  /// the plan path is off.
+  bool PlanEnabled = false;
+  uint64_t PlanBuilds = 0; ///< plans compiled (once per region + flags)
+  uint64_t PlanHits = 0;   ///< specialization runs served by a cached plan
+  uint64_t PlanBytes = 0;  ///< total footprint of built plans
+
   /// Name of the execution backend the owning core compiles through
   /// ("bytecode" / "template"); set once at region registration. Rendered
   /// by toString when present so stats output is backend-attributed.

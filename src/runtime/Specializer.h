@@ -82,6 +82,11 @@ public:
 
   size_t numRegions() const { return Core.numRegions(); }
   const RegionStats &stats(size_t Ordinal) const { return Core.stats(Ordinal); }
+  /// Host seconds spent inside the specializer (see
+  /// RegionExecutionCore::specializeHostSeconds).
+  double specializeHostSeconds() const {
+    return Core.specializeHostSeconds();
+  }
   RegionStats &statsMutable(size_t Ordinal) {
     return Core.statsMutable(Ordinal);
   }

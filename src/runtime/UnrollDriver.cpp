@@ -18,8 +18,20 @@ uint32_t UnrollDriver::run(uint32_t Ctx0, std::vector<Word> Vals0) {
   ++R.Stats.SpecializationRuns;
   uint32_t Entry = bufSize();
 
+  ir::BlockId MaxBlock = 0;
+  for (size_t Ctx = 0; Ctx != GX.Blocks.size(); ++Ctx) {
+    ir::BlockId B = GX.Region.context(Ctx).Block;
+    if (B != ir::NoBlock)
+      MaxBlock = std::max(MaxBlock, B);
+  }
+  OsrState.assign(static_cast<size_t>(MaxBlock) + 1, -1);
+  // Host-side: skip the first few doubling reallocations of the chain
+  // buffer. Capacity only; emitted bytes are identical.
+  Buf.Code.reserve(std::min<size_t>(MaxRegionInstrs, 256));
+
   Item Cur{Ctx0, std::move(Vals0)};
-  markQueued(keyOf(Cur));
+  bool Fresh0 = false;
+  Cur.MemoVal = memoFindOrQueue(keyRef(Cur.Ctx, Cur.Vals), Fresh0);
   bool HaveCur = true;
   while (HaveCur || !Queue.empty()) {
     if (!HaveCur) {
@@ -33,21 +45,31 @@ uint32_t UnrollDriver::run(uint32_t Ctx0, std::vector<Word> Vals0) {
       std::optional<Item> Next = place(Cur);
       if (!Next)
         break;
-      markQueued(keyOf(*Next));
+      if (!Next->MemoVal) {
+        bool Fresh = false;
+        Next->MemoVal = memoFindOrQueue(keyRef(Next->Ctx, Next->Vals), Fresh);
+      }
       Cur = std::move(*Next);
     }
   }
 
-  // Resolve pending branch patches.
+  // Materialize the OSR entry map: blocks placed exactly once this run.
+  for (size_t B = 0; B != OsrState.size(); ++B)
+    if (OsrState[B] >= 0)
+      OsrEntries.emplace(static_cast<ir::BlockId>(B),
+                         static_cast<uint32_t>(OsrState[B]));
+
+  // Resolve pending branch patches: plan mode dereferences the stable
+  // memo slot recorded at patch time; the legacy walk re-probes its map.
   for (const Patch &P : Patches) {
-    auto It = Memo.find(P.Key);
-    if (It == Memo.end() || It->second < 0)
+    const int64_t *PC = Plan ? P.Val : memoFind(P.Key);
+    if (!PC || *PC < 0)
       fatal("specializer left an unresolved branch target");
     v::Instr &I = E.at(P.PC);
     if (P.FieldC)
-      I.C = static_cast<uint32_t>(It->second);
+      I.C = static_cast<uint32_t>(*PC);
     else
-      I.B = static_cast<uint32_t>(It->second);
+      I.B = static_cast<uint32_t>(*PC);
     charge(CM.SpecPatch);
   }
 
@@ -55,12 +77,35 @@ uint32_t UnrollDriver::run(uint32_t Ctx0, std::vector<Word> Vals0) {
   return Entry;
 }
 
-std::vector<uint64_t> UnrollDriver::keyOf(const Item &It) const {
-  std::vector<uint64_t> K;
-  K.push_back(It.Ctx);
-  GX.Region.context(It.Ctx).StaticIn.forEachSetBit(
-      [&](size_t Reg) { K.push_back(It.Vals[Reg].Bits); });
-  return K;
+const std::vector<uint64_t> &
+UnrollDriver::keyRef(uint32_t Ctx, const std::vector<Word> &Vals) {
+  KeyScratch.clear();
+  KeyScratch.push_back(Ctx);
+  if (Plan) {
+    // Fold the FNV-1a hash into the composition pass: the memo operations
+    // that follow reuse it instead of re-walking the key.
+    uint64_t H = 0xcbf29ce484222325ull;
+    H ^= Ctx;
+    H *= 1099511628211ull;
+    for (uint32_t Reg : Plan->Blocks[Ctx].KeyRegs) {
+      uint64_t W = Vals[Reg].Bits;
+      KeyScratch.push_back(W);
+      H ^= W;
+      H *= 1099511628211ull;
+    }
+    KeyHashScratch = H;
+  } else {
+    GX.Region.context(Ctx).StaticIn.forEachSetBit(
+        [&](size_t Reg) { KeyScratch.push_back(Vals[Reg].Bits); });
+  }
+  return KeyScratch;
+}
+
+int64_t *UnrollDriver::memoFind(const std::vector<uint64_t> &K) {
+  if (Plan)
+    return PM.find(K.data(), K.size(), hashOf(K));
+  auto It = Memo.find(K);
+  return It == Memo.end() ? nullptr : &It->second;
 }
 
 void UnrollDriver::execSetup(const SetupOp &Op, std::vector<Word> &Vals) {
@@ -153,14 +198,17 @@ UnrollDriver::continueEdge(const bta::Edge &Ed, Item &Cur) {
   }
   case bta::Edge::Ctx: {
     Item Next{Ed.Target, std::move(Cur.Vals)};
-    std::vector<uint64_t> K = keyOf(Next);
-    auto It = Memo.find(K);
-    if (It == Memo.end())
+    const std::vector<uint64_t> &K = keyRef(Next.Ctx, Next.Vals);
+    bool Fresh = false;
+    int64_t *PC = memoFindOrQueue(K, Fresh);
+    if (Fresh) {
+      Next.MemoVal = PC;
       return Next; // fall through, no branch emitted
-    if (It->second >= 0) {
-      E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
+    }
+    if (*PC >= 0) {
+      E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(*PC)});
     } else {
-      Patches.push_back({bufSize(), false, K});
+      addPatch(bufSize(), false, K, PC);
       E.emitRaw({v::Op::Br, 0, 0});
       // Re-queue ownership of Vals: the queued item already has its own
       // copy (enqueued when first seen).
@@ -207,21 +255,19 @@ UnrollDriver::EdgeLabel UnrollDriver::labelFor(const bta::Edge &Ed,
       return L;
     }
     case bta::Edge::Ctx: {
-      std::vector<uint64_t> K;
-      K.push_back(Ed.Target);
-      GX.Region.context(Ed.Target).StaticIn.forEachSetBit(
-          [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
-      auto It = Memo.find(K);
-      if (It != Memo.end() && It->second >= 0) {
-        E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(It->second)});
+      const std::vector<uint64_t> &K = keyRef(Ed.Target, Vals);
+      bool Fresh = false;
+      int64_t *PC = memoFindOrQueue(K, Fresh);
+      if (!Fresh && *PC >= 0) {
+        E.emitRaw({v::Op::Br, 0, static_cast<uint32_t>(*PC)});
         return L;
       }
-      if (It == Memo.end()) {
-        markQueued(K);
+      if (Fresh) {
         Item Other{Ed.Target, Vals};
+        Other.MemoVal = PC;
         Queue.push_back(std::move(Other));
       }
-      Patches.push_back({bufSize(), false, K});
+      addPatch(bufSize(), false, K, PC);
       E.emitRaw({v::Op::Br, 0, 0});
       return L;
     }
@@ -257,21 +303,18 @@ UnrollDriver::EdgeLabel UnrollDriver::labelFor(const bta::Edge &Ed,
     return L;
   }
   case bta::Edge::Ctx: {
-    std::vector<uint64_t> K;
-    K.push_back(Ed.Target);
-    GX.Region.context(Ed.Target).StaticIn.forEachSetBit(
-        [&](size_t Rg) { K.push_back(Vals[Rg].Bits); });
-    auto It = Memo.find(K);
-    if (It == Memo.end()) {
+    const std::vector<uint64_t> &K = keyRef(Ed.Target, Vals);
+    int64_t *PC = memoFind(K);
+    if (!PC) {
       L.FreshCtx = true;
       return L;
     }
-    if (It->second >= 0) {
+    if (*PC >= 0) {
       L.Known = true;
-      L.PC = static_cast<uint32_t>(It->second);
+      L.PC = static_cast<uint32_t>(*PC);
       return L;
     }
-    Patches.push_back({BranchPC, FieldC, K});
+    addPatch(BranchPC, FieldC, K, PC);
     L.Known = false;
     return L;
   }
@@ -280,21 +323,20 @@ UnrollDriver::EdgeLabel UnrollDriver::labelFor(const bta::Edge &Ed,
 }
 
 std::optional<UnrollDriver::Item> UnrollDriver::place(Item &Cur) {
-  std::vector<uint64_t> K = keyOf(Cur);
-  Memo[K] = static_cast<int64_t>(bufSize());
+  // Plan mode: the placement pc goes straight through the item's stable
+  // memo handle — no key recomposition, no probe. The legacy walk
+  // re-probes its ordered map exactly as before.
+  if (Plan)
+    *Cur.MemoVal = static_cast<int64_t>(bufSize());
+  else
+    memoAssign(keyRef(Cur.Ctx, Cur.Vals), static_cast<int64_t>(bufSize()));
   // OSR entry bookkeeping: an IR block placed exactly once this run has a
   // unique residual pc a generic frame can transfer to at a back-edge
   // (its static state is fully determined by the dispatch key). A second
   // placement (loop unrolling) disqualifies the block for this chain.
-  {
-    ir::BlockId B = GX.Region.context(Cur.Ctx).Block;
-    if (!OsrMultiPlaced.count(B)) {
-      auto [It, Fresh] = OsrEntries.emplace(B, bufSize());
-      if (!Fresh) {
-        OsrEntries.erase(It);
-        OsrMultiPlaced.insert(B);
-      }
-    }
+  if (ir::BlockId B = GX.Region.context(Cur.Ctx).Block; B != ir::NoBlock) {
+    int64_t &S = OsrState[B];
+    S = S == -1 ? static_cast<int64_t>(bufSize()) : -2;
   }
   ++R.Stats.WorkItems;
   charge(CM.SpecPerWorkItem);
@@ -306,8 +348,16 @@ std::optional<UnrollDriver::Item> UnrollDriver::place(Item &Cur) {
   D.reset();
 
   const GenBlock &GB = GX.Blocks[Cur.Ctx];
-  for (const SetupOp &Op : GB.Ops)
-    execSetup(Op, Cur.Vals);
+  if (Plan) {
+    // Staged path: the block's pre-compiled linear emit program. Generic
+    // steps fall back to the legacy interpreter per op, so the emitted
+    // chain and every simulated charge are identical to the walk below.
+    PR.runBlock(Plan->Blocks[Cur.Ctx], Cur.Vals,
+                [&](uint32_t OpIdx) { execSetup(GB.Ops[OpIdx], Cur.Vals); });
+  } else {
+    for (const SetupOp &Op : GB.Ops)
+      execSetup(Op, Cur.Vals);
+  }
 
   // Terminator.
   const cogen::GenTerm &T = GB.Term;
@@ -363,9 +413,11 @@ std::optional<UnrollDriver::Item> UnrollDriver::place(Item &Cur) {
       Fall = Item{T.TrueE.Target, Cur.Vals};
       if (FL.FreshCtx) {
         Item Other{T.FalseE.Target, Cur.Vals};
-        std::vector<uint64_t> OK = keyOf(Other);
-        markQueued(OK);
-        Patches.push_back({BranchPC, true, OK});
+        const std::vector<uint64_t> &OK = keyRef(Other.Ctx, Other.Vals);
+        bool Fresh = false;
+        int64_t *V = memoFindOrQueue(OK, Fresh);
+        Other.MemoVal = V;
+        addPatch(BranchPC, true, OK, V);
         Queue.push_back(std::move(Other));
       }
     } else if (FL.FreshCtx) {

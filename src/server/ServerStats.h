@@ -58,6 +58,13 @@ struct ServerStatsSnapshot {
   /// Gauge, not a counter: submitted-but-unfinished compile jobs at the
   /// instant of the snapshot.
   uint64_t CompileQueueDepth = 0;
+  /// Staged emit plans (filled by SpecServer::stats by summing the core's
+  /// per-region counters under the specialization lock; zero and
+  /// unrendered when the plan path is off).
+  bool PlanEnabled = false;
+  uint64_t PlanBuilds = 0;
+  uint64_t PlanHits = 0;
+  uint64_t PlanBytes = 0;
   /// Multi-tenancy (filled by SpecServer::stats / tenantStats when the
   /// server was built multi-tenant; zero and unrendered otherwise).
   bool MultiTenant = false;

@@ -174,6 +174,24 @@ public:
       S.ColdExecs = S.WarmExecs = S.WarmPromotions = S.HotPromotions = 0;
       S.HotInstalls = S.OsrEntries = S.OsrPolls = 0;
     }
+    {
+      // Plan counters live in the core's per-region stats (single-threaded,
+      // guarded by the specialization lock), so sum them under it.
+      std::lock_guard<std::recursive_mutex> Lock(SpecMutex);
+      for (size_t I = 0; I != Core.numRegions(); ++I) {
+        const runtime::RegionStats &RS = Core.stats(I);
+        if (RS.PlanEnabled)
+          S.PlanEnabled = true;
+        S.PlanBuilds += RS.PlanBuilds;
+        S.PlanHits += RS.PlanHits;
+        S.PlanBytes += RS.PlanBytes;
+      }
+      if (!S.PlanEnabled) {
+        // The plan path is the only writer of these fields; report hard
+        // zeros when it is off (same contract as the tier block above).
+        S.PlanBuilds = S.PlanHits = S.PlanBytes = 0;
+      }
+    }
     if (Cfg.MultiTenant) {
       S.MultiTenant = true;
       std::shared_lock<std::shared_mutex> L(TenantsMutex);

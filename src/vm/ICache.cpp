@@ -33,18 +33,22 @@ bool ICache::access(uint64_t Addr) {
   Line *SetBase = &Lines[static_cast<size_t>(Set) * Cfg.Assoc];
 
   Line *Victim = nullptr;
+  bool VictimLive = false;
   for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
     Line &L = SetBase[W];
-    if (L.Valid && L.Tag == Tag) {
+    bool Live = resident(L);
+    if (Live && L.Tag == Tag) {
       L.LastUse = Clock;
       ++Hits;
       return true;
     }
-    if (!Victim || !L.Valid ||
-        (Victim->Valid && L.Valid && L.LastUse < Victim->LastUse))
+    if (!Victim || !Live || (VictimLive && L.LastUse < Victim->LastUse)) {
       Victim = &L;
+      VictimLive = Live;
+    }
   }
   Victim->Valid = true;
+  Victim->Epoch = Epoch;
   Victim->Tag = Tag;
   Victim->LastUse = Clock;
   ++Misses;
@@ -68,7 +72,7 @@ bool ICache::accessRun(uint64_t Addr, uint32_t Count) {
     Line *SetBase = &Lines[static_cast<size_t>(Set) * Cfg.Assoc];
     for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
       Line &L = SetBase[W];
-      if (L.Valid && L.Tag == Tag) {
+      if (resident(L) && L.Tag == Tag) {
         L.LastUse = Clock;
         break;
       }
@@ -77,10 +81,7 @@ bool ICache::accessRun(uint64_t Addr, uint32_t Count) {
   return Hit;
 }
 
-void ICache::flush() {
-  for (Line &L : Lines)
-    L.Valid = false;
-}
+void ICache::flush() { ++Epoch; }
 
 void ICache::invalidateRange(uint64_t Addr, uint64_t Bytes) {
   if (!Cfg.Enabled || Bytes == 0)
@@ -90,7 +91,7 @@ void ICache::invalidateRange(uint64_t Addr, uint64_t Bytes) {
   uint32_t Shift = static_cast<uint32_t>(__builtin_ctz(NumSets));
   for (size_t I = 0; I != Lines.size(); ++I) {
     Line &L = Lines[I];
-    if (!L.Valid)
+    if (!resident(L))
       continue;
     uint32_t Set = static_cast<uint32_t>(I / Cfg.Assoc);
     uint64_t Block = (L.Tag << Shift) | Set;

@@ -67,16 +67,27 @@ public:
   void resetStats() { Hits = Misses = 0; }
 
 private:
+  /// A line is resident iff Valid and its Epoch matches the cache's
+  /// current Epoch; flush() bumps the epoch instead of sweeping every
+  /// line, so the specializer's per-chain coherence flush is O(1) host
+  /// work. Pure representation change — hit/miss behavior is identical
+  /// to clearing every Valid bit.
   struct Line {
     uint64_t Tag = 0;
     uint64_t LastUse = 0;
+    uint64_t Epoch = 0;
     bool Valid = false;
   };
+
+  bool resident(const Line &L) const {
+    return L.Valid && L.Epoch == Epoch;
+  }
 
   ICacheConfig Cfg;
   uint32_t NumSets;
   std::vector<Line> Lines; // NumSets * Assoc
   uint64_t Clock = 0;
+  uint64_t Epoch = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
 };

@@ -55,7 +55,11 @@ void usage() {
           "                        ledgers and the global dedup counters)\n"
           "  --icache KB           L1 I-cache size (default 8)\n"
           "  --backend NAME        execution backend: bytecode | template\n"
-          "                        (default: $DYC_BACKEND, else bytecode)\n");
+          "                        (default: $DYC_BACKEND, else bytecode)\n"
+          "  --emit-plan MODE      staged emit plans: on | off (default:\n"
+          "                        $DYC_EMIT_PLAN, else on; off = legacy\n"
+          "                        template walk — identical output, slower\n"
+          "                        host-side specialization)\n");
   for (unsigned T = 0; T != OptFlags::NumToggles; ++T)
     fprintf(stderr, "  --no-%-27s disable this optimization\n",
             OptFlags::toggleName(T));
@@ -144,6 +148,21 @@ int main(int argc, char **argv) {
       else {
         fprintf(stderr, "dycc: unknown backend '%s' (bytecode | template)\n",
                 Name.c_str());
+        return 2;
+      }
+    } else if (A == "--emit-plan" || A.rfind("--emit-plan=", 0) == 0) {
+      std::string Mode;
+      if (A == "--emit-plan" && I + 1 < argc)
+        Mode = argv[++I];
+      else if (A.size() > 12)
+        Mode = A.substr(12);
+      if (Mode == "on")
+        Flags.EmitPlan = EmitPlanMode::On;
+      else if (Mode == "off")
+        Flags.EmitPlan = EmitPlanMode::Off;
+      else {
+        fprintf(stderr, "dycc: unknown emit-plan mode '%s' (on | off)\n",
+                Mode.c_str());
         return 2;
       }
     } else if (A.rfind("--no-", 0) == 0) {
@@ -325,6 +344,17 @@ int main(int argc, char **argv) {
                (unsigned long long)T.OsrEntries,
                (unsigned long long)T.OsrPolls);
       }
+      if (Server->numRegions() &&
+          Server->regionStats(0).PlanEnabled) {
+        printf("emit-plan advisor (per-region plan amortization):\n");
+        for (size_t Ord = 0; Ord != Server->numRegions(); ++Ord) {
+          runtime::RegionStats RS = Server->regionStats(Ord);
+          printf("  region %zu: %llu builds, %llu hits, %llu plan bytes\n",
+                 Ord, (unsigned long long)RS.PlanBuilds,
+                 (unsigned long long)RS.PlanHits,
+                 (unsigned long long)RS.PlanBytes);
+        }
+      }
     }
     return 0;
   }
@@ -450,6 +480,17 @@ int main(int argc, char **argv) {
                (unsigned long long)PP.Observations, PP.dominance(),
                PP.Overflowed ? ", overflowed" : "",
                PP.Blacklisted ? ", blacklisted" : "");
+      }
+    }
+    runtime::DycRuntime &SRT = Spec.runtime();
+    if (SRT.numRegions() && SRT.stats(0).PlanEnabled) {
+      printf("emit-plan advisor (per-region plan amortization):\n");
+      for (size_t Ord = 0; Ord != SRT.numRegions(); ++Ord) {
+        const runtime::RegionStats &RS = SRT.stats(Ord);
+        printf("  region %zu: %llu builds, %llu hits, %llu plan bytes\n",
+               Ord, (unsigned long long)RS.PlanBuilds,
+               (unsigned long long)RS.PlanHits,
+               (unsigned long long)RS.PlanBytes);
       }
     }
   }
